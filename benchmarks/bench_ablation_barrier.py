@@ -1,0 +1,55 @@
+"""Ablation: named-barrier cost vs participating-thread count (paper
+§4.2.2's W*ceil(N/W) round-up rule).
+
+A master/worker parallel region of N threads executes a barrier-heavy
+loop; the barrier synchronises X = 32*ceil(N/32) threads, so cost steps at
+warp-size boundaries rather than rising per thread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+_SRC = r'''
+int out[97];
+int main(void)
+{{
+    #pragma omp target map(tofrom: out)
+    {{
+        #pragma omp parallel num_threads({NTHR})
+        {{
+            int r;
+            for (r = 0; r < 16; r++)
+            {{
+                out[omp_get_thread_num()] += 1;
+                #pragma omp barrier
+            }}
+        }}
+    }}
+    return 0;
+}}
+'''
+
+
+@pytest.mark.parametrize("nthr", [16, 32, 40, 64, 96])
+def test_barrier_roundup_cost(benchmark, nthr):
+    benchmark.group = "barrier round-up"
+    prog = OmpiCompiler(OmpiConfig()).compile(_SRC.format(NTHR=nthr),
+                                              f"barr{nthr}")
+    result = {}
+
+    def once():
+        result["r"] = prog.run(launch_mode="full")
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    run = result["r"]
+    out = run.machine.global_array("out")
+    assert (out[:nthr] == 16).all()
+    assert (out[nthr:96] == 0).all()
+    stats = run.ort.cudadev.driver.last_kernel_stats
+    from repro.devrt.barriers import round_up_threads
+    benchmark.extra_info["participants"] = nthr
+    benchmark.extra_info["rounded"] = round_up_threads(nthr)
+    benchmark.extra_info["barrier_arrivals"] = stats.barriers
+    benchmark.extra_info["simulated_seconds"] = round(run.measured_time, 6)

@@ -1,0 +1,49 @@
+"""Ablation: kernel binary modes (paper §3.3).
+
+ptx mode JIT-compiles at first launch (disk cache eliminates repeat
+compilations across runs); cubin mode compiles everything ahead of time —
+the OMPi default precisely because it removes the runtime JIT cost.
+"""
+
+import pytest
+
+from repro.bench.harness import run_ompi
+from repro.bench.suite import get_app
+from repro.cuda.ptx.jit import JitCache
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+
+SRC = None
+
+
+def _prog(binary_mode):
+    app = get_app("gemm")
+    config = OmpiConfig(block_shape=app.block_shape, binary_mode=binary_mode)
+    return OmpiCompiler(config).compile(app.omp_source(128), "bm"), app
+
+
+@pytest.mark.parametrize("mode", ["cubin", "ptx-cold", "ptx-warm"])
+def test_binary_mode_first_launch_cost(benchmark, mode, tmp_path):
+    benchmark.group = "binary mode (gemm n=128, first launch)"
+    binary_mode = "cubin" if mode == "cubin" else "ptx"
+    prog, app = _prog(binary_mode)
+    cache = JitCache(tmp_path / "cc") if mode != "cubin" else None
+    if mode == "ptx-warm":
+        prog.run(jit_cache=cache, launch_mode="sample",
+                 seed_arrays=app.seed(128))   # populate the disk cache
+    result = {}
+
+    def once():
+        result["r"] = prog.run(jit_cache=cache, launch_mode="sample",
+                               seed_arrays=app.seed(128))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    log = result["r"].log
+    benchmark.extra_info["simulated_seconds"] = round(log.measured_time, 6)
+    benchmark.extra_info["jit_seconds"] = round(log.total("jit"), 6)
+    benchmark.extra_info["jit_events"] = [e.detail for e in log.events
+                                          if e.kind == "jit"]
+    if mode == "cubin":
+        assert log.count("jit") == 0
+    else:
+        assert log.count("jit") == 1

@@ -1,0 +1,77 @@
+"""Ablation: master/worker scheme vs combined construct (paper §§3.1-3.2).
+
+The same SAXPY computation written (a) as a standalone ``parallel for``
+inside a ``target`` region — forcing the master/worker scheme with its
+B1/B2 barrier protocol — and (b) as the recommended combined ``target
+teams distribute parallel for``.  The combined form avoids the
+master/worker machinery entirely ("Combined parallel directives do not
+utilize the master/worker scheme at all", §4.2.2) and scales past one
+block.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+_MW = r'''
+float x[{N}], y[{N}];
+int main(void)
+{{
+    int i, n = {N};
+    #pragma omp target map(to: x[0:n], n) map(tofrom: y[0:n])
+    {{
+        int i2;
+        #pragma omp parallel for
+        for (i2 = 0; i2 < n; i2++)
+            y[i2] = 2.5f * x[i2] + y[i2];
+    }}
+    return 0;
+}}
+'''
+
+_COMBINED = r'''
+float x[{N}], y[{N}];
+int main(void)
+{{
+    int i, n = {N};
+    #pragma omp target teams distribute parallel for \
+        map(to: x[0:n], n) map(tofrom: y[0:n]) \
+        num_teams({TEAMS}) num_threads(128)
+    for (i = 0; i < n; i++)
+        y[i] = 2.5f * x[i] + y[i];
+    return 0;
+}}
+'''
+
+
+@pytest.mark.parametrize("n", [4096, 16384])
+@pytest.mark.parametrize("scheme", ["masterworker", "combined"])
+def test_parallel_region_scheme(benchmark, scheme, n):
+    benchmark.group = f"saxpy scheme n={n}"
+    src = (_MW if scheme == "masterworker" else _COMBINED).format(
+        N=n, TEAMS=(n + 127) // 128)
+    prog = OmpiCompiler(OmpiConfig()).compile(src, f"mw_{scheme}_{n}")
+    seed = {"x": np.arange(n, dtype=np.float32),
+            "y": np.ones(n, dtype=np.float32)}
+    result = {}
+
+    def once():
+        result["r"] = prog.run(launch_mode="full", seed_arrays=seed)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    run = result["r"]
+    got = run.machine.global_array("y")
+    assert np.allclose(got, 2.5 * np.arange(n) + 1)
+    benchmark.extra_info["simulated_seconds"] = round(run.measured_time, 6)
+    benchmark.extra_info["scheme"] = scheme
+    stats = run.ort.cudadev.driver.last_kernel_stats
+    benchmark.extra_info["block"] = stats.block
+    benchmark.extra_info["grid"] = stats.grid
+    benchmark.extra_info["barriers"] = stats.barriers
+    if scheme == "masterworker":
+        # the paper's fixed 128-thread launch with barrier traffic
+        assert stats.block == (128, 1, 1)
+        assert stats.barriers > 0
+    else:
+        assert stats.barriers == 0

@@ -1,0 +1,77 @@
+"""Ablation: ``target data`` enclosing vs per-target mapping (paper §2:
+"enclose multiple target constructs that can rely on a single data
+environment, substantially reducing unnecessary data movements").
+"""
+
+import numpy as np
+import pytest
+
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+_KERNELS = r'''
+        #pragma omp target teams distribute parallel for \
+            map(tofrom: v[0:n]) map(to: n) num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < n; i++) v[i] = v[i] + 1.0f;
+'''
+
+_WITH = r'''
+float v[{N}];
+int main(void)
+{{
+    int i, n = {N}, rep;
+    #pragma omp target data map(tofrom: v[0:n])
+    {{
+        for (rep = 0; rep < {REPS}; rep++)
+        {{
+{KERNELS}
+        }}
+    }}
+    return 0;
+}}
+'''
+
+_WITHOUT = r'''
+float v[{N}];
+int main(void)
+{{
+    int i, n = {N}, rep;
+    for (rep = 0; rep < {REPS}; rep++)
+    {{
+{KERNELS}
+    }}
+    return 0;
+}}
+'''
+
+REPS = 16
+N = 1 << 18
+
+
+@pytest.mark.parametrize("variant", ["enclosing-target-data", "per-target-maps"])
+def test_target_data_transfer_savings(benchmark, variant):
+    benchmark.group = "target data enclosure"
+    template = _WITH if variant == "enclosing-target-data" else _WITHOUT
+    src = template.format(N=N, REPS=REPS,
+                          KERNELS=_KERNELS.format(TEAMS=N // 256))
+    prog = OmpiCompiler(OmpiConfig()).compile(
+        src, f"td_{variant.replace('-', '_')}")
+    result = {}
+
+    def once():
+        result["r"] = prog.run(launch_mode="sample",
+                               seed_arrays={"v": np.zeros(N, dtype=np.float32)})
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    run = result["r"]
+    log = run.log
+    big_h2d = sum(1 for e in log.events
+                  if e.kind == "memcpy_h2d" and e.bytes >= N)
+    big_d2h = sum(1 for e in log.events
+                  if e.kind == "memcpy_d2h" and e.bytes >= N)
+    benchmark.extra_info["simulated_seconds"] = round(log.measured_time, 6)
+    benchmark.extra_info["array_h2d"] = big_h2d
+    benchmark.extra_info["array_d2h"] = big_d2h
+    if variant == "enclosing-target-data":
+        assert big_h2d == 1 and big_d2h == 1
+    else:
+        assert big_h2d == REPS and big_d2h == REPS

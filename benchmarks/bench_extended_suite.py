@@ -1,0 +1,25 @@
+"""The rest of the Unibench suite (paper §5: "We get similar results with
+the rest of the applications in the suite"): 2dconv, gesummv, syrk, 2mm.
+
+One small/medium point per app, both versions — enough to confirm that
+OMPi keeps tracking CUDA outside the six Figure-4 panels.
+"""
+
+import pytest
+
+from conftest import run_panel_point
+
+POINTS = {
+    "2dconv": 512,
+    "gesummv": 1024,
+    "syrk": 256,
+    "2mm": 256,
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(POINTS))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_extended_app(benchmark, app_name, version):
+    size = POINTS[app_name]
+    benchmark.group = f"{app_name} n={size}"
+    run_panel_point(benchmark, app_name, size, version)

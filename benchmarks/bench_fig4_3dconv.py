@@ -1,0 +1,17 @@
+"""Figure 4a reproduction: 3dconv — execution time vs problem size,
+pure CUDA vs OMPi cudadev (paper §5).
+
+Run with `pytest benchmarks/bench_fig4_3dconv.py --benchmark-only`.
+The simulated times land in `extra_info.simulated_seconds`.
+"""
+
+import pytest
+
+from conftest import bench_sizes, run_panel_point
+
+
+@pytest.mark.parametrize("size", bench_sizes("3dconv"))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_conv3d(benchmark, size, version):
+    benchmark.group = f"3dconv n={size}"
+    run_panel_point(benchmark, "3dconv", size, version)

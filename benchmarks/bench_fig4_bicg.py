@@ -1,0 +1,17 @@
+"""Figure 4b reproduction: bicg — execution time vs problem size,
+pure CUDA vs OMPi cudadev (paper §5).
+
+Run with `pytest benchmarks/bench_fig4_bicg.py --benchmark-only`.
+The simulated times land in `extra_info.simulated_seconds`.
+"""
+
+import pytest
+
+from conftest import bench_sizes, run_panel_point
+
+
+@pytest.mark.parametrize("size", bench_sizes("bicg"))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_bicg(benchmark, size, version):
+    benchmark.group = f"bicg n={size}"
+    run_panel_point(benchmark, "bicg", size, version)

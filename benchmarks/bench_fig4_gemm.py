@@ -1,0 +1,17 @@
+"""Figure 4e reproduction: gemm — execution time vs problem size,
+pure CUDA vs OMPi cudadev (paper §5).
+
+Run with `pytest benchmarks/bench_fig4_gemm.py --benchmark-only`.
+The simulated times land in `extra_info.simulated_seconds`.
+"""
+
+import pytest
+
+from conftest import bench_sizes, run_panel_point
+
+
+@pytest.mark.parametrize("size", bench_sizes("gemm"))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_gemm(benchmark, size, version):
+    benchmark.group = f"gemm n={size}"
+    run_panel_point(benchmark, "gemm", size, version)

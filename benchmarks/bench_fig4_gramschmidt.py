@@ -1,0 +1,17 @@
+"""Figure 4f reproduction: gramschmidt — execution time vs problem size,
+pure CUDA vs OMPi cudadev (paper §5).
+
+Run with `pytest benchmarks/bench_fig4_gramschmidt.py --benchmark-only`.
+The simulated times land in `extra_info.simulated_seconds`.
+"""
+
+import pytest
+
+from conftest import bench_sizes, run_panel_point
+
+
+@pytest.mark.parametrize("size", bench_sizes("gramschmidt"))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_gramschmidt(benchmark, size, version):
+    benchmark.group = f"gramschmidt n={size}"
+    run_panel_point(benchmark, "gramschmidt", size, version)

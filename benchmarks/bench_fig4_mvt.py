@@ -1,0 +1,17 @@
+"""Figure 4d reproduction: mvt — execution time vs problem size,
+pure CUDA vs OMPi cudadev (paper §5).
+
+Run with `pytest benchmarks/bench_fig4_mvt.py --benchmark-only`.
+The simulated times land in `extra_info.simulated_seconds`.
+"""
+
+import pytest
+
+from conftest import bench_sizes, run_panel_point
+
+
+@pytest.mark.parametrize("size", bench_sizes("mvt"))
+@pytest.mark.parametrize("version", ["cuda", "ompi"])
+def test_mvt(benchmark, size, version):
+    benchmark.group = f"mvt n={size}"
+    run_panel_point(benchmark, "mvt", size, version)

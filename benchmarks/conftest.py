@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Benchmark semantics: each bench target regenerates one panel/point of the
+paper's evaluation on the *simulated* Jetson Nano.  The quantity of
+interest is the modelled time (attached to ``benchmark.extra_info``);
+pytest-benchmark's wall-clock column measures only how long the simulator
+takes and has no meaning for the paper comparison.  Every benchmark runs
+``pedantic(rounds=1, iterations=1)`` because simulated results are exactly
+deterministic.
+
+Problem sizes default to a reduced sweep so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_BENCH_FULL=1`` to run
+the paper's full Fig. 4 axes (tens of minutes; EXPERIMENTS.md records the
+full-sweep results).
+"""
+
+import os
+
+import pytest
+
+#: reduced sweeps (subset of the paper's axes) used by default
+REDUCED_SIZES = {
+    "3dconv": (32, 64, 128),
+    "bicg": (512, 1024, 2048),
+    "atax": (512, 1024, 2048),
+    "mvt": (512, 1024, 2048),
+    "gemm": (128, 256, 512),
+    "gramschmidt": (128, 256),
+}
+
+
+def bench_sizes(app_name: str):
+    from repro.bench.suite import get_app
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return get_app(app_name).sizes
+    return REDUCED_SIZES[app_name]
+
+
+def run_panel_point(benchmark, app_name: str, size: int, version: str):
+    from repro.bench.harness import run_app
+    from repro.bench.suite import get_app
+
+    app = get_app(app_name)
+    result = {}
+
+    def once():
+        result["r"] = run_app(app, size, version, launch_mode="sample")
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    r = result["r"]
+    benchmark.extra_info["simulated_seconds"] = round(r.mean_s, 6)
+    benchmark.extra_info["kernel_seconds"] = round(r.kernel_s, 6)
+    benchmark.extra_info["memory_seconds"] = round(r.memory_s, 6)
+    benchmark.extra_info["launches"] = r.launches
+    benchmark.extra_info["version"] = version
+    benchmark.extra_info["size"] = size
+    return r

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Walk the full OMPi compilation chain (paper Fig. 2) stage by stage.
+
+Shows every artifact the pipeline produces for a small program: the
+transformed host C, the standalone CUDA kernel file, the PTX text, the
+JIT/disk-cache behaviour of ptx mode, and the cubin default.
+
+Run:  python3 examples/compiler_pipeline.py
+"""
+
+import tempfile
+
+from repro.cuda.nvcc import compile_device
+from repro.cuda.ptx.jit import JitCache
+from repro.cuda.ptx.ptxwriter import module_to_ptx
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+SOURCE = r'''
+float v[4096];
+
+int main(void)
+{
+    int i, n = 4096;
+    #pragma omp target teams distribute parallel for \
+        map(tofrom: v[0:n]) map(to: n) num_teams(16) num_threads(256)
+    for (i = 0; i < n; i++)
+        v[i] = 2.0f * v[i] + 1.0f;
+    return 0;
+}
+'''
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("stage 1+2: transformation & analysis, code generation")
+    program = OmpiCompiler().compile(SOURCE, "pipeline")
+    print("--- transformed host program (excerpt) ---")
+    host = program.host_source
+    print("\n".join(host.splitlines()[:40]))
+    print("...")
+
+    banner("stage 3: the standalone GPU kernel file")
+    kernel_text = program.kernel_sources["pipeline_kernel0"]
+    print(kernel_text[:1400])
+
+    banner("stage 4: device compilation — PTX mode (JIT + disk cache)")
+    ptx_image = compile_device(kernel_text, "pipeline_kernel0", mode="ptx")
+    print("--- PTX text (excerpt) ---")
+    print(module_to_ptx(ptx_image.module)[:900])
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = JitCache(tmp)
+        run1 = program.run(jit_cache=cache)
+        cfg = OmpiConfig(binary_mode="ptx")
+        ptx_prog = OmpiCompiler(cfg).compile(SOURCE, "pipeline")
+        run_cold = ptx_prog.run(jit_cache=cache)
+        run_warm = ptx_prog.run(jit_cache=cache)
+        jit_cold = [e for e in run_cold.log.events if e.kind == "jit"]
+        jit_warm = [e for e in run_warm.log.events if e.kind == "jit"]
+        print(f"\nptx first run : JIT {jit_cold[0].detail}, "
+              f"{jit_cold[0].seconds * 1e3:.2f} ms")
+        print(f"ptx second run: JIT {jit_warm[0].detail}, "
+              f"{jit_warm[0].seconds * 1e3:.2f} ms  (ComputeCache hit)")
+
+    banner("stage 4': cubin mode (the OMPi default: no runtime JIT)")
+    run = program.run()
+    print(f"jit events in cubin mode: {run.log.count('jit')} (expected 0)")
+    print(f"modelled run time: {run.measured_time * 1e3:.3f} ms")
+    v = run.machine.global_array("v")
+    assert (v == 1.0).all()
+    print("kernel result verified (v seeded with zeros -> all 1.0)")
+
+
+if __name__ == "__main__":
+    main()

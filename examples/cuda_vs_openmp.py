@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Run one Figure-4 point: the same gemm in pure CUDA and in OpenMP.
+
+Reproduces the paper's methodology end to end for a single configuration:
+the CUDA program runs through the simulated nvcc + runtime API, the
+OpenMP program through the OMPi translator + cudadev module, both on the
+same simulated board, and the script reports the paper's metric side by
+side plus functional agreement.
+
+Run:  python3 examples/cuda_vs_openmp.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import run_cuda, run_ompi, verify_app
+from repro.bench.suite import get_app
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    app = get_app("gemm")
+
+    print(f"verifying gemm at n={app.verify_size} (full functional run)...")
+    outcome = verify_app(app)
+    assert outcome.ok, outcome
+    print(f"  both versions match the numpy reference "
+          f"(max rel err {outcome.max_err_ompi:.2e})\n")
+
+    print(f"timing gemm at n={size} on the simulated Jetson Nano 2GB...")
+    cuda_result, _ = run_cuda(app, size)
+    ompi_result, _ = run_ompi(app, size)
+
+    print(f"{'version':>8} {'measured':>12} {'kernel':>12} {'memory ops':>12}")
+    for r in (cuda_result, ompi_result):
+        print(f"{r.version:>8} {r.mean_s:>11.4f}s {r.kernel_s:>11.4f}s "
+              f"{r.memory_s:>11.4f}s")
+    ratio = ompi_result.mean_s / cuda_result.mean_s
+    print(f"\nOMPi/CUDA ratio: {ratio:.3f} "
+          f"(paper §5: OMPi 'follows closely the performance of pure cuda')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+import json
+from repro.bench.report import render_markdown
+
+data = json.load(open("results/figure4_full.json"))
+order = ["3dconv", "bicg", "atax", "mvt", "gemm", "gramschmidt"]
+md = render_markdown({k: data[k] for k in order if k in data})
+text = open("EXPERIMENTS.md").read()
+text = text.replace("<!-- FIG4_TABLES -->", md)
+open("EXPERIMENTS.md", "w").write(text)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+python3 -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo FINALBENCHDONE >> /root/repo/bench_output.txt

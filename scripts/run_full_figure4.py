@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run the complete Figure-4 sweep at the paper's problem sizes.
+
+Writes ``results/figure4_full.json`` (consumed by
+``python3 -m repro.bench.report``) and prints progress.  On a single CPU
+the full sweep takes on the order of an hour; the largest problem sizes
+switch to 1-block sampling to bound simulation cost (accuracy of that
+mode is covered by tests/test_cuda_driver.py).
+
+Usage:
+    python3 scripts/run_full_figure4.py [results/figure4_full.json]
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.bench.figure4 import panel
+from repro.bench.suite import ALL_APPS, get_app
+
+#: problem sizes at which to drop to single-block sampling
+LEAN_THRESHOLD = {"atax": 4096, "mvt": 4096, "bicg": 4096,
+                  "gramschmidt": 2048, "gemm": 4096, "3dconv": 512}
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "results/figure4_full.json"
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    data: dict[str, list] = {}
+    if os.path.exists(out_path):
+        data = json.load(open(out_path))
+    t0 = time.time()
+
+    def progress(app, n, cuda_s, ompi_s):
+        print(f"[{time.time() - t0:7.1f}s] {app} n={n}: "
+              f"cuda={cuda_s:.4f}s ompi={ompi_s:.4f}s", flush=True)
+
+    for name in ALL_APPS:
+        app = get_app(name)
+        have = {row[0] for row in data.get(name, [])}
+        for size in app.sizes:
+            if size in have:
+                continue
+            lean = size >= LEAN_THRESHOLD.get(name, 1 << 30)
+            os.environ["REPRO_SAMPLE_BLOCKS"] = "1" if lean else "3"
+            p = panel(name, (size,), progress=progress)
+            merged = {row[0]: list(row) for row in data.get(name, [])}
+            merged.update({pt.size: [pt.size, pt.cuda_s, pt.ompi_s]
+                           for pt in p.points})
+            data[name] = sorted(merged.values(), key=lambda r: r[0])
+            json.dump(data, open(out_path, "w"), indent=1)
+    print(f"sweep complete in {time.time() - t0:.1f}s -> {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a classic setup.py (and no [build-system] table in pyproject.toml)
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path
+that works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

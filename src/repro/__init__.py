@@ -1,0 +1,22 @@
+"""Reproduction of "OpenMP Offloading in the Jetson Nano Platform"
+(Kasmeridis & Dimakopoulos, ICPP Workshops 2022).
+
+Public entry points:
+
+* :class:`repro.ompi.OmpiCompiler` — compile OpenMP C source; the
+  returned :class:`~repro.ompi.compiler.CompiledProgram` exposes the
+  generated host/kernel sources and ``run()`` executes on the simulated
+  Jetson Nano.
+* :mod:`repro.ompi.cli` — the ``ompicc`` command-line driver
+  (``python3 -m repro.ompi.cli``).
+* :func:`repro.cuda.runtimeapi.run_cuda_program` — run a pure ``.cu``
+  program (the paper's comparison baselines) on the same simulated stack.
+* :mod:`repro.bench` — the paper's evaluation: applications, verification
+  and the Figure-4 harness.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

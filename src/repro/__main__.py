@@ -1,0 +1,8 @@
+"""``python3 -m repro`` forwards to the ompicc command-line driver."""
+
+import sys
+
+from repro.ompi.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Evaluation harness: the paper's §5 experiments.
+
+The paper uses the Unibench remake of Polybench-ACC: for each application
+a sequential version, a pure CUDA version and an OpenMP (target-offload)
+version.  :mod:`repro.bench.apps` provides all three for the six
+applications of Figure 4 (3dconv, bicg, atax, mvt, gemm, gramschmidt);
+:mod:`repro.bench.harness` runs them on the simulated Jetson Nano and
+collects the paper's metric ("kernel execution time, plus any required
+memory operations", averaged over 10 modelled runs);
+:mod:`repro.bench.figure4` regenerates each Fig. 4 panel's data series.
+"""
+
+from repro.bench.suite import ALL_APPS, get_app
+from repro.bench.harness import BenchResult, run_app, verify_app
+
+__all__ = ["ALL_APPS", "BenchResult", "get_app", "run_app", "verify_app"]

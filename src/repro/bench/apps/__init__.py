@@ -1,0 +1,5 @@
+"""Unibench/Polybench-ACC application set (paper §5)."""
+
+from repro.bench.apps.base import AppSpec
+
+__all__ = ["AppSpec"]

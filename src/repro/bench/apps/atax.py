@@ -1,0 +1,128 @@
+"""atax — y = A^T (A x) (Fig. 4c)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_OMP = r'''
+float A[{NN}], x[{N}], y[{N}], tmp[{N}];
+
+int main(void)
+{
+    int i, j;
+    int nx = {N}, ny = {N};
+    #pragma omp target data map(to: A[0:nx*ny], x[0:ny]) \
+                            map(from: y[0:ny]) map(alloc: tmp[0:nx])
+    {
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:nx*ny], x[0:ny], nx, ny) map(from: tmp[0:nx]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < nx; i++)
+        {
+            tmp[i] = 0.0f;
+            for (j = 0; j < ny; j++)
+                tmp[i] += A[i * ny + j] * x[j];
+        }
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:nx*ny], tmp[0:nx], nx, ny) map(from: y[0:ny]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (j = 0; j < ny; j++)
+        {
+            y[j] = 0.0f;
+            for (i = 0; i < nx; i++)
+                y[j] += A[i * ny + j] * tmp[i];
+        }
+    }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void atax_kernel1(float *A, float *x, float *tmp, int nx, int ny)
+{
+    int i = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (i < nx)
+    {
+        int j;
+        tmp[i] = 0.0f;
+        for (j = 0; j < ny; j++)
+            tmp[i] += A[i * ny + j] * x[j];
+    }
+}
+
+__global__ void atax_kernel2(float *A, float *tmp, float *y, int nx, int ny)
+{
+    int j = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (j < ny)
+    {
+        int i;
+        y[j] = 0.0f;
+        for (i = 0; i < nx; i++)
+            y[j] += A[i * ny + j] * tmp[i];
+    }
+}
+
+float A[{NN}], x[{N}], y[{N}], tmp[{N}];
+
+int main(void)
+{
+    int nx = {N}, ny = {N};
+    float *dA, *dx, *dy, *dtmp;
+    cudaMalloc((void **) &dA, nx * ny * sizeof(float));
+    cudaMalloc((void **) &dx, ny * sizeof(float));
+    cudaMalloc((void **) &dy, ny * sizeof(float));
+    cudaMalloc((void **) &dtmp, nx * sizeof(float));
+    cudaMemcpy(dA, A, nx * ny * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dx, x, ny * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 255) / 256, 1, 1);
+    atax_kernel1<<<grid, block>>>(dA, dx, dtmp, nx, ny);
+    atax_kernel2<<<grid, block>>>(dA, dtmp, dy, nx, ny);
+    cudaMemcpy(y, dy, ny * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dx);
+    cudaFree(dy);
+    cudaFree(dtmp);
+    return 0;
+}
+'''
+
+
+class Atax(AppSpec):
+    name = "atax"
+    category = "kernel"
+    sizes = (512, 1024, 2048, 4096, 8192)
+    verify_size = 96
+    block_shape = (32, 8, 1)
+    outputs = ("y",)
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        return max(1, (n + 255) // 256)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i + j) % 61) / np.float32(61)).astype(np.float32).reshape(-1),
+            "x": (1.0 + (np.arange(n) % 13) / np.float32(13)).astype(np.float32),
+            "y": np.zeros(n, dtype=np.float32),
+            "tmp": np.zeros(n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        x = data["x"].astype(np.float64)
+        return {"y": (A.T @ (A @ x)).astype(np.float32)}

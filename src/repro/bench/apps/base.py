@@ -1,0 +1,76 @@
+"""Common structure of one benchmark application.
+
+Each app provides, exactly as Unibench does, three versions of the same
+computation: a sequential reference (numpy here), a hand-written CUDA
+program and an OpenMP target-offload program.  Sources are generated per
+problem size so static array sizes match the configuration (Polybench's
+compile-time problem sizes).  Array contents are seeded by the harness
+directly into the interpreter's global arrays — exact float32 init values
+come from :meth:`AppSpec.seed`, mirrored by the numpy reference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class AppSpec(ABC):
+    #: short name (paper's figure labels)
+    name: str = ""
+    #: stencil | kernel | solver (paper's taxonomy)
+    category: str = "kernel"
+    #: problem sizes of the paper's Fig. 4 x-axis
+    sizes: tuple[int, ...] = ()
+    #: size used for exact functional verification
+    verify_size: int = 64
+    #: thread-block shape both versions use (paper §5)
+    block_shape: tuple[int, int, int] = (32, 8, 1)
+    #: rough bytes of host/device memory needed per run at size n
+    def mem_bytes(self, n: int) -> int:
+        return 4 * n * n * 4
+
+    @abstractmethod
+    def omp_source(self, n: int) -> str:
+        """The OpenMP C program (target-offload version)."""
+
+    @abstractmethod
+    def cuda_source(self, n: int) -> str:
+        """The pure CUDA program."""
+
+    @abstractmethod
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        """Initial contents of the program's global arrays."""
+
+    @abstractmethod
+    def reference(self, n: int, data: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Expected outputs (numpy, float32, same op structure)."""
+
+    #: names of the output arrays checked by verification
+    outputs: tuple[str, ...] = ()
+    #: verification tolerance (float32 accumulation-order differences)
+    rtol: float = 1e-4
+    atol: float = 1e-5
+
+    def num_teams(self, n: int) -> int:
+        """Teams needed so every iteration gets one thread (paper:
+        'the values we used ... matched the problem size')."""
+        bx, by, bz = self.block_shape
+        return max(1, (self.total_iterations(n) + bx * by * bz - 1)
+                   // (bx * by * bz))
+
+    def total_iterations(self, n: int) -> int:
+        return n * n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<app {self.name}>"
+
+
+def fmt(template: str, **kw) -> str:
+    """String templating with {{ }} braces left alone."""
+    out = template
+    for key, value in kw.items():
+        out = out.replace("{" + key + "}", str(value))
+    return out

@@ -1,0 +1,135 @@
+"""bicg — BiCG sub-kernels of BiCGStab: s = A^T r, q = A p (Fig. 4b)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_OMP = r'''
+float A[{NN}], r[{N}], s[{N}], p[{N}], q[{N}];
+
+int main(void)
+{
+    int i, j;
+    int nx = {N}, ny = {N};
+    #pragma omp target data map(to: A[0:nx*ny], r[0:nx], p[0:ny]) \
+                            map(from: s[0:ny], q[0:nx])
+    {
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:nx*ny], r[0:nx], nx, ny) map(from: s[0:ny]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (j = 0; j < ny; j++)
+        {
+            s[j] = 0.0f;
+            for (i = 0; i < nx; i++)
+                s[j] += r[i] * A[i * ny + j];
+        }
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:nx*ny], p[0:ny], nx, ny) map(from: q[0:nx]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < nx; i++)
+        {
+            q[i] = 0.0f;
+            for (j = 0; j < ny; j++)
+                q[i] += A[i * ny + j] * p[j];
+        }
+    }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void bicg_kernel1(float *A, float *r, float *s, int nx, int ny)
+{
+    int j = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (j < ny)
+    {
+        int i;
+        s[j] = 0.0f;
+        for (i = 0; i < nx; i++)
+            s[j] += r[i] * A[i * ny + j];
+    }
+}
+
+__global__ void bicg_kernel2(float *A, float *p, float *q, int nx, int ny)
+{
+    int i = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (i < nx)
+    {
+        int j;
+        q[i] = 0.0f;
+        for (j = 0; j < ny; j++)
+            q[i] += A[i * ny + j] * p[j];
+    }
+}
+
+float A[{NN}], r[{N}], s[{N}], p[{N}], q[{N}];
+
+int main(void)
+{
+    int nx = {N}, ny = {N};
+    float *dA, *dr, *ds, *dp, *dq;
+    cudaMalloc((void **) &dA, nx * ny * sizeof(float));
+    cudaMalloc((void **) &dr, nx * sizeof(float));
+    cudaMalloc((void **) &ds, ny * sizeof(float));
+    cudaMalloc((void **) &dp, ny * sizeof(float));
+    cudaMalloc((void **) &dq, nx * sizeof(float));
+    cudaMemcpy(dA, A, nx * ny * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dr, r, nx * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dp, p, ny * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 255) / 256, 1, 1);
+    bicg_kernel1<<<grid, block>>>(dA, dr, ds, nx, ny);
+    bicg_kernel2<<<grid, block>>>(dA, dp, dq, nx, ny);
+    cudaMemcpy(s, ds, ny * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaMemcpy(q, dq, nx * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dr);
+    cudaFree(ds);
+    cudaFree(dp);
+    cudaFree(dq);
+    return 0;
+}
+'''
+
+
+class Bicg(AppSpec):
+    name = "bicg"
+    category = "kernel"
+    sizes = (512, 1024, 2048, 4096, 8192)
+    verify_size = 96
+    block_shape = (32, 8, 1)
+    outputs = ("s", "q")
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        return max(1, (n + 255) // 256)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i * (j + 1)) % 101) / np.float32(n)).astype(np.float32).reshape(-1),
+            "r": ((np.arange(n) % 7) / np.float32(7)).astype(np.float32),
+            "p": ((np.arange(n) % 11) / np.float32(11)).astype(np.float32),
+            "s": np.zeros(n, dtype=np.float32),
+            "q": np.zeros(n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        return {
+            "s": (A.T @ data["r"].astype(np.float64)).astype(np.float32),
+            "q": (A @ data["p"].astype(np.float64)).astype(np.float32),
+        }

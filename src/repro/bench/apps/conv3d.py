@@ -1,0 +1,129 @@
+"""3dconv — 3D convolution stencil (Fig. 4a).
+
+Triple-nested loops over the interior of an n^3 volume; both versions use
+the paper's 2x4x32 thread geometry (256 threads) with one thread per
+output cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_STENCIL = (
+    "B[i * {N} * {N} + j * {N} + k] ="
+    " c1 * A[(i - 1) * {N} * {N} + j * {N} + k]"
+    " + c2 * A[(i + 1) * {N} * {N} + j * {N} + k]"
+    " + c3 * A[i * {N} * {N} + (j - 1) * {N} + k]"
+    " + c4 * A[i * {N} * {N} + (j + 1) * {N} + k]"
+    " + c5 * A[i * {N} * {N} + j * {N} + (k - 1)]"
+    " + c6 * A[i * {N} * {N} + j * {N} + (k + 1)]"
+    " + c7 * A[i * {N} * {N} + j * {N} + k];"
+)
+
+_OMP = r'''
+float A[{NNN}], B[{NNN}];
+
+int main(void)
+{
+    int i, j, k;
+    int n = {N};
+    float c1 = 0.2f, c2 = -0.3f, c3 = 0.5f, c4 = -0.8f;
+    float c5 = 0.6f, c6 = -0.9f, c7 = 0.4f;
+    #pragma omp target teams distribute parallel for collapse(3) \
+        map(to: A[0:n*n*n], n, c1, c2, c3, c4, c5, c6, c7) \
+        map(from: B[0:n*n*n]) num_teams({TEAMS}) num_threads(256)
+    for (i = 1; i < {NM1}; i++)
+        for (j = 1; j < {NM1}; j++)
+            for (k = 1; k < {NM1}; k++)
+            {
+                {STENCIL}
+            }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void conv3d_kernel(float *A, float *B, int n,
+                              float c1, float c2, float c3, float c4,
+                              float c5, float c6, float c7)
+{
+    int k = blockIdx.x * blockDim.x + threadIdx.x + 1;
+    int j = blockIdx.y * blockDim.y + threadIdx.y + 1;
+    int i = blockIdx.z * blockDim.z + threadIdx.z + 1;
+    if (i < n - 1 && j < n - 1 && k < n - 1)
+    {
+        {STENCIL}
+    }
+}
+
+float A[{NNN}], B[{NNN}];
+
+int main(void)
+{
+    int n = {N};
+    float c1 = 0.2f, c2 = -0.3f, c3 = 0.5f, c4 = -0.8f;
+    float c5 = 0.6f, c6 = -0.9f, c7 = 0.4f;
+    float *dA, *dB;
+    cudaMalloc((void **) &dA, n * n * n * sizeof(float));
+    cudaMalloc((void **) &dB, n * n * n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 4, 2);
+    dim3 grid = dim3(({N} - 2 + 31) / 32, ({N} - 2 + 3) / 4, ({N} - 2 + 1) / 2);
+    conv3d_kernel<<<grid, block>>>(dA, dB, n, c1, c2, c3, c4, c5, c6, c7);
+    cudaMemcpy(B, dB, n * n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dB);
+    return 0;
+}
+'''
+
+
+class Conv3d(AppSpec):
+    name = "3dconv"
+    category = "stencil"
+    sizes = (32, 64, 128, 256, 384)
+    verify_size = 20
+    block_shape = (32, 4, 2)   # the paper's 2x4x32 thread geometry
+    outputs = ("B",)
+    rtol = 1e-4
+
+    def mem_bytes(self, n: int) -> int:
+        return 2 * n * n * n * 4 * 2 + (64 << 20)
+
+    def total_iterations(self, n: int) -> int:
+        return max(n - 2, 1) ** 3
+
+    def num_teams(self, n: int) -> int:
+        m = n - 2
+        return max(1, ((m + 31) // 32) * ((m + 3) // 4) * ((m + 1) // 2))
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NNN=n * n * n, NM1=n - 1,
+                   TEAMS=self.num_teams(n),
+                   STENCIL=fmt(_STENCIL, N=n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NNN=n * n * n, STENCIL=fmt(_STENCIL, N=n))
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j, k = np.meshgrid(np.arange(n), np.arange(n), np.arange(n),
+                              indexing="ij")
+        return {
+            "A": (((i + j + k) % 13) / np.float32(13)).astype(np.float32).reshape(-1),
+            "B": np.zeros(n * n * n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n, n).astype(np.float64)
+        B = np.zeros_like(A)
+        c1, c2, c3, c4, c5, c6, c7 = 0.2, -0.3, 0.5, -0.8, 0.6, -0.9, 0.4
+        c = slice(1, n - 1)
+        B[c, c, c] = (
+            c1 * A[:-2, c, c] + c2 * A[2:, c, c]
+            + c3 * A[c, :-2, c] + c4 * A[c, 2:, c]
+            + c5 * A[c, c, :-2] + c6 * A[c, c, 2:]
+            + c7 * A[c, c, c]
+        )
+        return {"B": B.astype(np.float32).reshape(-1)}

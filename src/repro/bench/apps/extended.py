@@ -1,0 +1,462 @@
+"""Extended Unibench set (paper §5: "We get similar results with the rest
+of the applications in the suite").
+
+Four more Polybench-ACC applications beyond the six shown in Figure 4 —
+``2dconv`` (stencil), ``gesummv`` and ``syrk`` (kernels), ``2mm``
+(a two-stage solver-style pipeline) — with the same three-version
+methodology, used by ``benchmarks/bench_extended_suite.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+# ---------------------------------------------------------------------- 2dconv
+
+_CONV2D_STENCIL = (
+    "B[i * {N} + j] ="
+    " c1 * A[(i - 1) * {N} + (j - 1)] + c2 * A[(i - 1) * {N} + j]"
+    " + c3 * A[(i - 1) * {N} + (j + 1)] + c4 * A[i * {N} + (j - 1)]"
+    " + c5 * A[i * {N} + j] + c6 * A[i * {N} + (j + 1)]"
+    " + c7 * A[(i + 1) * {N} + (j - 1)] + c8 * A[(i + 1) * {N} + j]"
+    " + c9 * A[(i + 1) * {N} + (j + 1)];"
+)
+
+_CONV2D_OMP = r'''
+float A[{NN}], B[{NN}];
+
+int main(void)
+{
+    int i, j;
+    int n = {N};
+    float c1 = 0.2f, c2 = -0.3f, c3 = 0.4f, c4 = -0.5f, c5 = 0.6f;
+    float c6 = -0.7f, c7 = 0.8f, c8 = -0.9f, c9 = 0.10f;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: A[0:n*n], n, c1, c2, c3, c4, c5, c6, c7, c8, c9) \
+        map(from: B[0:n*n]) num_teams({TEAMS}) num_threads(256)
+    for (i = 1; i < {NM1}; i++)
+        for (j = 1; j < {NM1}; j++)
+        {
+            {STENCIL}
+        }
+    return 0;
+}
+'''
+
+_CONV2D_CUDA = r'''
+__global__ void conv2d_kernel(float *A, float *B, int n,
+                              float c1, float c2, float c3, float c4,
+                              float c5, float c6, float c7, float c8,
+                              float c9)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x + 1;
+    int i = blockIdx.y * blockDim.y + threadIdx.y + 1;
+    if (i < n - 1 && j < n - 1)
+    {
+        {STENCIL}
+    }
+}
+
+float A[{NN}], B[{NN}];
+
+int main(void)
+{
+    int n = {N};
+    float c1 = 0.2f, c2 = -0.3f, c3 = 0.4f, c4 = -0.5f, c5 = 0.6f;
+    float c6 = -0.7f, c7 = 0.8f, c8 = -0.9f, c9 = 0.10f;
+    float *dA, *dB;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dB, n * n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} - 2 + 31) / 32, ({N} - 2 + 7) / 8, 1);
+    conv2d_kernel<<<grid, block>>>(dA, dB, n, c1, c2, c3, c4, c5, c6, c7, c8, c9);
+    cudaMemcpy(B, dB, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dB);
+    return 0;
+}
+'''
+
+
+class Conv2d(AppSpec):
+    name = "2dconv"
+    category = "stencil"
+    sizes = (256, 512, 1024, 2048, 4096)
+    verify_size = 48
+    block_shape = (32, 8, 1)
+    outputs = ("B",)
+
+    def mem_bytes(self, n: int) -> int:
+        return 2 * n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        m = n - 2
+        return max(1, ((m + 31) // 32) * ((m + 7) // 8))
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_CONV2D_OMP, N=n, NN=n * n, NM1=n - 1,
+                   TEAMS=self.num_teams(n),
+                   STENCIL=fmt(_CONV2D_STENCIL, N=n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CONV2D_CUDA, N=n, NN=n * n,
+                   STENCIL=fmt(_CONV2D_STENCIL, N=n))
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i * 7 + j * 3) % 17) / np.float32(17)).astype(np.float32).reshape(-1),
+            "B": np.zeros(n * n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        B = np.zeros_like(A)
+        c = slice(1, n - 1)
+        c1, c2, c3, c4, c5, c6, c7, c8, c9 = (0.2, -0.3, 0.4, -0.5, 0.6,
+                                              -0.7, 0.8, -0.9, 0.10)
+        B[c, c] = (c1 * A[:-2, :-2] + c2 * A[:-2, c] + c3 * A[:-2, 2:]
+                   + c4 * A[c, :-2] + c5 * A[c, c] + c6 * A[c, 2:]
+                   + c7 * A[2:, :-2] + c8 * A[2:, c] + c9 * A[2:, 2:])
+        return {"B": B.astype(np.float32).reshape(-1)}
+
+
+# --------------------------------------------------------------------- gesummv
+
+_GESUMMV_OMP = r'''
+float A[{NN}], B[{NN}], x[{N}], y[{N}], tmp[{N}];
+
+int main(void)
+{
+    int i, j;
+    int n = {N};
+    float alpha = 43532.0f, beta = 12313.0f;
+    #pragma omp target teams distribute parallel for \
+        map(to: A[0:n*n], B[0:n*n], x[0:n], n, alpha, beta) \
+        map(from: y[0:n], tmp[0:n]) num_teams({TEAMS}) num_threads(256)
+    for (i = 0; i < n; i++)
+    {
+        tmp[i] = 0.0f;
+        y[i] = 0.0f;
+        for (j = 0; j < n; j++)
+        {
+            tmp[i] = A[i * n + j] * x[j] + tmp[i];
+            y[i] = B[i * n + j] * x[j] + y[i];
+        }
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+    return 0;
+}
+'''
+
+_GESUMMV_CUDA = r'''
+__global__ void gesummv_kernel(float *A, float *B, float *x, float *y,
+                               float *tmp, float alpha, float beta, int n)
+{
+    int i = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (i < n)
+    {
+        int j;
+        tmp[i] = 0.0f;
+        y[i] = 0.0f;
+        for (j = 0; j < n; j++)
+        {
+            tmp[i] = A[i * n + j] * x[j] + tmp[i];
+            y[i] = B[i * n + j] * x[j] + y[i];
+        }
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+}
+
+float A[{NN}], B[{NN}], x[{N}], y[{N}], tmp[{N}];
+
+int main(void)
+{
+    int n = {N};
+    float alpha = 43532.0f, beta = 12313.0f;
+    float *dA, *dB, *dx, *dy, *dtmp;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dB, n * n * sizeof(float));
+    cudaMalloc((void **) &dx, n * sizeof(float));
+    cudaMalloc((void **) &dy, n * sizeof(float));
+    cudaMalloc((void **) &dtmp, n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dB, B, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dx, x, n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 255) / 256, 1, 1);
+    gesummv_kernel<<<grid, block>>>(dA, dB, dx, dy, dtmp, alpha, beta, n);
+    cudaMemcpy(y, dy, n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA); cudaFree(dB); cudaFree(dx); cudaFree(dy); cudaFree(dtmp);
+    return 0;
+}
+'''
+
+
+class Gesummv(AppSpec):
+    name = "gesummv"
+    category = "kernel"
+    sizes = (512, 1024, 2048, 4096)
+    verify_size = 96
+    block_shape = (32, 8, 1)
+    outputs = ("y",)
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return 2 * n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        return max(1, (n + 255) // 256)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_GESUMMV_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_GESUMMV_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i * j) % 43) / np.float32(n)).astype(np.float32).reshape(-1),
+            "B": (((i + j) % 31) / np.float32(n)).astype(np.float32).reshape(-1),
+            "x": ((np.arange(n) % 19) / np.float32(19)).astype(np.float32),
+            "y": np.zeros(n, dtype=np.float32),
+            "tmp": np.zeros(n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        B = data["B"].reshape(n, n).astype(np.float64)
+        x = data["x"].astype(np.float64)
+        y = 43532.0 * (A @ x) + 12313.0 * (B @ x)
+        return {"y": y.astype(np.float32)}
+
+
+# ------------------------------------------------------------------------ syrk
+
+_SYRK_OMP = r'''
+float A[{NN}], C[{NN}];
+
+int main(void)
+{
+    int i, j, k;
+    int n = {N};
+    float alpha = 12435.0f, beta = 4546.0f;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: A[0:n*n], n, alpha, beta) map(tofrom: C[0:n*n]) \
+        num_teams({TEAMS}) num_threads(256)
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+        {
+            C[i * n + j] *= beta;
+            for (k = 0; k < n; k++)
+                C[i * n + j] += alpha * A[i * n + k] * A[j * n + k];
+        }
+    return 0;
+}
+'''
+
+_SYRK_CUDA = r'''
+__global__ void syrk_kernel(float *A, float *C, float alpha, float beta, int n)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < n && j < n)
+    {
+        int k;
+        C[i * n + j] *= beta;
+        for (k = 0; k < n; k++)
+            C[i * n + j] += alpha * A[i * n + k] * A[j * n + k];
+    }
+}
+
+float A[{NN}], C[{NN}];
+
+int main(void)
+{
+    int n = {N};
+    float alpha = 12435.0f, beta = 4546.0f;
+    float *dA, *dC;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dC, n * n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dC, C, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 31) / 32, ({N} + 7) / 8, 1);
+    syrk_kernel<<<grid, block>>>(dA, dC, alpha, beta, n);
+    cudaMemcpy(C, dC, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dC);
+    return 0;
+}
+'''
+
+
+class Syrk(AppSpec):
+    name = "syrk"
+    category = "kernel"
+    sizes = (128, 256, 512, 1024)
+    verify_size = 48
+    block_shape = (32, 8, 1)
+    outputs = ("C",)
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return 2 * n * n * 4 * 2 + (64 << 20)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_SYRK_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_SYRK_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i * j + 3) % 23) / np.float32(n)).astype(np.float32).reshape(-1),
+            "C": (((i + j) % 13) / np.float32(n)).astype(np.float32).reshape(-1),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        C = data["C"].reshape(n, n).astype(np.float64)
+        out = 4546.0 * C + 12435.0 * (A @ A.T)
+        return {"C": out.astype(np.float32).reshape(-1)}
+
+
+# ------------------------------------------------------------------------- 2mm
+
+_MM2_OMP = r'''
+float A[{NN}], B[{NN}], C[{NN}], D[{NN}], tmp[{NN}];
+
+int main(void)
+{
+    int i, j, k;
+    int n = {N};
+    float alpha = 32412.0f, beta = 2123.0f;
+    #pragma omp target data map(to: A[0:n*n], B[0:n*n], C[0:n*n]) \
+                            map(tofrom: D[0:n*n]) map(alloc: tmp[0:n*n])
+    {
+        #pragma omp target teams distribute parallel for collapse(2) \
+            map(to: A[0:n*n], B[0:n*n], n, alpha) map(tofrom: tmp[0:n*n]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < n; i++)
+            for (j = 0; j < n; j++)
+            {
+                tmp[i * n + j] = 0.0f;
+                for (k = 0; k < n; k++)
+                    tmp[i * n + j] += alpha * A[i * n + k] * B[k * n + j];
+            }
+        #pragma omp target teams distribute parallel for collapse(2) \
+            map(to: tmp[0:n*n], C[0:n*n], n, beta) map(tofrom: D[0:n*n]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < n; i++)
+            for (j = 0; j < n; j++)
+            {
+                D[i * n + j] *= beta;
+                for (k = 0; k < n; k++)
+                    D[i * n + j] += tmp[i * n + k] * C[k * n + j];
+            }
+    }
+    return 0;
+}
+'''
+
+_MM2_CUDA = r'''
+__global__ void mm2_kernel1(float *A, float *B, float *tmp, float alpha, int n)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < n && j < n)
+    {
+        int k;
+        tmp[i * n + j] = 0.0f;
+        for (k = 0; k < n; k++)
+            tmp[i * n + j] += alpha * A[i * n + k] * B[k * n + j];
+    }
+}
+
+__global__ void mm2_kernel2(float *tmp, float *C, float *D, float beta, int n)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < n && j < n)
+    {
+        int k;
+        D[i * n + j] *= beta;
+        for (k = 0; k < n; k++)
+            D[i * n + j] += tmp[i * n + k] * C[k * n + j];
+    }
+}
+
+float A[{NN}], B[{NN}], C[{NN}], D[{NN}], tmp[{NN}];
+
+int main(void)
+{
+    int n = {N};
+    float alpha = 32412.0f, beta = 2123.0f;
+    float *dA, *dB, *dC, *dD, *dtmp;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dB, n * n * sizeof(float));
+    cudaMalloc((void **) &dC, n * n * sizeof(float));
+    cudaMalloc((void **) &dD, n * n * sizeof(float));
+    cudaMalloc((void **) &dtmp, n * n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dB, B, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dC, C, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dD, D, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 31) / 32, ({N} + 7) / 8, 1);
+    mm2_kernel1<<<grid, block>>>(dA, dB, dtmp, alpha, n);
+    mm2_kernel2<<<grid, block>>>(dtmp, dC, dD, beta, n);
+    cudaMemcpy(D, dD, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA); cudaFree(dB); cudaFree(dC); cudaFree(dD); cudaFree(dtmp);
+    return 0;
+}
+'''
+
+
+class Mm2(AppSpec):
+    name = "2mm"
+    category = "solver"
+    sizes = (128, 256, 512, 1024)
+    verify_size = 48
+    block_shape = (32, 8, 1)
+    outputs = ("D",)
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return 5 * n * n * 4 * 2 + (64 << 20)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_MM2_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_MM2_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        s = np.float32(n)
+        return {
+            "A": (((i * j) % 29) / s).astype(np.float32).reshape(-1),
+            "B": (((i + 2 * j) % 31) / s).astype(np.float32).reshape(-1),
+            "C": (((3 * i + j) % 37) / s).astype(np.float32).reshape(-1),
+            "D": (((i - j) % 41) / s).astype(np.float32).reshape(-1),
+            "tmp": np.zeros(n * n, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        B = data["B"].reshape(n, n).astype(np.float64)
+        C = data["C"].reshape(n, n).astype(np.float64)
+        D = data["D"].reshape(n, n).astype(np.float64)
+        tmp = 32412.0 * (A @ B)
+        out = 2123.0 * D + tmp @ C
+        return {"D": out.astype(np.float32).reshape(-1)}
+
+
+EXTENDED_APPS = (Conv2d(), Gesummv(), Syrk(), Mm2())

@@ -1,0 +1,107 @@
+"""gemm — matrix multiplication C = alpha*A*B + beta*C (Fig. 4e).
+
+Sizes 128..2048, 32x8 thread blocks, one thread per C element, inner
+k-loop of length n per thread.  This is the one application where the
+paper observes a discrepancy (OMPi ~18% slower at n=2048).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_OMP = r'''
+float A[{NN}], B[{NN}], C[{NN}];
+
+int main(void)
+{
+    int i, j, k;
+    int ni = {N}, nj = {N}, nk = {N};
+    float alpha = 32412.0f, beta = 2123.0f;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: A[0:ni*nk], B[0:nk*nj], ni, nj, nk, alpha, beta) \
+        map(tofrom: C[0:ni*nj]) num_teams({TEAMS}) num_threads(256)
+    for (i = 0; i < ni; i++)
+        for (j = 0; j < nj; j++)
+        {
+            C[i * nj + j] *= beta;
+            for (k = 0; k < nk; k++)
+                C[i * nj + j] += alpha * A[i * nk + k] * B[k * nj + j];
+        }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void gemm_kernel(float *A, float *B, float *C,
+                            float alpha, float beta, int ni, int nj, int nk)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < ni && j < nj)
+    {
+        int k;
+        C[i * nj + j] *= beta;
+        for (k = 0; k < nk; k++)
+            C[i * nj + j] += alpha * A[i * nk + k] * B[k * nj + j];
+    }
+}
+
+float A[{NN}], B[{NN}], C[{NN}];
+
+int main(void)
+{
+    int ni = {N}, nj = {N}, nk = {N};
+    float alpha = 32412.0f, beta = 2123.0f;
+    float *dA, *dB, *dC;
+    cudaMalloc((void **) &dA, ni * nk * sizeof(float));
+    cudaMalloc((void **) &dB, nk * nj * sizeof(float));
+    cudaMalloc((void **) &dC, ni * nj * sizeof(float));
+    cudaMemcpy(dA, A, ni * nk * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dB, B, nk * nj * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dC, C, ni * nj * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3((nj + 31) / 32, (ni + 7) / 8, 1);
+    gemm_kernel<<<grid, block>>>(dA, dB, dC, alpha, beta, ni, nj, nk);
+    cudaMemcpy(C, dC, ni * nj * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dB);
+    cudaFree(dC);
+    return 0;
+}
+'''
+
+
+class Gemm(AppSpec):
+    name = "gemm"
+    category = "kernel"
+    sizes = (128, 256, 512, 1024, 2048)
+    verify_size = 64
+    block_shape = (32, 8, 1)
+    outputs = ("C",)
+    rtol = 2e-3   # long float32 accumulation chains
+
+    def mem_bytes(self, n: int) -> int:
+        return 3 * n * n * 4 * 2 + (64 << 20)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": ((i * j) % 97 / np.float32(n)).astype(np.float32).reshape(-1),
+            "B": ((i * (j + 1)) % 89 / np.float32(n)).astype(np.float32).reshape(-1),
+            "C": ((i * (j + 2)) % 83 / np.float32(n)).astype(np.float32).reshape(-1),
+        }
+
+    def reference(self, n: int, data: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        A = data["A"].reshape(n, n).astype(np.float64)
+        B = data["B"].reshape(n, n).astype(np.float64)
+        C = data["C"].reshape(n, n).astype(np.float64)
+        out = 2123.0 * C + 32412.0 * (A @ B)
+        return {"C": out.astype(np.float32).reshape(-1)}

@@ -1,0 +1,170 @@
+"""gramschmidt — modified Gram-Schmidt QR decomposition (Fig. 4f).
+
+The solver of the paper's set: a host loop over columns k launches three
+kernels per iteration (norm of column k, normalisation into Q, and the
+update of the trailing columns), exactly the Polybench-ACC structure.
+Thread geometry is the paper's 256x1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_OMP = r'''
+float A[{NN}], R[{NN}], Q[{NN}];
+float nrm[1];
+
+int main(void)
+{
+    int i, j, k;
+    int n = {N};
+    #pragma omp target data map(tofrom: A[0:n*n]) \
+                            map(from: R[0:n*n], Q[0:n*n]) map(alloc: nrm[0:1])
+    {
+        for (k = 0; k < n; k++)
+        {
+            #pragma omp target map(to: n, k) \
+                map(tofrom: A[0:n*n], R[0:n*n], nrm[0:1])
+            {
+                int i2;
+                float acc = 0.0f;
+                for (i2 = 0; i2 < n; i2++)
+                    acc += A[i2 * n + k] * A[i2 * n + k];
+                nrm[0] = acc;
+                R[k * n + k] = sqrtf(nrm[0]);
+            }
+            #pragma omp target teams distribute parallel for \
+                map(to: n, k) map(tofrom: A[0:n*n], R[0:n*n], Q[0:n*n]) \
+                num_teams({TEAMS}) num_threads(256)
+            for (i = 0; i < n; i++)
+                Q[i * n + k] = A[i * n + k] / R[k * n + k];
+            #pragma omp target teams distribute parallel for \
+                map(to: n, k) map(tofrom: A[0:n*n], R[0:n*n], Q[0:n*n]) \
+                num_teams({TEAMS}) num_threads(256)
+            for (j = k + 1; j < n; j++)
+            {
+                int i3;
+                R[k * n + j] = 0.0f;
+                for (i3 = 0; i3 < n; i3++)
+                    R[k * n + j] += Q[i3 * n + k] * A[i3 * n + j];
+                for (i3 = 0; i3 < n; i3++)
+                    A[i3 * n + j] -= Q[i3 * n + k] * R[k * n + j];
+            }
+        }
+    }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void gs_kernel1(float *A, float *R, int n, int k)
+{
+    int tid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (tid == 0)
+    {
+        int i;
+        float nrm = 0.0f;
+        for (i = 0; i < n; i++)
+            nrm += A[i * n + k] * A[i * n + k];
+        R[k * n + k] = sqrtf(nrm);
+    }
+}
+
+__global__ void gs_kernel2(float *A, float *R, float *Q, int n, int k)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        Q[i * n + k] = A[i * n + k] / R[k * n + k];
+}
+
+__global__ void gs_kernel3(float *A, float *R, float *Q, int n, int k)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j > k && j < n)
+    {
+        int i;
+        R[k * n + j] = 0.0f;
+        for (i = 0; i < n; i++)
+            R[k * n + j] += Q[i * n + k] * A[i * n + j];
+        for (i = 0; i < n; i++)
+            A[i * n + j] -= Q[i * n + k] * R[k * n + j];
+    }
+}
+
+float A[{NN}], R[{NN}], Q[{NN}];
+
+int main(void)
+{
+    int n = {N}, k;
+    float *dA, *dR, *dQ;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dR, n * n * sizeof(float));
+    cudaMalloc((void **) &dQ, n * n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(256, 1, 1);
+    dim3 grid = dim3(({N} + 255) / 256, 1, 1);
+    for (k = 0; k < n; k++)
+    {
+        gs_kernel1<<<1, block>>>(dA, dR, n, k);
+        gs_kernel2<<<grid, block>>>(dA, dR, dQ, n, k);
+        gs_kernel3<<<grid, block>>>(dA, dR, dQ, n, k);
+    }
+    cudaMemcpy(A, dA, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaMemcpy(R, dR, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaMemcpy(Q, dQ, n * n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dR);
+    cudaFree(dQ);
+    return 0;
+}
+'''
+
+
+class Gramschmidt(AppSpec):
+    name = "gramschmidt"
+    category = "solver"
+    sizes = (128, 256, 512, 1024, 2048)
+    verify_size = 24
+    block_shape = (256, 1, 1)   # the paper: "fixed to use 256x1 threads"
+    outputs = ("Q", "R")
+    rtol = 5e-2     # float32 MGS is numerically delicate
+    atol = 1e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return 3 * n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        return max(1, (n + 255) // 256)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        rng = np.random.default_rng(42)
+        A = (rng.standard_normal((n, n)) * 0.5 + np.eye(n) * n).astype(np.float32)
+        return {
+            "A": A.reshape(-1),
+            "R": np.zeros(n * n, dtype=np.float32),
+            "Q": np.zeros(n * n, dtype=np.float32),
+            "nrm": np.zeros(1, dtype=np.float32),
+        }
+
+    def reference(self, n: int, data):
+        # mirror the kernel algorithm (modified Gram-Schmidt, same order)
+        A = data["A"].reshape(n, n).astype(np.float64).copy()
+        R = np.zeros((n, n))
+        Q = np.zeros((n, n))
+        for k in range(n):
+            R[k, k] = np.sqrt(np.sum(A[:, k] ** 2))
+            Q[:, k] = A[:, k] / R[k, k]
+            for j in range(k + 1, n):
+                R[k, j] = Q[:, k] @ A[:, j]
+                A[:, j] -= Q[:, k] * R[k, j]
+        return {"Q": Q.astype(np.float32).reshape(-1),
+                "R": R.astype(np.float32).reshape(-1)}

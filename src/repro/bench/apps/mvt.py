@@ -1,0 +1,136 @@
+"""mvt — matrix-vector product and transpose: x1 += A y1, x2 += A^T y2
+(Fig. 4d)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.apps.base import AppSpec, fmt
+
+_OMP = r'''
+float A[{NN}], x1[{N}], x2[{N}], y1[{N}], y2[{N}];
+
+int main(void)
+{
+    int i, j;
+    int n = {N};
+    #pragma omp target data map(to: A[0:n*n], y1[0:n], y2[0:n]) \
+                            map(tofrom: x1[0:n], x2[0:n])
+    {
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:n*n], y1[0:n], n) map(tofrom: x1[0:n]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < n; i++)
+        {
+            for (j = 0; j < n; j++)
+                x1[i] += A[i * n + j] * y1[j];
+        }
+        #pragma omp target teams distribute parallel for \
+            map(to: A[0:n*n], y2[0:n], n) map(tofrom: x2[0:n]) \
+            num_teams({TEAMS}) num_threads(256)
+        for (i = 0; i < n; i++)
+        {
+            for (j = 0; j < n; j++)
+                x2[i] += A[j * n + i] * y2[j];
+        }
+    }
+    return 0;
+}
+'''
+
+_CUDA = r'''
+__global__ void mvt_kernel1(float *A, float *x1, float *y1, int n)
+{
+    int i = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (i < n)
+    {
+        int j;
+        for (j = 0; j < n; j++)
+            x1[i] += A[i * n + j] * y1[j];
+    }
+}
+
+__global__ void mvt_kernel2(float *A, float *x2, float *y2, int n)
+{
+    int i = blockIdx.x * (blockDim.x * blockDim.y)
+          + threadIdx.y * blockDim.x + threadIdx.x;
+    if (i < n)
+    {
+        int j;
+        for (j = 0; j < n; j++)
+            x2[i] += A[j * n + i] * y2[j];
+    }
+}
+
+float A[{NN}], x1[{N}], x2[{N}], y1[{N}], y2[{N}];
+
+int main(void)
+{
+    int n = {N};
+    float *dA, *dx1, *dx2, *dy1, *dy2;
+    cudaMalloc((void **) &dA, n * n * sizeof(float));
+    cudaMalloc((void **) &dx1, n * sizeof(float));
+    cudaMalloc((void **) &dx2, n * sizeof(float));
+    cudaMalloc((void **) &dy1, n * sizeof(float));
+    cudaMalloc((void **) &dy2, n * sizeof(float));
+    cudaMemcpy(dA, A, n * n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dx1, x1, n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dx2, x2, n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dy1, y1, n * sizeof(float), cudaMemcpyHostToDevice);
+    cudaMemcpy(dy2, y2, n * sizeof(float), cudaMemcpyHostToDevice);
+    dim3 block = dim3(32, 8, 1);
+    dim3 grid = dim3(({N} + 255) / 256, 1, 1);
+    mvt_kernel1<<<grid, block>>>(dA, dx1, dy1, n);
+    mvt_kernel2<<<grid, block>>>(dA, dx2, dy2, n);
+    cudaMemcpy(x1, dx1, n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaMemcpy(x2, dx2, n * sizeof(float), cudaMemcpyDeviceToHost);
+    cudaFree(dA);
+    cudaFree(dx1);
+    cudaFree(dx2);
+    cudaFree(dy1);
+    cudaFree(dy2);
+    return 0;
+}
+'''
+
+
+class Mvt(AppSpec):
+    name = "mvt"
+    category = "kernel"
+    sizes = (512, 1024, 2048, 4096, 8192)
+    verify_size = 96
+    block_shape = (32, 8, 1)
+    outputs = ("x1", "x2")
+    rtol = 2e-3
+
+    def mem_bytes(self, n: int) -> int:
+        return n * n * 4 * 2 + (64 << 20)
+
+    def num_teams(self, n: int) -> int:
+        return max(1, (n + 255) // 256)
+
+    def omp_source(self, n: int) -> str:
+        return fmt(_OMP, N=n, NN=n * n, TEAMS=self.num_teams(n))
+
+    def cuda_source(self, n: int) -> str:
+        return fmt(_CUDA, N=n, NN=n * n)
+
+    def seed(self, n: int) -> dict[str, np.ndarray]:
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return {
+            "A": (((i * j) % 37) / np.float32(37)).astype(np.float32).reshape(-1),
+            "x1": ((np.arange(n) % 5) / np.float32(5)).astype(np.float32),
+            "x2": ((np.arange(n) % 9) / np.float32(9)).astype(np.float32),
+            "y1": (1.0 + (np.arange(n) % 3) / np.float32(3)).astype(np.float32),
+            "y2": (2.0 - (np.arange(n) % 4) / np.float32(4)).astype(np.float32),
+        }
+
+    def reference(self, n: int, data):
+        A = data["A"].reshape(n, n).astype(np.float64)
+        return {
+            "x1": (data["x1"].astype(np.float64)
+                   + A @ data["y1"].astype(np.float64)).astype(np.float32),
+            "x2": (data["x2"].astype(np.float64)
+                   + A.T @ data["y2"].astype(np.float64)).astype(np.float32),
+        }

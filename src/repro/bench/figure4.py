@@ -1,0 +1,91 @@
+"""Figure 4 reproduction: execution time vs problem size, CUDA vs OMPi.
+
+Each panel of the paper's Fig. 4 is one application: x-axis problem size,
+y-axis execution time in seconds (kernel + required memory operations),
+two series (pure CUDA, OMPi cudadev).  ``panel()`` regenerates one panel's
+series; ``figure4()`` all six.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.harness import BenchResult, run_cuda, run_ompi
+from repro.bench.suite import ALL_APPS, get_app
+
+
+@dataclass
+class PanelPoint:
+    size: int
+    cuda_s: float
+    ompi_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.ompi_s / self.cuda_s if self.cuda_s else float("inf")
+
+
+@dataclass
+class Panel:
+    app: str
+    category: str
+    points: list[PanelPoint] = field(default_factory=list)
+
+    def series(self) -> tuple[list[int], list[float], list[float]]:
+        return ([p.size for p in self.points],
+                [p.cuda_s for p in self.points],
+                [p.ompi_s for p in self.points])
+
+    def to_rows(self) -> list[str]:
+        rows = [f"# {self.app} ({self.category})",
+                f"{'size':>8} {'CUDA (s)':>12} {'OMPi (s)':>12} {'OMPi/CUDA':>10}"]
+        for p in self.points:
+            rows.append(f"{p.size:>8} {p.cuda_s:>12.4f} {p.ompi_s:>12.4f} "
+                        f"{p.ratio:>10.3f}")
+        return rows
+
+
+def panel(app_name: str, sizes: Optional[tuple[int, ...]] = None,
+          launch_mode: str = "sample", progress=None) -> Panel:
+    app = get_app(app_name)
+    out = Panel(app.name, app.category)
+    for n in sizes or app.sizes:
+        rc, _ = run_cuda(app, n, launch_mode=launch_mode)
+        ro, _ = run_ompi(app, n, launch_mode=launch_mode)
+        out.points.append(PanelPoint(n, rc.mean_s, ro.mean_s))
+        if progress:
+            progress(app.name, n, rc.mean_s, ro.mean_s)
+    return out
+
+
+def figure4(sizes_override: Optional[dict[str, tuple[int, ...]]] = None,
+            launch_mode: str = "sample", progress=None) -> dict[str, Panel]:
+    """All six panels (paper order)."""
+    panels: dict[str, Panel] = {}
+    for name in ALL_APPS:
+        sizes = (sizes_override or {}).get(name)
+        panels[name] = panel(name, sizes, launch_mode, progress)
+    return panels
+
+
+def render_ascii(panel_: Panel, width: int = 48) -> str:
+    """A quick terminal rendition of one Fig. 4 panel (two bars per size,
+    like the paper's grouped bar charts)."""
+    peak = max(max(p.cuda_s, p.ompi_s) for p in panel_.points) or 1.0
+    rows = [f"{panel_.app} ({panel_.category}) — seconds, C=CUDA O=OMPi"]
+    for p in panel_.points:
+        for tag, value in (("C", p.cuda_s), ("O", p.ompi_s)):
+            bar = "#" * max(1, round(width * value / peak))
+            label = f"{p.size:>6} {tag}" if tag == "C" else f"{'':>6} {tag}"
+            rows.append(f"{label} |{bar:<{width}}| {value:.4f}")
+    return "\n".join(rows)
+
+
+def render_text(panels: dict[str, Panel]) -> str:
+    rows: list[str] = ["Figure 4 reproduction — execution time (seconds),",
+                       "kernel time + required memory operations, avg of 10 runs", ""]
+    for p in panels.values():
+        rows.extend(p.to_rows())
+        rows.append("")
+    return "\n".join(rows)

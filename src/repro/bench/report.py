@@ -1,0 +1,63 @@
+"""EXPERIMENTS.md table generation from a recorded Figure-4 sweep.
+
+``python3 -m repro.bench.report`` runs the full sweep (or loads
+``results/figure4_full.json`` if present) and prints the markdown tables
+EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: Paper CUDA-series values read off Figure 4 (seconds; plot-resolution
+#: precision).  Used for the paper-vs-measured comparison tables; the OMPi
+#: series is visually indistinguishable except gemm@2048 (see ratio below).
+PAPER_FIG4: dict[str, dict[int, float]] = {
+    "3dconv": {32: 0.01, 64: 0.03, 128: 0.10, 256: 0.55, 384: 1.45},
+    "bicg": {512: 0.02, 1024: 0.05, 2048: 0.12, 4096: 0.30, 8192: 0.85},
+    "atax": {512: 0.02, 1024: 0.05, 2048: 0.15, 4096: 0.40, 8192: 1.25},
+    "mvt": {512: 0.02, 1024: 0.05, 2048: 0.15, 4096: 0.40, 8192: 1.30},
+    "gemm": {128: 0.01, 256: 0.03, 512: 0.10, 1024: 0.42, 2048: 2.45},
+    "gramschmidt": {128: 0.08, 256: 0.30, 512: 1.00, 1024: 2.90, 2048: 9.30},
+}
+#: the one paper-reported asymmetry: OMPi/CUDA at gemm 2048
+PAPER_GEMM_2048_RATIO = 1.18
+
+
+def render_markdown(data: dict[str, list]) -> str:
+    lines: list[str] = []
+    for app, points in data.items():
+        lines.append(f"### {app}")
+        lines.append("")
+        lines.append("| size | paper CUDA (s) | sim CUDA (s) | sim OMPi (s) "
+                     "| sim OMPi/CUDA |")
+        lines.append("|---:|---:|---:|---:|---:|")
+        for size, cuda_s, ompi_s in points:
+            paper = PAPER_FIG4.get(app, {}).get(size)
+            paper_txt = f"{paper:.2f}" if paper is not None else "—"
+            lines.append(
+                f"| {size} | {paper_txt} | {cuda_s:.4f} | {ompi_s:.4f} "
+                f"| {ompi_s / cuda_s:.3f} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/figure4_full.json"
+    if os.path.exists(path):
+        data = json.load(open(path))
+    else:
+        from repro.bench.figure4 import figure4
+        panels = figure4()
+        data = {name: [(p.size, p.cuda_s, p.ompi_s) for p in panel.points]
+                for name, panel in panels.items()}
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        json.dump(data, open(path, "w"), indent=1)
+    print(render_markdown(data))
+
+
+if __name__ == "__main__":
+    main()

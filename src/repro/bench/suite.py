@@ -1,0 +1,42 @@
+"""Application registry."""
+
+from __future__ import annotations
+
+from repro.bench.apps.base import AppSpec
+
+
+def _build_registry() -> dict[str, AppSpec]:
+    from repro.bench.apps.atax import Atax
+    from repro.bench.apps.bicg import Bicg
+    from repro.bench.apps.conv3d import Conv3d
+    from repro.bench.apps.gemm import Gemm
+    from repro.bench.apps.gramschmidt import Gramschmidt
+    from repro.bench.apps.mvt import Mvt
+
+    from repro.bench.apps.extended import EXTENDED_APPS
+
+    apps = [Conv3d(), Bicg(), Atax(), Mvt(), Gemm(), Gramschmidt(),
+            *EXTENDED_APPS]
+    return {app.name: app for app in apps}
+
+
+_REGISTRY: dict[str, AppSpec] | None = None
+
+
+def registry() -> dict[str, AppSpec]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def get_app(name: str) -> AppSpec:
+    return registry()[name]
+
+
+#: the paper's Fig. 4 panel order
+ALL_APPS = ("3dconv", "bicg", "atax", "mvt", "gemm", "gramschmidt")
+
+#: the rest of the suite ("We get similar results with the rest of the
+#: applications in the suite", paper §5)
+EXTENDED_APP_NAMES = ("2dconv", "gesummv", "syrk", "2mm")

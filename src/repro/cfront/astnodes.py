@@ -1,0 +1,361 @@
+"""AST node classes for the C subset.
+
+All nodes derive from :class:`Node`, which provides generic child iteration
+(used by the OMPi translator's capture analysis, call-graph discovery and
+rewriting passes).  Nodes are plain mutable dataclasses: OMPi transforms the
+tree in place, and so do we.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.cfront.ctypes_ import CType
+from repro.cfront.errors import SourceLoc
+
+
+@dataclass
+class Node:
+    """Base AST node.  Subclasses must place ``loc`` last with a default."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (descending into lists/tuples)."""
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def replace_child(self, old: "Node", new: "Node") -> bool:
+        """Replace a direct child ``old`` with ``new``; returns success."""
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value is old:
+                setattr(self, f.name, new)
+                return True
+            if isinstance(value, list):
+                for i, item in enumerate(value):
+                    if item is old:
+                        value[i] = new
+                        return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    #: True when the literal carried an 'f' suffix (single precision).
+    single: bool = False
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+#: Unary operator spellings.  ``p++``/``p--`` are post forms.
+UNARY_OPS = ("-", "+", "!", "~", "*", "&", "++", "--", "p++", "p--")
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; ``op`` is None for plain assignment."""
+
+    target: Expr
+    value: Expr = None  # type: ignore[assignment]
+    op: Optional[str] = None
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``cond ? then : other``."""
+
+    cond: Expr
+    then: Expr = None  # type: ignore[assignment]
+    other: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Comma(Expr):
+    parts: list[Expr] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: list[Expr] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class CudaKernelCall(Expr):
+    """CUDA triple-chevron launch: ``func<<<grid, block[, shmem]>>>(args)``."""
+
+    func: Expr
+    grid: Expr = None  # type: ignore[assignment]
+    block: Expr = None  # type: ignore[assignment]
+    shmem: Optional[Expr] = None
+    args: list[Expr] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Expr
+    name: str = ""
+    arrow: bool = False
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Cast(Expr):
+    type: CType
+    operand: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class SizeofType(Expr):
+    type: CType
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class VarDecl(Node):
+    """A single declarator within a declaration."""
+
+    name: str
+    type: CType = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    storage: Optional[str] = None          # 'static' | 'extern' | None
+    quals: tuple[str, ...] = ()            # e.g. ('__shared__',), ('const',)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[VarDecl] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Compound(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt = None  # type: ignore[assignment]
+    other: Optional[Stmt] = None
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]                   # ExprStmt or DeclStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Break(Stmt):
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class Continue(Stmt):
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    """A statement-level ``#pragma`` with, for block-associated pragmas, the
+    statement it applies to.  The OpenMP layer parses ``text`` into a
+    directive and the OMPi translator rewrites these nodes."""
+
+    text: str
+    body: Optional[Stmt] = None
+    #: Filled by the OpenMP layer: the parsed directive object.
+    directive: Any = None
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str
+    type: CType = None  # type: ignore[assignment]
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    return_type: CType = None  # type: ignore[assignment]
+    params: list[Param] = field(default_factory=list)
+    body: Compound = None  # type: ignore[assignment]
+    quals: tuple[str, ...] = ()            # ('__global__',) / ('__device__',) / ('static',)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class FuncProto(Node):
+    name: str
+    return_type: CType = None  # type: ignore[assignment]
+    params: list[Param] = field(default_factory=list)
+    quals: tuple[str, ...] = ()
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class StructDef(Node):
+    name: str
+    #: (field name, field type) in declaration order.
+    fields_: list[tuple[str, CType]] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class GlobalDecl(Node):
+    decls: list[VarDecl] = field(default_factory=list)
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class PragmaDecl(Node):
+    """A file-scope pragma (e.g. ``declare target``)."""
+
+    text: str
+    directive: Any = None
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+
+@dataclass
+class TranslationUnit(Node):
+    decls: list[Node] = field(default_factory=list)
+    filename: str = "<memory>"
+    loc: SourceLoc = field(default_factory=SourceLoc)
+
+    def functions(self) -> list[FuncDef]:
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    def find_function(self, name: str) -> Optional[FuncDef]:
+        for d in self.decls:
+            if isinstance(d, FuncDef) and d.name == name:
+                return d
+        return None

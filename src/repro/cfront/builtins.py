@@ -1,0 +1,175 @@
+"""Native (libc/libm) functions available to interpreted host programs.
+
+There is no preprocessor, so instead of header files the interpreter's
+global scope is pre-populated with these natives.  Each native has the
+signature ``fn(machine, args, loc) -> value``; ``machine`` is the
+:class:`repro.cfront.interp.Machine` executing the program.
+
+The OpenMP host API (``omp_*``) and the simulated CUDA runtime API are
+registered on top of these by :mod:`repro.hostrt.api` and
+:mod:`repro.cuda.runtimeapi` respectively.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING
+
+from repro.cfront.errors import InterpError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cfront.interp import Machine
+
+
+# -- printf ------------------------------------------------------------------
+
+_FMT_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?(?:hh|h|ll|l|z)?[diouxXeEfgGcspn%]")
+
+
+def _format_printf(machine: "Machine", fmt: str, args: list) -> str:
+    out: list[str] = []
+    pos = 0
+    argi = 0
+    for m in _FMT_RE.finditer(fmt):
+        out.append(fmt[pos : m.start()])
+        pos = m.end()
+        spec = m.group(0)
+        conv = spec[-1]
+        if conv == "%":
+            out.append("%")
+            continue
+        if argi >= len(args):
+            raise InterpError(f"printf: missing argument for {spec!r}")
+        arg = args[argi]
+        argi += 1
+        pyspec = re.sub(r"hh|h|ll|l|z", "", spec)
+        if conv in "diu":
+            pyspec = pyspec[:-1] + "d"
+            out.append(pyspec % int(arg))
+        elif conv in "oxX":
+            out.append(pyspec % int(arg))
+        elif conv in "eEfgG":
+            out.append(pyspec % float(arg))
+        elif conv == "c":
+            out.append(chr(int(arg)))
+        elif conv == "s":
+            out.append(machine.read_cstring(arg))
+        elif conv == "p":
+            addr = arg.addr if hasattr(arg, "addr") else int(arg)
+            out.append(f"0x{addr:x}")
+        else:
+            raise InterpError(f"printf: unsupported conversion {spec!r}")
+    out.append(fmt[pos:])
+    return "".join(out)
+
+
+def _printf(machine: "Machine", args: list, loc) -> int:
+    if not args:
+        raise InterpError("printf with no format", loc)
+    fmt = machine.read_cstring(args[0])
+    text = _format_printf(machine, fmt, args[1:])
+    machine.stdout.append(text)
+    return len(text)
+
+
+def _fprintf(machine: "Machine", args: list, loc) -> int:
+    # stream argument ignored; everything goes to the same capture buffer
+    return _printf(machine, args[1:], loc)
+
+
+def _puts(machine: "Machine", args: list, loc) -> int:
+    machine.stdout.append(machine.read_cstring(args[0]) + "\n")
+    return 0
+
+
+# -- memory ------------------------------------------------------------------
+
+def _malloc(machine: "Machine", args: list, loc):
+    size = int(args[0])
+    from repro.cfront.interp import Ptr
+    from repro.cfront.ctypes_ import CHAR
+    addr = machine.heap.alloc(size)
+    return Ptr(machine.heap, addr, CHAR)
+
+
+def _calloc(machine: "Machine", args: list, loc):
+    n, size = int(args[0]), int(args[1])
+    from repro.cfront.interp import Ptr
+    from repro.cfront.ctypes_ import CHAR
+    addr = machine.heap.alloc(max(n * size, 1))
+    machine.heap.view(addr, max(n * size, 1), "u1")[:] = 0
+    return Ptr(machine.heap, addr, CHAR)
+
+
+def _free(machine: "Machine", args: list, loc):
+    ptr = args[0]
+    if isinstance(ptr, int) and ptr == 0:
+        return 0
+    machine.heap.free(ptr.addr)
+    return 0
+
+
+def _memset(machine: "Machine", args: list, loc):
+    ptr, value, size = args
+    ptr.mem.view(ptr.addr, int(size), "u1")[:] = int(value) & 0xFF
+    return ptr
+
+
+def _memcpy(machine: "Machine", args: list, loc):
+    dst, src, size = args
+    dst.mem.copy_in(dst.addr, src.mem.copy_out(src.addr, int(size)))
+    return dst
+
+
+def _exit(machine: "Machine", args: list, loc):
+    from repro.cfront.interp import ProgramExit
+    raise ProgramExit(int(args[0]) if args else 0)
+
+
+def _abort(machine: "Machine", args: list, loc):
+    raise InterpError("abort() called", loc)
+
+
+# -- math ----------------------------------------------------------------------
+
+def _math1(fn):
+    def native(machine: "Machine", args: list, loc):
+        return fn(float(args[0]))
+    return native
+
+
+def _math2(fn):
+    def native(machine: "Machine", args: list, loc):
+        return fn(float(args[0]), float(args[1]))
+    return native
+
+
+def default_natives() -> dict:
+    natives = {
+        "printf": _printf,
+        "fprintf": _fprintf,
+        "puts": _puts,
+        "malloc": _malloc,
+        "calloc": _calloc,
+        "free": _free,
+        "memset": _memset,
+        "memcpy": _memcpy,
+        "exit": _exit,
+        "abort": _abort,
+        "abs": _math1(lambda x: abs(int(x))),
+        "rand": lambda machine, args, loc: machine.rand(),
+        "srand": lambda machine, args, loc: machine.srand(int(args[0])),
+    }
+    for name, fn in [
+        ("sqrt", math.sqrt), ("fabs", abs), ("exp", math.exp),
+        ("log", math.log), ("sin", math.sin), ("cos", math.cos),
+        ("tan", math.tan), ("floor", math.floor), ("ceil", math.ceil),
+    ]:
+        natives[name] = _math1(fn)
+        natives[name + "f"] = _math1(fn)
+    for name, fn in [("pow", math.pow), ("fmod", math.fmod),
+                     ("fmax", max), ("fmin", min)]:
+        natives[name] = _math2(fn)
+        natives[name + "f"] = _math2(fn)
+    return natives

@@ -1,0 +1,48 @@
+"""Diagnostics: source locations and frontend error types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLoc:
+    """A position in an input source buffer.
+
+    ``filename`` is whatever name the caller handed to the lexer (benchmarks
+    use virtual names like ``"gemm_omp.c"`` since sources live in Python
+    strings, exactly like OMPi's in-memory transformation buffers).
+    """
+
+    filename: str = "<memory>"
+    line: int = 1
+    col: int = 1
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+class CFrontError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, loc: SourceLoc | None = None):
+        self.loc = loc
+        self.message = message
+        super().__init__(f"{loc}: {message}" if loc else message)
+
+
+class LexError(CFrontError):
+    """Raised on malformed input at the token level."""
+
+
+class ParseError(CFrontError):
+    """Raised on syntactically invalid input."""
+
+
+class TypeError_(CFrontError):
+    """Raised on semantically invalid input (named to avoid the builtin)."""
+
+
+class InterpError(CFrontError):
+    """Raised when the host interpreter hits undefined behaviour it detects
+    (out-of-bounds access, call to an unknown function, ...)."""

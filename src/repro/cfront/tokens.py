@@ -1,0 +1,68 @@
+"""Token kinds and keyword tables for the C subset."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories.
+
+    Punctuators carry their spelling as the token ``text``; a single
+    ``PUNCT`` kind would also work but distinct kinds make the parser's
+    dispatch tables self-documenting.
+    """
+
+    EOF = "eof"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int-literal"
+    FLOAT_LIT = "float-literal"
+    CHAR_LIT = "char-literal"
+    STRING_LIT = "string-literal"
+    PRAGMA = "pragma"          # a whole '#pragma ...' line, text = payload
+    PUNCT = "punct"            # operators and punctuation, text = spelling
+
+
+#: C keywords recognised by the subset.  ``__global__``/``__device__``/
+#: ``__shared__``/``__host__`` are CUDA C declaration specifiers — the nvcc
+#: simulator parses generated kernel files with this same lexer.
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "restrict", "return",
+        "short", "signed", "sizeof", "static", "struct", "switch",
+        "typedef", "union", "unsigned", "void", "volatile", "while",
+        # CUDA C extensions (used by generated kernel files / .cu sources)
+        "__global__", "__device__", "__shared__", "__host__",
+        "__restrict__", "__constant__",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can do maximal
+#: munch with a simple ordered scan.
+PUNCTUATORS = (
+    "<<<", ">>>",
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+#: Assignment operator spellings mapped to the underlying binary operator
+#: (``=`` maps to ``None``: plain assignment).
+ASSIGN_OPS: dict[str, str | None] = {
+    "=": None,
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "<<=": "<<",
+    ">>=": ">>",
+    "&=": "&",
+    "^=": "^",
+    "|=": "|",
+}

@@ -1,0 +1,309 @@
+"""AST -> C source text.
+
+The OMPi compiler is source-to-source: both the transformed host program
+and the generated CUDA kernel files are emitted as compilable C text.  The
+unparser therefore has to reproduce full declarator syntax (``int
+(*x)[96]``), pragma lines, CUDA qualifiers and the triple-chevron launch.
+
+Expression printing is precedence-aware so output stays close to what a
+human (or OMPi) would write, which the golden tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.cfront import astnodes as A
+from repro.cfront.ctypes_ import (
+    ArrayType, BasicType, CType, FunctionType, PointerType, StructType,
+)
+
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+_PREC_UNARY = 11
+_PREC_POSTFIX = 12
+_PREC_ASSIGN = 0
+_PREC_COND = 0.5
+_PREC_COMMA = -1
+
+
+def declarator(ctype: CType, name: str) -> str:
+    """Render ``ctype`` as a C declarator for ``name`` (may be empty for an
+    abstract declarator)."""
+    out = name
+    while True:
+        if isinstance(ctype, PointerType):
+            out = "*" + out
+            ctype = ctype.pointee
+        elif isinstance(ctype, ArrayType):
+            if out.startswith("*"):
+                out = f"({out})"
+            dim = "" if ctype.length is None else str(ctype.length)
+            out = f"{out}[{dim}]"
+            ctype = ctype.elem
+        elif isinstance(ctype, FunctionType):
+            if out.startswith("*"):
+                out = f"({out})"
+            params = ", ".join(declarator(p, "") for p in ctype.param_types)
+            if ctype.variadic:
+                params = params + ", ..." if params else "..."
+            if not params:
+                params = "void"
+            out = f"{out}({params})"
+            ctype = ctype.return_type
+        else:
+            base = str(ctype)
+            return f"{base} {out}".rstrip() if out else base
+
+
+def struct_body(st: StructType, indent: str = "") -> str:
+    lines = [f"{indent}struct {st.name} {{"]
+    for fname, ftype in st.fields_:
+        lines.append(f"{indent}    {declarator(ftype, fname)};")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+class Unparser:
+    def __init__(self, indent_unit: str = "    "):
+        self.indent_unit = indent_unit
+        self.lines: list[str] = []
+        self.depth = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def _emit(self, text: str) -> None:
+        self.lines.append(self.indent_unit * self.depth + text)
+
+    def _pad(self) -> str:
+        return self.indent_unit * self.depth
+
+    # -- expressions -------------------------------------------------------------
+    def expr(self, e: A.Expr, prec: float = _PREC_COMMA) -> str:
+        text, my_prec = self._expr_inner(e)
+        if my_prec < prec:
+            return f"({text})"
+        return text
+
+    def _expr_inner(self, e: A.Expr) -> tuple[str, float]:
+        if isinstance(e, A.IntLit):
+            return str(e.value), _PREC_POSTFIX
+        if isinstance(e, A.FloatLit):
+            text = repr(float(e.value))
+            if "e" in text or "E" in text:
+                # C accepts the same exponent syntax Python's repr produces,
+                # but 'inf'/'nan' never appear in generated code paths.
+                pass
+            if e.single:
+                text += "f"
+            return text, _PREC_POSTFIX
+        if isinstance(e, A.CharLit):
+            ch = chr(e.value)
+            escaped = {"\n": "\\n", "\t": "\\t", "'": "\\'", "\\": "\\\\", "\0": "\\0"}.get(ch, ch)
+            return f"'{escaped}'", _PREC_POSTFIX
+        if isinstance(e, A.StringLit):
+            body = (
+                e.value.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n").replace("\t", "\\t")
+            )
+            return f'"{body}"', _PREC_POSTFIX
+        if isinstance(e, A.Ident):
+            return e.name, _PREC_POSTFIX
+        if isinstance(e, A.Unary):
+            if e.op in ("p++", "p--"):
+                return f"{self.expr(e.operand, _PREC_POSTFIX)}{e.op[1:]}", _PREC_POSTFIX
+            operand = self.expr(e.operand, _PREC_UNARY)
+            sep = " " if e.op in ("-", "+") and operand.startswith(e.op) else ""
+            return f"{e.op}{sep}{operand}", _PREC_UNARY
+        if isinstance(e, A.Binary):
+            p = _PREC[e.op]
+            left = self.expr(e.left, p)
+            right = self.expr(e.right, p + 1)
+            return f"{left} {e.op} {right}", p
+        if isinstance(e, A.Assign):
+            op = (e.op or "") + "="
+            target = self.expr(e.target, _PREC_UNARY)
+            value = self.expr(e.value, _PREC_ASSIGN)
+            return f"{target} {op} {value}", _PREC_ASSIGN
+        if isinstance(e, A.Cond):
+            cond = self.expr(e.cond, 1)
+            return f"{cond} ? {self.expr(e.then, _PREC_ASSIGN)} : {self.expr(e.other, _PREC_ASSIGN)}", _PREC_COND
+        if isinstance(e, A.Comma):
+            return ", ".join(self.expr(p, _PREC_ASSIGN) for p in e.parts), _PREC_COMMA
+        if isinstance(e, A.Call):
+            args = ", ".join(self.expr(a, _PREC_ASSIGN) for a in e.args)
+            return f"{self.expr(e.func, _PREC_POSTFIX)}({args})", _PREC_POSTFIX
+        if isinstance(e, A.CudaKernelCall):
+            args = ", ".join(self.expr(a, _PREC_ASSIGN) for a in e.args)
+            dims = f"{self.expr(e.grid, _PREC_ASSIGN)}, {self.expr(e.block, _PREC_ASSIGN)}"
+            if e.shmem is not None:
+                dims += f", {self.expr(e.shmem, _PREC_ASSIGN)}"
+            return f"{self.expr(e.func, _PREC_POSTFIX)}<<<{dims}>>>({args})", _PREC_POSTFIX
+        if isinstance(e, A.Index):
+            return f"{self.expr(e.base, _PREC_POSTFIX)}[{self.expr(e.index)}]", _PREC_POSTFIX
+        if isinstance(e, A.Member):
+            op = "->" if e.arrow else "."
+            return f"{self.expr(e.base, _PREC_POSTFIX)}{op}{e.name}", _PREC_POSTFIX
+        if isinstance(e, A.Cast):
+            return f"({declarator(e.type, '')}) {self.expr(e.operand, _PREC_UNARY)}", _PREC_UNARY
+        if isinstance(e, A.SizeofExpr):
+            return f"sizeof({self.expr(e.operand)})", _PREC_UNARY
+        if isinstance(e, A.SizeofType):
+            return f"sizeof({declarator(e.type, '')})", _PREC_UNARY
+        raise TypeError(f"cannot unparse expression {type(e).__name__}")
+
+    # -- statements ----------------------------------------------------------------
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.ExprStmt):
+            self._emit(f"{self.expr(s.expr)};" if s.expr is not None else ";")
+        elif isinstance(s, A.DeclStmt):
+            self._decl_stmt(s)
+        elif isinstance(s, A.Compound):
+            self._emit("{")
+            self.depth += 1
+            for inner in s.body:
+                self.stmt(inner)
+            self.depth -= 1
+            self._emit("}")
+        elif isinstance(s, A.If):
+            self._emit(f"if ({self.expr(s.cond)})")
+            self._nested(s.then)
+            if s.other is not None:
+                self._emit("else")
+                self._nested(s.other)
+        elif isinstance(s, A.While):
+            self._emit(f"while ({self.expr(s.cond)})")
+            self._nested(s.body)
+        elif isinstance(s, A.DoWhile):
+            self._emit("do")
+            self._nested(s.body)
+            self._emit(f"while ({self.expr(s.cond)});")
+        elif isinstance(s, A.For):
+            init = ""
+            if isinstance(s.init, A.ExprStmt) and s.init.expr is not None:
+                init = self.expr(s.init.expr)
+            elif isinstance(s.init, A.DeclStmt):
+                init = self._decl_text(s.init)
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self.expr(s.step) if s.step is not None else ""
+            self._emit(f"for ({init}; {cond}; {step})")
+            self._nested(s.body)
+        elif isinstance(s, A.Return):
+            self._emit(f"return {self.expr(s.value)};" if s.value is not None else "return;")
+        elif isinstance(s, A.Break):
+            self._emit("break;")
+        elif isinstance(s, A.Continue):
+            self._emit("continue;")
+        elif isinstance(s, A.PragmaStmt):
+            self.lines.append(f"#pragma {s.text}")
+            if s.body is not None:
+                self.stmt(s.body)
+        else:
+            raise TypeError(f"cannot unparse statement {type(s).__name__}")
+
+    def _nested(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            self.stmt(s)
+        else:
+            self.depth += 1
+            self.stmt(s)
+            self.depth -= 1
+
+    def _decl_text(self, s: A.DeclStmt) -> str:
+        # Single-line form used in for-init; assumes a uniform base type.
+        parts = []
+        for d in s.decls:
+            text = declarator(d.type, d.name)
+            if d.init is not None:
+                text += f" = {self.expr(d.init, _PREC_ASSIGN)}"
+            parts.append(text)
+        if not parts:
+            return ""
+        # merge subsequent declarators of the same base: keep it simple and
+        # emit the full declarator for the first, names for the rest only if
+        # types match exactly.
+        first = parts[0]
+        rest = []
+        for d, text in zip(s.decls[1:], parts[1:]):
+            if d.type == s.decls[0].type:
+                rest.append(text.split(" ", 1)[1] if " " in text else text)
+            else:
+                rest.append(text)
+        return ", ".join([first] + rest)
+
+    def _decl_stmt(self, s: A.DeclStmt) -> None:
+        if not s.decls:
+            return
+        for d in s.decls:
+            prefix = ""
+            quals = [q for q in d.quals if q != "inline_struct"]
+            if d.storage:
+                prefix += d.storage + " "
+            if quals:
+                prefix += " ".join(quals) + " "
+            if "inline_struct" in d.quals and isinstance(_base_of(d.type), StructType):
+                st = _base_of(d.type)
+                assert isinstance(st, StructType)
+                body = struct_body(st, self._pad())
+                # re-render: 'quals struct name { ... } declarator;'
+                decl = declarator(d.type, d.name)
+                # strip the leading 'struct name' from the declarator text
+                decl = decl.replace(f"struct {st.name} ", "", 1)
+                init = f" = {self.expr(d.init, _PREC_ASSIGN)}" if d.init is not None else ""
+                lines = body.split("\n")
+                lines[0] = self._pad() + prefix + lines[0].lstrip()
+                lines[-1] = lines[-1] + f" {decl}{init};"
+                self.lines.extend(lines)
+                continue
+            text = declarator(d.type, d.name)
+            if d.init is not None:
+                text += f" = {self.expr(d.init, _PREC_ASSIGN)}"
+            self._emit(f"{prefix}{text};")
+
+    # -- top level -------------------------------------------------------------
+    def decl(self, node: A.Node) -> None:
+        if isinstance(node, A.FuncDef):
+            quals = " ".join(node.quals)
+            params = ", ".join(declarator(p.type, p.name) for p in node.params) or "void"
+            prefix = f"{quals} " if quals else ""
+            self._emit(f"{prefix}{declarator(node.return_type, '')} {node.name}({params})")
+            self.stmt(node.body)
+            self._emit("")
+        elif isinstance(node, A.FuncProto):
+            quals = " ".join(node.quals)
+            params = ", ".join(declarator(p.type, p.name) for p in node.params) or "void"
+            prefix = f"{quals} " if quals else ""
+            self._emit(f"{prefix}{declarator(node.return_type, '')} {node.name}({params});")
+        elif isinstance(node, A.StructDef):
+            st = StructType(node.name, tuple(node.fields_))
+            self.lines.append(struct_body(st, self._pad()) + ";")
+        elif isinstance(node, A.GlobalDecl):
+            self._decl_stmt(A.DeclStmt(node.decls, loc=node.loc))
+        elif isinstance(node, A.PragmaDecl):
+            self.lines.append(f"#pragma {node.text}")
+        elif isinstance(node, A.TranslationUnit):
+            for d in node.decls:
+                self.decl(d)
+        else:
+            raise TypeError(f"cannot unparse declaration {type(node).__name__}")
+
+
+def _base_of(ctype: CType) -> CType:
+    while isinstance(ctype, (PointerType, ArrayType)):
+        ctype = ctype.pointee if isinstance(ctype, PointerType) else ctype.elem
+    if isinstance(ctype, FunctionType):
+        return _base_of(ctype.return_type)
+    return ctype
+
+
+def unparse(node: A.Node) -> str:
+    """Render any AST node (expression, statement, declaration or whole
+    translation unit) back to C source text."""
+    up = Unparser()
+    if isinstance(node, A.Expr):
+        return up.expr(node)
+    if isinstance(node, A.Stmt):
+        up.stmt(node)
+    else:
+        up.decl(node)
+    return "\n".join(up.lines).rstrip() + "\n"

@@ -1,0 +1,21 @@
+"""Simulated CUDA stack for the Jetson Nano reproduction.
+
+The paper targets the Maxwell GPU of the Jetson Nano 2GB through the CUDA
+*driver API* plus the ``nvcc`` compiler.  Neither is available in this
+environment, so this package provides functional equivalents:
+
+* :mod:`repro.cuda.device` — the Maxwell/Jetson-Nano device model
+  (1 SM, 128 cores, warp size 32, sm_53, 16 named barriers per block).
+* :mod:`repro.cuda.nvcc` — compiles a CUDA C subset (what OMPi generates,
+  plus hand-written benchmark kernels) into a structured SIMT IR, packaged
+  as PTX (JIT-able, cached) or cubin (ahead-of-time) images.
+* :mod:`repro.cuda.driver` — the ``cu*`` driver API surface the cudadev
+  host module is written against.
+* :mod:`repro.cuda.sim` — the warp-lockstep functional engine with
+  divergence masks, named barriers and coalescing/timing accounting.
+"""
+
+from repro.cuda.errors import CUresult, CudaError
+from repro.cuda.device import JETSON_NANO_GPU, DeviceProperties
+
+__all__ = ["CUresult", "CudaError", "DeviceProperties", "JETSON_NANO_GPU"]

@@ -1,0 +1,127 @@
+"""Device model: the Maxwell GPU of the Jetson Nano 2GB.
+
+Numbers below are the board's published specifications (paper §4 and the
+Jetson Linux Developer Guide): one streaming multiprocessor with 128 CUDA
+cores, compute capability 5.3, 921.6 MHz max GPU clock, LPDDR4 memory
+physically shared with the quad-core ARM A57 host (25.6 GB/s theoretical
+peak; ~14 GB/s sustained is what memcpy-style benchmarks observe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    name: str
+    compute_capability: tuple[int, int]
+    multiprocessor_count: int
+    cores_per_mp: int
+    warp_size: int
+    max_threads_per_block: int
+    max_block_dim: tuple[int, int, int]
+    max_grid_dim: tuple[int, int, int]
+    shared_mem_per_block: int           # bytes
+    named_barriers_per_block: int
+    total_global_mem: int               # bytes
+    clock_rate_khz: int
+    memory_bandwidth_gbps: float        # sustained, GB/s
+    l2_cache_size: int                  # bytes
+
+    @property
+    def cores(self) -> int:
+        return self.multiprocessor_count * self.cores_per_mp
+
+    @property
+    def arch(self) -> str:
+        major, minor = self.compute_capability
+        return f"sm_{major}{minor}"
+
+
+#: The Jetson Nano 2GB developer kit GPU (paper §4).
+JETSON_NANO_GPU = DeviceProperties(
+    name="NVIDIA Tegra X1 (Jetson Nano 2GB)",
+    compute_capability=(5, 3),
+    multiprocessor_count=1,
+    cores_per_mp=128,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(2147483647, 65535, 65535),
+    shared_mem_per_block=48 * 1024,
+    named_barriers_per_block=16,
+    total_global_mem=2 * 1024 * 1024 * 1024,
+    clock_rate_khz=921600,
+    memory_bandwidth_gbps=14.4,
+    l2_cache_size=256 * 1024,
+)
+
+#: The original 4GB Jetson Nano (same GPU, more DRAM) — used in tests to
+#: show the cudadev module generalises across boards, as the paper claims.
+JETSON_NANO_4GB_GPU = DeviceProperties(
+    name="NVIDIA Tegra X1 (Jetson Nano 4GB)",
+    compute_capability=(5, 3),
+    multiprocessor_count=1,
+    cores_per_mp=128,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(2147483647, 65535, 65535),
+    shared_mem_per_block=48 * 1024,
+    named_barriers_per_block=16,
+    total_global_mem=4 * 1024 * 1024 * 1024,
+    clock_rate_khz=921600,
+    memory_bandwidth_gbps=14.4,
+    l2_cache_size=256 * 1024,
+)
+
+#: Jetson TX2-like device (cc 6.2), for the generalisation tests.
+JETSON_TX2_GPU = DeviceProperties(
+    name="NVIDIA Tegra X2 (Jetson TX2)",
+    compute_capability=(6, 2),
+    multiprocessor_count=2,
+    cores_per_mp=128,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(2147483647, 65535, 65535),
+    shared_mem_per_block=48 * 1024,
+    named_barriers_per_block=16,
+    total_global_mem=8 * 1024 * 1024 * 1024,
+    clock_rate_khz=1300000,
+    memory_bandwidth_gbps=40.0,
+    l2_cache_size=512 * 1024,
+)
+
+
+@dataclass
+class Dim3:
+    """Grid/block dimensions."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    @classmethod
+    def of(cls, value) -> "Dim3":
+        """Coerce ints, tuples, Dim3 or dim3-struct-like values."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, (tuple, list)):
+            vals = list(value) + [1] * (3 - len(value))
+            return cls(*vals[:3])
+        if hasattr(value, "get"):  # PyStruct / StructInstance dim3
+            return cls(int(value.get("x")), int(value.get("y")), int(value.get("z")))
+        raise TypeError(f"cannot interpret {value!r} as dim3")
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+        yield self.z

@@ -1,0 +1,484 @@
+"""Simulated CUDA *driver API* (the ``cu*`` surface of paper §4.2.1).
+
+The cudadev host module is written against exactly this interface: device
+discovery, (primary) context creation, module loading — with JIT + disk
+cache for PTX images and device-library linking — memory management,
+transfers, and the three-phase kernel launch ending in ``cuLaunchKernel``.
+
+Execution is functional (the warp engine) and timing is modelled (the
+Maxwell analytic model + LPDDR4 transfer model); every action appends a
+:class:`~repro.timing.stats.RunEvent` so harnesses can reconstruct the
+paper's "kernel time + required memory operations" metric.
+
+Large launches can run in *sampling* mode: a handful of representative
+blocks execute functionally and their dynamic counts are extrapolated to
+the full grid for the timing model.  Sampling silently degrades to full
+execution for kernels with inter-warp communication (barriers, atomics,
+runtime calls) because their behaviour is not block-local.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cuda.device import DeviceProperties, Dim3, JETSON_NANO_GPU
+from repro.cuda.errors import CUresult, CudaError
+from repro.cuda.ptx.images import CubinImage, PtxImage, identify_image
+from repro.cuda.ptx.ir import (
+    Atom, BarOp, CallOp, KernelIR, ModuleIR, np_dtype, walk_ops,
+)
+from repro.cuda.ptx.jit import JitCache, jit_compile
+from repro.cuda.sim.engine import FunctionalEngine, KernelStats, LaunchError
+from repro.mem import LinearMemory
+from repro.timing import calibration as C
+from repro.timing.clock import VirtualClock
+from repro.timing.gpumodel import GpuTimingModel
+from repro.timing.hostmodel import HostModel
+from repro.timing.stats import EventLog
+
+DEVICE_MEM_BASE = 0x2_0000_0000
+#: DRAM the OS/display reserve on the 2GB board
+RESERVED_MEM = 288 * 1024 * 1024
+
+
+@dataclass
+class LoadedModule:
+    handle: int
+    module: ModuleIR
+    image_kind: str                      # 'ptx' (jitted) or 'cubin'
+    linked: bool
+    resources: dict[str, dict]
+    global_addrs: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CUfunction:
+    module_handle: int
+    name: str
+
+
+class CudaDriver:
+    """One simulated CUDA driver instance ("process-level" state)."""
+
+    def __init__(
+        self,
+        device: DeviceProperties = JETSON_NANO_GPU,
+        clock: Optional[VirtualClock] = None,
+        jit_cache: Optional[JitCache] = None,
+        gmem_capacity: Optional[int] = None,
+        launch_mode: str = "auto",
+        sample_threshold_threads: int = 1 << 15,
+        intrinsics: Optional[dict] = None,
+    ):
+        if launch_mode not in ("full", "sample", "auto"):
+            raise ValueError(f"bad launch_mode {launch_mode!r}")
+        self.device_props = device
+        self.clock = clock or VirtualClock()
+        self.jit_cache = jit_cache
+        self.launch_mode = launch_mode
+        self.sample_threshold = sample_threshold_threads
+        capacity = gmem_capacity or (device.total_global_mem - RESERVED_MEM)
+        self.gmem = LinearMemory(capacity, base=DEVICE_MEM_BASE, name="gmem")
+        self.gpu_model = GpuTimingModel(device)
+        self.host_model = HostModel()
+        self.log = EventLog()
+        self.stdout: list[str] = []
+        self._initialized = False
+        self._ctx_count = 0
+        self._modules: dict[int, LoadedModule] = {}
+        self._handles = itertools.count(1)
+        self._sample_cache: dict[tuple, bool] = {}
+        if intrinsics is None:
+            from repro.devrt import build_intrinsics
+            intrinsics = build_intrinsics()
+        self.intrinsics = intrinsics
+        self.last_kernel_stats: Optional[KernelStats] = None
+
+    # -- init / device discovery ------------------------------------------------
+    def cuInit(self, flags: int = 0) -> CUresult:
+        if flags != 0:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, "flags must be 0")
+        self._initialized = True
+        return CUresult.CUDA_SUCCESS
+
+    def _check_init(self) -> None:
+        if not self._initialized:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_INITIALIZED)
+
+    def cuDeviceGetCount(self) -> int:
+        self._check_init()
+        return 1
+
+    def cuDeviceGet(self, ordinal: int) -> int:
+        self._check_init()
+        if ordinal != 0:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_DEVICE, str(ordinal))
+        return 0
+
+    def cuDeviceGetName(self, dev: int) -> str:
+        self._check_init()
+        return self.device_props.name
+
+    def cuDeviceComputeCapability(self, dev: int) -> tuple[int, int]:
+        self._check_init()
+        return self.device_props.compute_capability
+
+    def cuDeviceTotalMem(self, dev: int) -> int:
+        self._check_init()
+        return self.device_props.total_global_mem
+
+    def cuDeviceGetAttribute(self, attrib: str, dev: int) -> int:
+        self._check_init()
+        props = self.device_props
+        table = {
+            "MAX_THREADS_PER_BLOCK": props.max_threads_per_block,
+            "WARP_SIZE": props.warp_size,
+            "MULTIPROCESSOR_COUNT": props.multiprocessor_count,
+            "MAX_SHARED_MEMORY_PER_BLOCK": props.shared_mem_per_block,
+            "CLOCK_RATE": props.clock_rate_khz,
+            "COMPUTE_CAPABILITY_MAJOR": props.compute_capability[0],
+            "COMPUTE_CAPABILITY_MINOR": props.compute_capability[1],
+            "MAX_BLOCK_DIM_X": props.max_block_dim[0],
+            "MAX_BLOCK_DIM_Y": props.max_block_dim[1],
+            "MAX_BLOCK_DIM_Z": props.max_block_dim[2],
+            "MAX_GRID_DIM_X": props.max_grid_dim[0],
+            "MAX_GRID_DIM_Y": props.max_grid_dim[1],
+            "MAX_GRID_DIM_Z": props.max_grid_dim[2],
+        }
+        try:
+            return table[attrib]
+        except KeyError:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE,
+                            f"unknown attribute {attrib}") from None
+
+    # -- contexts ----------------------------------------------------------------
+    def cuDevicePrimaryCtxRetain(self, dev: int) -> int:
+        self._check_init()
+        if dev != 0:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_DEVICE)
+        self._ctx_count += 1
+        return 1  # the primary context handle
+
+    def cuCtxSetCurrent(self, ctx: int) -> CUresult:
+        self._check_init()
+        if ctx != 1:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_CONTEXT)
+        return CUresult.CUDA_SUCCESS
+
+    def cuCtxSynchronize(self) -> CUresult:
+        self._check_init()
+        return CUresult.CUDA_SUCCESS  # execution is synchronous in the model
+
+    # -- modules ----------------------------------------------------------------
+    def cuModuleLoadData(self, image: Union[bytes, PtxImage, CubinImage]) -> int:
+        self._check_init()
+        if isinstance(image, PtxImage):
+            kind = "ptx"
+        elif isinstance(image, CubinImage):
+            kind = "cubin"
+        else:
+            kind = identify_image(image)
+            image = (PtxImage.from_bytes(image) if kind == "ptx"
+                     else CubinImage.from_bytes(image))
+        if kind == "ptx":
+            result = jit_compile(image, self.device_props, self.jit_cache,
+                                 link_device_library=True)
+            self.clock.advance(result.compile_time_s)
+            self.log.add("jit", result.compile_time_s,
+                         "cache hit" if result.cached else "compiled")
+            cubin = result.image
+        else:
+            cubin = image
+            if cubin.arch != self.device_props.arch:
+                raise CudaError(
+                    CUresult.CUDA_ERROR_INVALID_IMAGE,
+                    f"cubin targets {cubin.arch}, device is {self.device_props.arch}",
+                )
+        handle = next(self._handles)
+        loaded = LoadedModule(handle, cubin.module, kind, cubin.linked,
+                              cubin.resources)
+        for name, size in cubin.module.globals_.items():
+            addr = self.gmem.alloc(max(size, 1), align=8)
+            self.gmem.view(addr, max(size, 1), np.uint8)[:] = 0
+            loaded.global_addrs[name] = addr
+        self._modules[handle] = loaded
+        self.log.add("module_load", 0.0, f"{kind}:{cubin.module.name}")
+        return handle
+
+    def cuModuleUnload(self, handle: int) -> CUresult:
+        self._check_init()
+        loaded = self._modules.pop(handle, None)
+        if loaded is None:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, f"module {handle}")
+        for addr in loaded.global_addrs.values():
+            self.gmem.free(addr)
+        return CUresult.CUDA_SUCCESS
+
+    def cuModuleGetFunction(self, handle: int, name: str) -> CUfunction:
+        self._check_init()
+        loaded = self._modules.get(handle)
+        if loaded is None:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, f"module {handle}")
+        if name not in loaded.module.kernels:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND,
+                            f"kernel {name!r} not in module")
+        return CUfunction(handle, name)
+
+    def cuModuleGetGlobal(self, handle: int, name: str) -> tuple[int, int]:
+        self._check_init()
+        loaded = self._modules.get(handle)
+        if loaded is None or name not in loaded.global_addrs:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, name)
+        return loaded.global_addrs[name], loaded.module.globals_[name]
+
+    # -- memory ------------------------------------------------------------------
+    def cuMemAlloc(self, size: int) -> int:
+        self._check_init()
+        if size <= 0:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, "size must be > 0")
+        try:
+            addr = self.gmem.alloc(size, align=256)
+        except Exception as exc:
+            raise CudaError(CUresult.CUDA_ERROR_OUT_OF_MEMORY, str(exc)) from exc
+        cost = self.host_model.alloc_time()
+        self.clock.advance(cost)
+        self.log.add("alloc", cost, nbytes=size)
+        return addr
+
+    def cuMemFree(self, dptr: int) -> CUresult:
+        self._check_init()
+        try:
+            self.gmem.free(dptr)
+        except Exception as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, str(exc)) from exc
+        self.log.add("free", 0.0)
+        return CUresult.CUDA_SUCCESS
+
+    def cuMemcpyHtoD(self, dptr: int, src) -> CUresult:
+        self._check_init()
+        if isinstance(src, (bytes, bytearray)):
+            data = np.frombuffer(bytes(src), dtype=np.uint8)
+        else:
+            # reinterpret the array's bytes (never value-convert)
+            data = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
+        self.gmem.copy_in(dptr, data)
+        cost = self.host_model.memcpy_time(data.size)
+        self.clock.advance(cost)
+        self.log.add("memcpy_h2d", cost, nbytes=int(data.size))
+        return CUresult.CUDA_SUCCESS
+
+    def cuMemcpyDtoH(self, dptr: int, nbytes: int) -> bytes:
+        self._check_init()
+        data = self.gmem.copy_out(dptr, nbytes)
+        cost = self.host_model.memcpy_time(nbytes)
+        self.clock.advance(cost)
+        self.log.add("memcpy_d2h", cost, nbytes=nbytes)
+        return data
+
+    def cuMemsetD8(self, dptr: int, value: int, count: int) -> CUresult:
+        self._check_init()
+        self.gmem.view(dptr, count, np.uint8)[:] = value & 0xFF
+        cost = self.host_model.memcpy_time(count) / 2
+        self.clock.advance(cost)
+        self.log.add("memcpy_h2d", cost, "memset", nbytes=count)
+        return CUresult.CUDA_SUCCESS
+
+    # -- kernel launch -------------------------------------------------------------
+    def _kernel_communicates(self, kernel: KernelIR) -> bool:
+        key = (id(kernel),)
+        cached = self._sample_cache.get(key)
+        if cached is None:
+            def block_local(ops) -> bool:
+                for op in walk_ops(ops):
+                    if isinstance(op, (BarOp, Atom)):
+                        return False
+                    if isinstance(op, CallOp) and not op.name.startswith("__ld") \
+                            and op.name != "__local_base" \
+                            and not op.name.startswith("omp_") \
+                            and op.name not in (
+                                "cudadev_target_init",
+                                "cudadev_get_distribute_chunk",
+                                "cudadev_get_static_chunk",
+                                "cudadev_get_distribute_chunk_dim",
+                                "cudadev_get_static_chunk_dim",
+                            ):
+                        return False
+                return True
+            cached = not (block_local(kernel.body) and all(
+                block_local(sub.body) for sub in kernel.subfunctions.values()
+            ))
+            self._sample_cache[key] = cached
+        return cached
+
+    def _sample_blocks(self, grid: Dim3) -> list[tuple[int, int, int]]:
+        import os
+        want = int(os.environ.get("REPRO_SAMPLE_BLOCKS", "3"))
+        mid = (grid.x // 2, grid.y // 2, grid.z // 2)
+        if want <= 1:
+            return [mid]
+        first = (0, 0, 0)
+        last = (grid.x - 1, grid.y - 1, grid.z - 1)
+        if want == 2:
+            return sorted({first, last})
+        return sorted({first, mid, last})
+
+    #: per-series sampling policy: functionally execute the first launches
+    #: of a (kernel, grid, block) series, then exponentially back off —
+    #: long launch series (gramschmidt's per-column kernels) have smoothly
+    #: varying dynamic counts, interpolated between samples.
+    @staticmethod
+    def _should_sample_series(idx: int) -> bool:
+        # Three consecutive early samples establish the slope; sparse
+        # anchors re-calibrate long series.  (Early launches of k-indexed
+        # kernel series carry the largest trip counts, so oversampling
+        # them — e.g. at every power of two — is the expensive mistake.)
+        if idx < 3:
+            return True
+        return idx % 199 == 0
+
+    def _sampled_launch(self, engine, kernel, fn, grid, block, params,
+                        total_blocks, total_warps,
+                        communicates: bool = False) -> KernelStats:
+        key = (fn.module_handle, fn.name, tuple(grid), tuple(block))
+        series = self.__dict__.setdefault("_launch_series", {}).setdefault(
+            key, {"count": 0, "samples": []}
+        )
+        idx = series["count"]
+        series["count"] += 1
+        if self._should_sample_series(idx):
+            if communicates:
+                sampled = engine.launch(kernel, grid, block, params)
+            else:
+                picks = self._sample_blocks(grid)
+                # guard-skewed kernels (e.g. "if (j > k)", "if (tid == 0)")
+                # concentrate work in a few warps, so a single-warp sample
+                # extrapolates badly.  Blocks here have at most 8 warps
+                # (256 threads), so running every warp of the 3 sampled
+                # blocks is cheap and unbiased; huge blocks fall back to a
+                # first/middle/last warp spread.
+                wpb = (block.count + 31) // 32
+                warp_picks = None if wpb <= 8 else {0, 1, wpb // 2, wpb - 1}
+                sampled = engine.launch(kernel, grid, block, params,
+                                        only_blocks=picks,
+                                        only_warps=warp_picks)
+            run_warps = max(sampled.warps_launched, 1)
+            stats = KernelStats(grid=tuple(grid), block=tuple(block),
+                                smem_per_block=sampled.smem_per_block)
+            stats.merge_scaled(sampled, total_warps / run_warps)
+            stats.blocks_launched = total_blocks
+            stats.warps_launched = total_warps
+            stats.threads_launched = block.count * total_blocks
+            series["samples"].append((idx, sampled))
+            return stats
+        # extrapolate dynamic counts from the two nearest samples
+        samples = series["samples"]
+        (i0, s0) = samples[-1]
+        (i1, s1) = samples[-2] if len(samples) > 1 else samples[-1]
+        stats = KernelStats(grid=tuple(grid), block=tuple(block),
+                            smem_per_block=s0.smem_per_block)
+        if i0 != i1:
+            slope = (idx - i0) / (i0 - i1)
+        else:
+            slope = 0.0
+        run_warps = max(s0.warps_launched, 1)
+        scale = total_warps / run_warps
+        for name in ("instructions", "alu_f32", "alu_f64", "alu_int",
+                     "special_ops", "load_instructions", "store_instructions",
+                     "global_mem_instructions", "global_transactions",
+                     "shared_accesses", "local_accesses",
+                     "barriers", "atomics", "divergent_branches",
+                     "loop_iterations", "spins"):
+            v0 = getattr(s0, name)
+            v1 = getattr(s1, name)
+            est = v0 + (v0 - v1) * slope
+            setattr(stats, name, max(0, int(est * scale)))
+        stats.blocks_launched = total_blocks
+        stats.warps_launched = total_warps
+        stats.threads_launched = block.count * total_blocks
+        return stats
+
+    def cuLaunchKernel(
+        self,
+        fn: CUfunction,
+        grid_x: int, grid_y: int, grid_z: int,
+        block_x: int, block_y: int, block_z: int,
+        shared_mem_bytes: int = 0,
+        stream: int = 0,
+        kernel_params: Optional[list] = None,
+    ) -> KernelStats:
+        self._check_init()
+        loaded = self._modules.get(fn.module_handle)
+        if loaded is None:
+            raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, "module unloaded")
+        if not loaded.linked:
+            raise CudaError(
+                CUresult.CUDA_ERROR_INVALID_IMAGE,
+                "cubin was built without the device runtime library "
+                "(OMPi cubin-mode scripts link it at compile time)",
+            )
+        kernel = loaded.module.kernels[fn.name]
+        grid = Dim3(grid_x, grid_y, grid_z)
+        block = Dim3(block_x, block_y, block_z)
+        params = self._prepare_params(kernel, kernel_params or [])
+        engine = FunctionalEngine(self.device_props, self.gmem,
+                                  self.intrinsics, loaded.global_addrs)
+        total_blocks = grid.count
+        warps_per_block = (block.count + 31) // 32
+        total_warps = total_blocks * warps_per_block
+        communicates = self._kernel_communicates(kernel)
+        sample = (
+            self.launch_mode == "sample"
+            or (self.launch_mode == "auto"
+                and total_blocks * block.count > self.sample_threshold)
+        )
+        # In explicit sample mode even communicating kernels join a launch
+        # *series*: sampled launches execute in full (their behaviour is not
+        # block-local so no subsetting), unsampled ones are extrapolated.
+        # In auto mode communicating kernels always run fully — they are
+        # only auto-sampled when their grids are huge, which the paper's
+        # master/worker kernels (one block of 128 threads) never are.
+        if self.launch_mode == "auto" and communicates:
+            sample = False
+        try:
+            if sample:
+                stats = self._sampled_launch(engine, kernel, fn, grid, block,
+                                             params, total_blocks, total_warps,
+                                             communicates)
+            else:
+                stats = engine.launch(kernel, grid, block, params)
+        except LaunchError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_LAUNCH_FAILED, str(exc)) from exc
+        self.stdout.extend(engine.stdout)
+        resources = loaded.resources.get(fn.name, {})
+        stats.registers_per_thread = resources.get("registers", 32)
+        breakdown = self.gpu_model.kernel_time(stats)
+        overhead = C.LAUNCH_LATENCY_S + C.PARAM_PREP_S * len(params)
+        self.clock.advance(overhead)
+        self.log.add("launch_overhead", overhead, kernel=fn.name)
+        self.clock.advance(breakdown.total_s)
+        self.log.add(
+            "kernel", breakdown.total_s,
+            detail=f"bound={breakdown.bound} warps={breakdown.occupancy_warps:.0f}",
+            kernel=fn.name,
+        )
+        self.last_kernel_stats = stats
+        return stats
+
+    def _prepare_params(self, kernel: KernelIR, raw: list) -> list:
+        if len(raw) != len(kernel.params):
+            raise CudaError(
+                CUresult.CUDA_ERROR_INVALID_VALUE,
+                f"kernel {kernel.name} takes {len(kernel.params)} parameters, "
+                f"got {len(raw)}",
+            )
+        params = []
+        for spec, value in zip(kernel.params, raw):
+            dt = np_dtype(spec.dtype)
+            if hasattr(value, "addr"):           # interp Ptr
+                value = value.addr
+            params.append(dt.type(value))
+        return params

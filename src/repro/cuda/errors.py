@@ -1,0 +1,33 @@
+"""CUDA driver API result codes and the exception used by the simulator."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CUresult(enum.IntEnum):
+    """Subset of the driver API's CUresult codes used by the cudadev module."""
+
+    CUDA_SUCCESS = 0
+    CUDA_ERROR_INVALID_VALUE = 1
+    CUDA_ERROR_OUT_OF_MEMORY = 2
+    CUDA_ERROR_NOT_INITIALIZED = 3
+    CUDA_ERROR_DEINITIALIZED = 4
+    CUDA_ERROR_NO_DEVICE = 100
+    CUDA_ERROR_INVALID_DEVICE = 101
+    CUDA_ERROR_INVALID_IMAGE = 200
+    CUDA_ERROR_INVALID_CONTEXT = 201
+    CUDA_ERROR_NOT_FOUND = 500
+    CUDA_ERROR_LAUNCH_FAILED = 719
+    CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES = 701
+    CUDA_ERROR_UNKNOWN = 999
+
+
+class CudaError(Exception):
+    """Raised by the simulated driver API on any non-success result."""
+
+    def __init__(self, result: CUresult, detail: str = ""):
+        self.result = result
+        self.detail = detail
+        msg = result.name + (f": {detail}" if detail else "")
+        super().__init__(msg)

@@ -1,0 +1,29 @@
+"""PTX layer: structured SIMT IR, lowering, PTX/cubin images, JIT + cache.
+
+Real nvcc lowers CUDA C to PTX (a portable virtual ISA) and optionally to
+architecture-specific SASS inside a *cubin*.  The reproduction mirrors the
+pipeline shape:
+
+* :mod:`repro.cuda.ptx.ir` — a structured SIMT IR (typed ops, divergence-
+  masked ``if``/``loop``, named barriers, atomics).  This plays the role
+  PTX plays in the paper: the portable kernel representation.
+* :mod:`repro.cuda.ptx.lower` — CUDA-C AST -> IR compilation.
+* :mod:`repro.cuda.ptx.ptxwriter` — renders IR as readable PTX-like text
+  (carried inside PTX images for inspection; see DESIGN.md).
+* :mod:`repro.cuda.ptx.images` — PTX and cubin container formats.
+* :mod:`repro.cuda.ptx.jit` — runtime "JIT" of PTX images with the on-disk
+  compilation cache the paper describes (§3.3).
+"""
+
+from repro.cuda.ptx.ir import (
+    Atom, BarOp, BinOp, BreakOp, CallOp, ContinueOp, Cvt, GlobalAddr, Imm,
+    IfOp, KernelIR, KernelParam, Ld, LoopOp, ModuleIR, Mov, PrintfOp, Reg,
+    RetOp, SelOp, Sreg, St, UnOp,
+)
+
+__all__ = [
+    "Atom", "BarOp", "BinOp", "BreakOp", "CallOp", "ContinueOp", "Cvt",
+    "GlobalAddr", "IfOp", "Imm", "KernelIR", "KernelParam", "Ld", "LoopOp",
+    "ModuleIR", "Mov", "PrintfOp", "Reg", "RetOp", "SelOp", "Sreg", "St",
+    "UnOp",
+]

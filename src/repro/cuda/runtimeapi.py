@@ -1,0 +1,150 @@
+"""CUDA *runtime API* natives for interpreted host programs.
+
+The paper's pure-CUDA comparison benchmarks are normal ``.cu`` programs:
+host C code calling ``cudaMalloc``/``cudaMemcpy`` and launching kernels
+with ``<<< >>>``.  This module wires those calls into the simulated
+driver so the exact benchmark sources run unmodified under the cfront
+interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cfront import astnodes as A
+from repro.cfront.ctypes_ import CHAR
+from repro.cfront.errors import InterpError
+from repro.cfront.interp import Machine, Ptr
+from repro.cfront.parser import parse_translation_unit
+from repro.cuda.device import Dim3
+from repro.cuda.driver import CudaDriver, CUfunction
+from repro.cuda.nvcc import compile_device
+
+#: cudaMemcpyKind values (matching the real enum)
+cudaMemcpyHostToHost = 0
+cudaMemcpyHostToDevice = 1
+cudaMemcpyDeviceToHost = 2
+cudaMemcpyDeviceToDevice = 3
+
+
+class CudaRuntime:
+    """Binds one interpreter Machine to one driver + one kernel module."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        driver: CudaDriver,
+        source: Optional[Union[str, A.TranslationUnit]] = None,
+        mode: str = "cubin",
+    ):
+        self.machine = machine
+        self.driver = driver
+        driver.cuInit(0)
+        driver.cuDeviceGet(0)
+        ctx = driver.cuDevicePrimaryCtxRetain(0)
+        driver.cuCtxSetCurrent(ctx)
+        self.module_handle: Optional[int] = None
+        if source is not None:
+            unit_ = source if isinstance(source, A.TranslationUnit) else \
+                parse_translation_unit(source, "rtmodule.cu")
+            has_kernels = any(isinstance(d, A.FuncDef) and "__global__" in d.quals
+                              for d in unit_.decls)
+            if has_kernels:
+                image = compile_device(unit_, "rtmodule", mode=mode)
+                self.module_handle = driver.cuModuleLoadData(image)
+        machine.register_space(driver.gmem)
+        machine.natives.update(self._natives())
+        # enum constants normally provided by cuda_runtime.h
+        machine.globals.setdefault("cudaMemcpyHostToHost", cudaMemcpyHostToHost)
+        machine.globals.setdefault("cudaMemcpyHostToDevice", cudaMemcpyHostToDevice)
+        machine.globals.setdefault("cudaMemcpyDeviceToHost", cudaMemcpyDeviceToHost)
+        machine.globals.setdefault("cudaMemcpyDeviceToDevice", cudaMemcpyDeviceToDevice)
+        machine.globals.setdefault("cudaSuccess", 0)
+
+    # -- native implementations ----------------------------------------------
+    def _natives(self) -> dict:
+        return {
+            "cudaMalloc": self._cuda_malloc,
+            "cudaFree": self._cuda_free,
+            "cudaMemcpy": self._cuda_memcpy,
+            "cudaMemset": self._cuda_memset,
+            "cudaDeviceSynchronize": lambda m, a, l: 0,
+            "cudaThreadSynchronize": lambda m, a, l: 0,
+            "cudaGetLastError": lambda m, a, l: 0,
+            "__cuda_launch__": self._cuda_launch,
+        }
+
+    def _cuda_malloc(self, machine: Machine, args, loc):
+        target, size = args
+        if not isinstance(target, Ptr):
+            raise InterpError("cudaMalloc: first argument must be a pointer "
+                              "to a device pointer", loc)
+        dptr = self.driver.cuMemAlloc(int(size))
+        machine.store_value(target.mem, target.addr, target.ctype, dptr)
+        return 0
+
+    def _cuda_free(self, machine: Machine, args, loc):
+        (ptr,) = args
+        addr = ptr.addr if isinstance(ptr, Ptr) else int(ptr)
+        if addr:
+            self.driver.cuMemFree(addr)
+        return 0
+
+    def _cuda_memcpy(self, machine: Machine, args, loc):
+        dst, src, size, kind = args
+        size = int(size)
+        kind = int(kind)
+        if kind == cudaMemcpyHostToDevice:
+            data = src.mem.copy_out(src.addr, size)
+            self.driver.cuMemcpyHtoD(dst.addr, data)
+        elif kind == cudaMemcpyDeviceToHost:
+            data = self.driver.cuMemcpyDtoH(src.addr, size)
+            dst.mem.copy_in(dst.addr, data)
+        elif kind == cudaMemcpyDeviceToDevice:
+            data = self.driver.gmem.copy_out(src.addr, size)
+            self.driver.cuMemcpyHtoD(dst.addr, data)
+        elif kind == cudaMemcpyHostToHost:
+            dst.mem.copy_in(dst.addr, src.mem.copy_out(src.addr, size))
+        else:
+            raise InterpError(f"cudaMemcpy: bad kind {kind}", loc)
+        return 0
+
+    def _cuda_memset(self, machine: Machine, args, loc):
+        ptr, value, size = args
+        self.driver.cuMemsetD8(ptr.addr, int(value), int(size))
+        return 0
+
+    def _cuda_launch(self, machine: Machine, args, loc):
+        name, grid_val, block_val, shmem, kargs = args
+        if self.module_handle is None:
+            raise InterpError("no kernel module loaded for this runtime", loc)
+        fn = self.driver.cuModuleGetFunction(self.module_handle, name)
+        grid = Dim3.of(grid_val if not isinstance(grid_val, (int, float))
+                       else int(grid_val))
+        block = Dim3.of(block_val if not isinstance(block_val, (int, float))
+                        else int(block_val))
+        params = [a.addr if isinstance(a, Ptr) else a for a in kargs]
+        self.driver.cuLaunchKernel(
+            fn, grid.x, grid.y, grid.z, block.x, block.y, block.z,
+            shared_mem_bytes=int(shmem), kernel_params=params,
+        )
+        machine.stdout.extend(self.driver.stdout)
+        self.driver.stdout.clear()
+        return 0
+
+
+def run_cuda_program(
+    source: str,
+    driver: Optional[CudaDriver] = None,
+    mode: str = "cubin",
+    heap_capacity: int = 1 << 30,
+) -> tuple[Machine, CudaDriver]:
+    """Convenience: compile + execute a complete .cu program."""
+    unit = parse_translation_unit(source, "program.cu")
+    machine = Machine(unit, heap_capacity=heap_capacity)
+    driver = driver or CudaDriver()
+    CudaRuntime(machine, driver, unit, mode=mode)
+    machine.run()
+    return machine, driver

@@ -1,0 +1,31 @@
+"""Global-memory coalescing model.
+
+Maxwell services a warp's global access in 32-byte sectors: the number of
+DRAM transactions for one warp-wide load/store equals the number of
+distinct 32-byte segments spanned by the active lanes.  A fully coalesced
+float32 access by 32 lanes touches 4 segments; a fully scattered one
+touches 32.  This count feeds the timing model's memory term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SEGMENT_BYTES = 32
+
+
+def transactions(addrs: np.ndarray, itemsize: int, mask: np.ndarray) -> int:
+    """Number of 32-byte segments touched by the active lanes."""
+    if not mask.any():
+        return 0
+    active = addrs[mask].astype(np.int64)
+    first = active // SEGMENT_BYTES
+    last = (active + itemsize - 1) // SEGMENT_BYTES
+    if itemsize <= SEGMENT_BYTES:
+        # an element can span at most two segments
+        segs = np.concatenate([first, last])
+    else:  # pragma: no cover - no >32B elements in this reproduction
+        segs = np.concatenate(
+            [np.arange(f, l + 1) for f, l in zip(first, last)]
+        )
+    return int(np.unique(segs).size)

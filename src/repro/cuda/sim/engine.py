@@ -1,0 +1,364 @@
+"""Functional engine: block scheduling, named barriers, memory routing.
+
+The Jetson Nano GPU has a single streaming multiprocessor, so thread
+blocks execute one at a time; within a block, warps are scheduled
+cooperatively (each warp is a generator that yields at barriers and in
+spin loops).  Named barriers implement PTX ``bar.sync b, n`` semantics:
+an arriving warp contributes 32 threads towards the count; release happens
+when ``ceil(n / 32)`` warps have arrived (counts must be multiples of the
+warp size — enforced, since the paper's runtime rounds N up to W*ceil(N/W)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.cuda.device import DeviceProperties, Dim3
+from repro.cuda.ptx.ir import Atom, BarOp, CallOp, KernelIR, LoopOp, walk_ops
+from repro.cuda.ptx.lower import LOCAL_WINDOW_BASE, SHARED_WINDOW_BASE
+from repro.cuda.sim.coalesce import transactions
+from repro.cuda.sim.warp import WARP_SIZE, WarpExec
+from repro.mem import LinearMemory
+
+
+class LaunchError(Exception):
+    """Kernel execution failed (deadlock, bad barrier, resource limits)."""
+
+
+@dataclass
+class KernelStats:
+    """Dynamic execution counters for one kernel launch.
+
+    ``instructions`` counts warp-level dispatches (the unit the timing
+    model prices); ALU counters additionally track active-lane work.
+    """
+
+    instructions: int = 0
+    alu_f32: int = 0
+    alu_f64: int = 0
+    alu_int: int = 0
+    special_ops: int = 0
+    load_instructions: int = 0
+    store_instructions: int = 0
+    #: loads/stores that hit device DRAM (latency-relevant); the rest are
+    #: shared/local (on-chip or L1-cached)
+    global_mem_instructions: int = 0
+    global_transactions: int = 0
+    shared_accesses: int = 0
+    local_accesses: int = 0
+    barriers: int = 0
+    atomics: int = 0
+    divergent_branches: int = 0
+    loop_iterations: int = 0
+    spins: int = 0
+    blocks_launched: int = 0
+    warps_launched: int = 0
+    threads_launched: int = 0
+    #: filled by the launcher
+    grid: tuple[int, int, int] = (1, 1, 1)
+    block: tuple[int, int, int] = (1, 1, 1)
+    smem_per_block: int = 0
+    registers_per_thread: int = 32
+
+    def note_alu(self, dtype: str, active: int, special: bool = False) -> None:
+        self.instructions += 1
+        if special:
+            self.special_ops += active
+        elif dtype == "f32":
+            self.alu_f32 += active
+        elif dtype == "f64":
+            self.alu_f64 += active
+        else:
+            self.alu_int += active
+
+    def merge_scaled(self, other: "KernelStats", factor: float) -> None:
+        """Accumulate ``other`` scaled by ``factor`` (representative-block
+        extrapolation in the timing engine)."""
+        for name in (
+            "instructions", "alu_f32", "alu_f64", "alu_int", "special_ops",
+            "load_instructions", "store_instructions",
+            "global_mem_instructions", "global_transactions",
+            "shared_accesses", "local_accesses", "barriers", "atomics",
+            "divergent_branches", "loop_iterations", "spins",
+        ):
+            setattr(self, name, getattr(self, name) + int(getattr(other, name) * factor))
+
+
+class BlockCtx:
+    """Per-block execution context: shared memory, local memory, and a
+    scratch area for the device runtime's per-block state."""
+
+    def __init__(self, block_idx, block_dim, grid_dim, smem_size: int,
+                 local_per_thread: int):
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.smem = LinearMemory(max(smem_size, 16), base=SHARED_WINDOW_BASE,
+                                 name="shared")
+        nthreads = block_dim[0] * block_dim[1] * block_dim[2]
+        self.local_per_thread = local_per_thread
+        if local_per_thread:
+            self.lmem = LinearMemory(local_per_thread * nthreads,
+                                     base=LOCAL_WINDOW_BASE, name="local")
+        else:
+            self.lmem = None
+        #: device-runtime per-block state (shared-memory stack pointer,
+        #: registered parallel region, section counters, ...)
+        self.devrt: dict = {}
+
+    def local_base(self, lane_linear: np.ndarray) -> np.ndarray:
+        return (LOCAL_WINDOW_BASE
+                + lane_linear.astype(np.uint64) * np.uint64(self.local_per_thread))
+
+
+class FunctionalEngine:
+    """Executes kernels functionally on the simulated device."""
+
+    def __init__(
+        self,
+        device: DeviceProperties,
+        gmem: LinearMemory,
+        intrinsics: Optional[dict[str, Callable]] = None,
+        module_globals: Optional[dict[str, int]] = None,
+    ):
+        self.device = device
+        self.gmem = gmem
+        self.intrinsics = intrinsics or {}
+        self.module_globals = module_globals or {}
+        self.stdout: list[str] = []
+        self.stats = KernelStats()
+        self._loop_block_cache: dict[int, bool] = {}
+
+    # -- memory routing ------------------------------------------------------
+    def global_addr(self, name: str) -> int:
+        try:
+            return self.module_globals[name]
+        except KeyError:
+            raise LaunchError(f"unresolved device global {name!r}") from None
+
+    def resolve_space(self, warp: WarpExec, addr: int) -> LinearMemory:
+        if self.gmem.base <= addr < self.gmem.base + self.gmem.capacity:
+            return self.gmem
+        block = warp.block
+        if SHARED_WINDOW_BASE <= addr < SHARED_WINDOW_BASE + block.smem.capacity:
+            return block.smem
+        if block.lmem is not None and \
+                LOCAL_WINDOW_BASE <= addr < LOCAL_WINDOW_BASE + block.lmem.capacity:
+            return block.lmem
+        raise LaunchError(f"kernel accessed unmapped address {addr:#x}")
+
+    def mem_load(self, warp: WarpExec, addrs, dtype: np.dtype, mask: np.ndarray):
+        self.stats.load_instructions += 1
+        self.stats.instructions += 1
+        addrs = np.broadcast_to(np.asarray(addrs, dtype=np.uint64), (WARP_SIZE,))
+        space = self.resolve_space(warp, int(addrs[np.argmax(mask)]))
+        self._note_mem(space, addrs, dtype.itemsize, mask)
+        out = np.zeros(WARP_SIZE, dtype=dtype)
+        out[mask] = space.gather(addrs[mask], dtype)
+        return out
+
+    def mem_store(self, warp: WarpExec, addrs, dtype: np.dtype, values,
+                  mask: np.ndarray) -> None:
+        self.stats.store_instructions += 1
+        self.stats.instructions += 1
+        addrs = np.broadcast_to(np.asarray(addrs, dtype=np.uint64), (WARP_SIZE,))
+        values = np.broadcast_to(np.asarray(values), (WARP_SIZE,))
+        space = self.resolve_space(warp, int(addrs[np.argmax(mask)]))
+        self._note_mem(space, addrs, dtype.itemsize, mask)
+        if values.dtype.kind == "f" and dtype.kind in "iu":
+            values = np.trunc(values)
+        with np.errstate(over="ignore", invalid="ignore"):
+            space.scatter(addrs[mask], dtype, values[mask].astype(dtype, casting="unsafe"))
+
+    def _note_mem(self, space: LinearMemory, addrs, itemsize, mask) -> None:
+        if space is self.gmem:
+            self.stats.global_mem_instructions += 1
+            self.stats.global_transactions += transactions(addrs, itemsize, mask)
+        elif space.name == "shared":
+            self.stats.shared_accesses += int(mask.sum())
+        else:
+            self.stats.local_accesses += int(mask.sum())
+
+    # -- loop classification -----------------------------------------------------
+    def loop_may_block(self, loop: LoopOp) -> bool:
+        cached = self._loop_block_cache.get(id(loop))
+        if cached is None:
+            cached = any(
+                isinstance(op, (BarOp, Atom, CallOp))
+                for op in walk_ops(loop.body_ops)
+            ) or any(
+                isinstance(op, (BarOp, Atom, CallOp))
+                for op in walk_ops(loop.cond_ops)
+            )
+            self._loop_block_cache[id(loop)] = cached
+        return cached
+
+    # -- launch ----------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelIR,
+        grid,
+        block,
+        params: list,
+        only_blocks: Optional[Iterable[tuple[int, int, int]]] = None,
+        only_warps: Optional[set[int]] = None,
+        fresh_stats: bool = True,
+    ) -> KernelStats:
+        grid = Dim3.of(grid)
+        block = Dim3.of(block)
+        self._validate_launch(kernel, grid, block)
+        if fresh_stats:
+            self.stats = KernelStats()
+        stats = self.stats
+        stats.grid = (grid.x, grid.y, grid.z)
+        stats.block = (block.x, block.y, block.z)
+        stats.smem_per_block = kernel.smem_static
+        nthreads = block.count
+        nwarps = (nthreads + WARP_SIZE - 1) // WARP_SIZE
+        if only_blocks is None:
+            blocks = (
+                (bx, by, bz)
+                for bz in range(grid.z)
+                for by in range(grid.y)
+                for bx in range(grid.x)
+            )
+        else:
+            blocks = iter(only_blocks)
+        for block_idx in blocks:
+            ctx = BlockCtx(
+                block_idx,
+                (block.x, block.y, block.z),
+                (grid.x, grid.y, grid.z),
+                self.device.shared_mem_per_block,
+                kernel.local_static,
+            )
+            warps = []
+            for w in range(nwarps):
+                if only_warps is not None and w not in only_warps:
+                    # representative-warp sampling: valid only for kernels
+                    # with no inter-warp communication (the caller checks)
+                    continue
+                lane_linear = np.arange(w * WARP_SIZE, (w + 1) * WARP_SIZE,
+                                        dtype=np.int64)
+                valid = lane_linear < nthreads
+                warps.append(WarpExec(self, ctx, w, lane_linear, valid,
+                                      kernel, params))
+            self._run_block(warps)
+            stats.blocks_launched += 1
+            stats.warps_launched += len(warps)
+            stats.threads_launched += nthreads
+        return stats
+
+    def _validate_launch(self, kernel: KernelIR, grid: Dim3, block: Dim3) -> None:
+        dev = self.device
+        if block.count == 0 or grid.count == 0:
+            raise LaunchError("empty grid or block")
+        if block.count > dev.max_threads_per_block:
+            raise LaunchError(
+                f"block of {block.count} threads exceeds device limit "
+                f"{dev.max_threads_per_block}"
+            )
+        for dim, limit in zip((block.x, block.y, block.z), dev.max_block_dim):
+            if dim > limit:
+                raise LaunchError(f"block dimension {dim} exceeds limit {limit}")
+        for dim, limit in zip((grid.x, grid.y, grid.z), dev.max_grid_dim):
+            if dim > limit:
+                raise LaunchError(f"grid dimension {dim} exceeds limit {limit}")
+        if kernel.smem_static > dev.shared_mem_per_block:
+            raise LaunchError(
+                f"kernel needs {kernel.smem_static}B shared memory; device "
+                f"has {dev.shared_mem_per_block}B"
+            )
+
+    def _run_block(self, warps: list[WarpExec]) -> None:
+        gens = [w.run_kernel() for w in warps]
+        n = len(warps)
+        READY, WAITING, DONE = 0, 1, 2
+        status = [READY] * n
+        # bar_id -> {"arrived": set[int], "count": Optional[int]}
+        bars: dict[int, dict] = {}
+        max_barriers = self.device.named_barriers_per_block
+
+        def try_release(bar_id: int) -> None:
+            state = bars.get(bar_id)
+            if state is None:
+                return
+            count = state["count"]
+            arrived = state["arrived"]
+            if count is None:
+                expected = {i for i in range(n) if status[i] != DONE}
+                if arrived >= expected:
+                    release = arrived
+                else:
+                    return
+            else:
+                needed = (count + WARP_SIZE - 1) // WARP_SIZE
+                if len(arrived) >= needed:
+                    release = arrived
+                else:
+                    return
+            for i in release:
+                status[i] = READY
+            del bars[bar_id]
+
+        queue = deque(range(n))
+        idle_rounds = 0
+        while any(s != DONE for s in status):
+            progressed = False
+            for _ in range(n):
+                i = queue[0]
+                queue.rotate(-1)
+                if status[i] != READY:
+                    continue
+                progressed = True
+                try:
+                    event = next(gens[i])
+                except StopIteration:
+                    status[i] = DONE
+                    # a finishing warp may satisfy a full-block barrier
+                    for bar_id in list(bars):
+                        try_release(bar_id)
+                    continue
+                if event[0] == "bar":
+                    _tag, bar_id, count = event
+                    self.stats.barriers += 1
+                    if bar_id >= max_barriers or bar_id < 0:
+                        raise LaunchError(
+                            f"barrier id {bar_id} out of range (device has "
+                            f"{max_barriers} named barriers per block)"
+                        )
+                    if count is not None and count % WARP_SIZE != 0:
+                        raise LaunchError(
+                            f"bar.sync count {count} is not a multiple of the "
+                            f"warp size {WARP_SIZE}"
+                        )
+                    state = bars.setdefault(bar_id, {"arrived": set(), "count": count})
+                    if state["count"] != count:
+                        raise LaunchError(
+                            f"inconsistent thread counts at barrier {bar_id}: "
+                            f"{state['count']} vs {count}"
+                        )
+                    state["arrived"].add(i)
+                    status[i] = WAITING
+                    try_release(bar_id)
+                elif event[0] == "spin":
+                    self.stats.spins += 1
+                else:  # pragma: no cover
+                    raise LaunchError(f"unknown scheduler event {event!r}")
+            if not progressed:
+                idle_rounds += 1
+            else:
+                idle_rounds = 0
+            if idle_rounds > 2:
+                waiting = {
+                    bar_id: sorted(state["arrived"])
+                    for bar_id, state in bars.items()
+                }
+                raise LaunchError(
+                    f"deadlock in block: warps waiting on barriers {waiting}, "
+                    f"statuses={status}"
+                )

@@ -1,0 +1,28 @@
+"""cudadev device runtime library (the *device part* of the paper's module).
+
+This package implements, as engine intrinsics, every device-side facility
+paper §4.2.2 lists:
+
+* parallel regions — both the master/worker scheme for standalone
+  ``parallel`` constructs (:mod:`repro.devrt.masterworker`) and the direct
+  mapping used by combined constructs;
+* worksharing — ``for`` with static/dynamic/guided schedules and the
+  two-phase distribute+for chunking of §3.1 (:mod:`repro.devrt.schedules`),
+  ``sections`` via a lock+counter with warp-spread assignment
+  (:mod:`repro.devrt.sections`), ``single`` via if-master;
+* synchronization — CAS busy-wait locks for ``critical``
+  (:mod:`repro.devrt.sync`) and named barriers with the W*ceil(N/W)
+  round-up rule (:mod:`repro.devrt.barriers`);
+* the shared-memory stack (``cudadev_push_shmem``/``cudadev_pop_shmem``,
+  :mod:`repro.devrt.shmem`);
+* the device-side ``omp_*`` API (:mod:`repro.devrt.api`).
+
+On the real board this library is a CUDA object linked with each kernel
+(at build time in cubin mode, at JIT time in ptx mode); here it is the
+intrinsic table handed to the functional engine — the driver simulator
+performs the same "linking" step by attaching the table at module load.
+"""
+
+from repro.devrt.api import INTRINSIC_SIGS, build_intrinsics
+
+__all__ = ["INTRINSIC_SIGS", "build_intrinsics"]

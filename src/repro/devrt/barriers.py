@@ -1,0 +1,40 @@
+"""OpenMP ``barrier`` on the device (paper §4.2.2).
+
+"An encountered barrier construct is translated to a bar.sync PTX
+instruction, allowing a total of 16 barriers to be utilized by a single
+block.  A restriction of the bar.sync instruction is that it can only
+accept ... a number of threads that is a multiple of the warp size (W=32).
+If a subset of threads participating in a parallel region contains N
+threads, and N does not satisfy this restriction, cudadev performs a
+barrier synchronization for X = W*ceil(N/W) threads."
+
+``cudadev_barrier`` synchronises the threads of the *current binding
+region*: in combined mode that is the whole block; in master/worker mode
+the N participating worker threads (rounded up to X).  CUDA skips warps
+whose threads did not call into the barrier, so the X - N inactive
+threads never block release — the engine models that by counting warp
+arrivals (an arriving warp contributes 32 threads regardless of how many
+of its lanes are active).
+"""
+
+from __future__ import annotations
+
+from repro.cuda.sim.warp import WARP_SIZE, WarpExec
+from repro.devrt.state import B_OMP, block_state
+
+
+def round_up_threads(n: int, warp_size: int = WARP_SIZE) -> int:
+    """The paper's X = W * ceil(N / W) rule."""
+    if n <= 0:
+        return warp_size
+    return warp_size * ((n + warp_size - 1) // warp_size)
+
+
+def cudadev_barrier(warp: WarpExec, mask, args):
+    devrt = block_state(warp)
+    if devrt["mode"] == "mw" and devrt["mw"]["in_region"]:
+        n = devrt["mw"]["nthreads"]
+    else:
+        n = devrt["nthreads_block"]
+    yield ("bar", B_OMP, round_up_threads(n))
+    return None

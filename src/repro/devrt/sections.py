@@ -1,0 +1,81 @@
+"""``sections`` worksharing (paper §4.2.2).
+
+"sections directives are implemented using locks; the library keeps track
+of the remaining sections using a counter initialized to the number of
+sections.  The thread that reaches a section first acquires a lock and
+reduces the counter until the latter becomes 0.  To avoid warp divergence,
+each section is assigned to threads from different warps."
+
+The generated code pattern is::
+
+    cudadev_sections_init(sid, NSECTIONS);
+    int _s;
+    while ((_s = cudadev_next_section(sid)) >= 0) {
+        if (_s == 0) { ...section 0... }
+        else if (_s == 1) { ...section 1... }
+    }
+    cudadev_barrier();   // unless nowait
+
+Warp-spread assignment: at most one section is handed out per warp per
+call (to the warp's first active lane), so two sections never execute
+divergently inside the same warp — a warp whose leader got section ``k``
+loops and may pick up another once faster warps have had their chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.sim.warp import WARP_SIZE, WarpExec
+from repro.devrt.state import block_state, pure, uniform
+
+
+@pure
+def cudadev_sections_init(warp: WarpExec, mask, args):
+    """Initialise the sections counter.  Every participating warp calls
+    this, but only the first call of a construct *instance* resets the
+    counter; the instance ends (allowing re-execution of the construct,
+    e.g. inside an outer sequential loop) once every warp of the block has
+    passed through init."""
+    devrt = block_state(warp)
+    sid = int(uniform(args[0], mask))
+    nsections = int(uniform(args[1], mask))
+    nwarps = (devrt["nthreads_block"] + WARP_SIZE - 1) // WARP_SIZE
+    state = devrt["sections"].get(sid)
+    if state is not None and warp.warp_index not in state["init_warps"]:
+        # same construct instance: just record this warp's entry
+        state["init_warps"].add(warp.warp_index)
+        return None
+    # first warp of a (new) instance resets the counter
+    devrt["sections"][sid] = {
+        "remaining": nsections,
+        "next": 0,
+        "nsections": nsections,
+        "per_warp": {},
+        "init_warps": {warp.warp_index},
+        "reusable": False,
+    }
+    return None
+
+
+@pure
+def cudadev_next_section(warp: WarpExec, mask, args):
+    """Hand the next unexecuted section to this warp's leader lane; every
+    other lane (and every call after exhaustion) receives -1.
+
+    The lock+counter of the real library is subsumed by the cooperative
+    scheduler: an intrinsic runs to completion without preemption, so the
+    counter update is atomic by construction.
+    """
+    devrt = block_state(warp)
+    sid = int(uniform(args[0], mask))
+    state = devrt["sections"][sid]
+    result = np.full(WARP_SIZE, -1, dtype=np.int32)
+    if state["remaining"] <= 0:
+        return result
+    leader = int(np.argmax(mask))
+    result[leader] = state["next"]
+    state["next"] += 1
+    state["remaining"] -= 1
+    state["per_warp"][warp.warp_index] = state["per_warp"].get(warp.warp_index, 0) + 1
+    return result

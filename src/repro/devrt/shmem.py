@@ -1,0 +1,66 @@
+"""The shared-memory stack (paper §3.2).
+
+Variables that are shared between the master thread and the workers of a
+parallel region are *pushed* onto a stack living in the block's shared
+memory; ``cudadev_push_shmem`` copies the master's private value in and
+returns the shared address, ``cudadev_pop_shmem`` copies the (possibly
+updated) value back out and deallocates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.ptx.lower import SHARED_WINDOW_BASE
+from repro.cuda.sim.warp import WarpExec
+from repro.devrt.state import block_state, pure, uniform
+
+
+class ShmemStackError(Exception):
+    """Shared-memory stack overflow/underflow."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+@pure
+def cudadev_push_shmem(warp: WarpExec, mask, args):
+    """Push ``size`` bytes from the (master's) private copy at ``src`` onto
+    the shared-memory stack; returns the shared address."""
+    devrt = block_state(warp)
+    src = int(uniform(args[0], mask))
+    size = int(uniform(args[1], mask))
+    sp = _align8(devrt["shmem_sp"])
+    smem = warp.block.smem
+    if sp + size > smem.capacity:
+        raise ShmemStackError(
+            f"shared-memory stack overflow: sp={sp}, push of {size} bytes, "
+            f"capacity {smem.capacity}"
+        )
+    src_space = warp.engine.resolve_space(warp, src)
+    smem.copy_in(SHARED_WINDOW_BASE + sp, src_space.copy_out(src, size))
+    devrt["shmem_sp"] = sp + size
+    devrt.setdefault("shmem_frames", []).append((sp, size, src))
+    return np.full(warp.lane_linear.shape, SHARED_WINDOW_BASE + sp, dtype=np.uint64)
+
+
+@pure
+def cudadev_pop_shmem(warp: WarpExec, mask, args):
+    """Pop the top stack entry, copying its value back to the private copy
+    at ``dst`` (so the master observes updates made inside the region)."""
+    devrt = block_state(warp)
+    dst = int(uniform(args[0], mask))
+    size = int(uniform(args[1], mask))
+    frames = devrt.get("shmem_frames") or []
+    if not frames:
+        raise ShmemStackError("shared-memory stack underflow")
+    sp, pushed_size, _src = frames.pop()
+    if pushed_size != size:
+        raise ShmemStackError(
+            f"mismatched pop: pushed {pushed_size} bytes, popping {size}"
+        )
+    dst_space = warp.engine.resolve_space(warp, dst)
+    dst_space.copy_in(dst, warp.block.smem.copy_out(SHARED_WINDOW_BASE + sp, size))
+    devrt["shmem_sp"] = sp
+    return None

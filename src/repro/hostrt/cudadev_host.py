@@ -1,0 +1,149 @@
+"""Host part of the cudadev module (paper §4.2.1).
+
+Discovery happens at application startup; *full* initialisation is lazy —
+"a device is fully initialized only when the first kernel is about to be
+offloaded to this particular device": cuInit, hardware attribute capture,
+primary context creation.
+
+Kernel launch is the paper's three phases:
+
+1. **loading** — locate the kernel's image (OMPi emits one kernel file
+   per target region); a PTX image is JIT-compiled and linked with the
+   device library (disk cache consulted), a cubin loads directly;
+2. **parameter preparation** — arguments arriving from the data
+   environment are host addresses already translated to device addresses,
+   scalars pass by value; the module builds the final parameter set;
+3. **launch** — grid/block dimensions are set and ``cuLaunchKernel`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.driver import CudaDriver, CUfunction
+from repro.cuda.errors import CudaError
+from repro.cuda.ptx.jit import JitCache
+from repro.hostrt.devices import DeviceModule
+from repro.mem import LinearMemory
+
+
+class CudadevModule(DeviceModule):
+    name = "cudadev"
+
+    def __init__(
+        self,
+        host_mem: LinearMemory,
+        device: DeviceProperties = JETSON_NANO_GPU,
+        clock=None,
+        jit_cache: Optional[JitCache] = None,
+        launch_mode: str = "auto",
+    ):
+        self.host_mem = host_mem
+        self.driver = CudaDriver(device, clock=clock, jit_cache=jit_cache,
+                                 launch_mode=launch_mode)
+        self._initialized = False
+        #: kernel name -> image (bytes/PtxImage/CubinImage), the "kernel
+        #: files" OMPi locates at runtime
+        self._images: dict[str, object] = {}
+        #: kernel name -> (module handle, CUfunction) after loading phase
+        self._loaded: dict[str, CUfunction] = {}
+        self.attributes: dict[str, int] = {}
+        self.stdout: list[str] = []
+
+    # -- lifecycle ----------------------------------------------------------------
+    def initialize(self) -> None:
+        if self._initialized:
+            return
+        drv = self.driver
+        drv.cuInit(0)
+        ndev = drv.cuDeviceGetCount()
+        if ndev < 1:
+            raise CudaError(2, "no CUDA device")  # pragma: no cover
+        dev = drv.cuDeviceGet(0)
+        # capture hardware characteristics into module data structures
+        for attr in ("MAX_THREADS_PER_BLOCK", "WARP_SIZE",
+                     "MULTIPROCESSOR_COUNT", "MAX_SHARED_MEMORY_PER_BLOCK",
+                     "CLOCK_RATE", "COMPUTE_CAPABILITY_MAJOR",
+                     "COMPUTE_CAPABILITY_MINOR"):
+            self.attributes[attr] = drv.cuDeviceGetAttribute(attr, dev)
+        ctx = drv.cuDevicePrimaryCtxRetain(dev)
+        drv.cuCtxSetCurrent(ctx)
+        self._initialized = True
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def _ensure_init(self) -> None:
+        if not self._initialized:
+            self.initialize()
+
+    # -- memory + transfers ----------------------------------------------------------
+    #: small mappings (scalars) come from a pooled arena so launch-heavy
+    #: programs don't pay a cuMemAlloc per mapped scalar (the real runtime
+    #: pools small device allocations the same way)
+    _ARENA_THRESHOLD = 64
+    _ARENA_SLOT = 64
+    _ARENA_BLOCK = 4096
+
+    def mem_alloc(self, size: int) -> int:
+        self._ensure_init()
+        if size <= self._ARENA_THRESHOLD:
+            free = self.__dict__.setdefault("_arena_free", [])
+            if not free:
+                base = self.driver.cuMemAlloc(self._ARENA_BLOCK)
+                free.extend(base + i * self._ARENA_SLOT
+                            for i in range(self._ARENA_BLOCK // self._ARENA_SLOT))
+            addr = free.pop()
+            self.__dict__.setdefault("_arena_addrs", set()).add(addr)
+            return addr
+        return self.driver.cuMemAlloc(size)
+
+    def mem_free(self, addr: int) -> None:
+        arena = self.__dict__.get("_arena_addrs")
+        if arena and addr in arena:
+            self.__dict__["_arena_free"].append(addr)
+            return
+        self.driver.cuMemFree(addr)
+
+    def write(self, dev_addr: int, host_addr: int, size: int) -> None:
+        self._ensure_init()
+        self.driver.cuMemcpyHtoD(dev_addr, self.host_mem.copy_out(host_addr, size))
+
+    def read(self, host_addr: int, dev_addr: int, size: int) -> None:
+        self.host_mem.copy_in(host_addr, self.driver.cuMemcpyDtoH(dev_addr, size))
+
+    # -- kernels -------------------------------------------------------------------
+    def register_kernel_image(self, kernel_name: str, image) -> None:
+        self._images[kernel_name] = image
+
+    def _loading_phase(self, kernel_name: str) -> CUfunction:
+        fn = self._loaded.get(kernel_name)
+        if fn is not None:
+            return fn
+        image = self._images.get(kernel_name)
+        if image is None:
+            raise CudaError(
+                500, f"kernel file for {kernel_name!r} not found "
+                "(was the kernel registered with the module?)"
+            )
+        handle = self.driver.cuModuleLoadData(image)
+        fn = self.driver.cuModuleGetFunction(handle, kernel_name)
+        self._loaded[kernel_name] = fn
+        return fn
+
+    def offload(self, kernel_name: str, args: list, teams, threads) -> None:
+        self._ensure_init()
+        fn = self._loading_phase(kernel_name)           # phase 1
+        params = list(args)                             # phase 2 (translated
+                                                        # by the data env)
+        gx, gy, gz = teams
+        bx, by, bz = threads                            # phase 3
+        self.driver.cuLaunchKernel(
+            fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
+            kernel_params=params,
+        )
+        if self.driver.stdout:
+            self.stdout.extend(self.driver.stdout)
+            self.driver.stdout.clear()

@@ -1,0 +1,20 @@
+"""Internal control variables (OpenMP 4.5 subset used by the runtime)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ICVs:
+    #: host threads (the Jetson Nano's quad-core A57)
+    nthreads_var: int = 4
+    dyn_var: bool = False
+    nest_var: bool = False
+    #: default target device (set to the GPU when a cudadev module exists)
+    default_device_var: int = 1
+    device_num_var: int = 0
+    max_active_levels_var: int = 1
+    run_sched_var: tuple[str, int] = ("static", 0)
+    stacksize: int = 1 << 20
+    cancel_var: bool = False

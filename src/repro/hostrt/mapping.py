@@ -1,0 +1,135 @@
+"""Device data environments: OpenMP map semantics with reference counting.
+
+Paper §2: ``map(to/from/tofrom/alloc)`` on ``target``-family constructs,
+``target data`` enclosing multiple targets over one environment, the
+stand-alone ``target enter/exit data`` and ``target update`` directives.
+
+Entries are keyed by *host address* (the cudadev module "maintain[s] a
+mapping of these parameters to their corresponding host addresses",
+§4.2.1).  A lookup of any address inside a mapped range resolves to the
+corresponding device address at the right offset, which is how array
+sections and whole-array references interoperate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+MAP_ALLOC = 0
+MAP_TO = 1
+MAP_FROM = 2
+MAP_TOFROM = 3
+MAP_RELEASE = 4
+MAP_DELETE = 5
+
+MAP_TYPE_NAMES = {
+    "alloc": MAP_ALLOC, "to": MAP_TO, "from": MAP_FROM,
+    "tofrom": MAP_TOFROM, "release": MAP_RELEASE, "delete": MAP_DELETE,
+}
+
+
+class MappingError(Exception):
+    pass
+
+
+@dataclass
+class MapEntry:
+    host_addr: int
+    size: int
+    dev_addr: int
+    refcount: int = 1
+    #: whether any mapping in the stack requested copy-back
+    copy_back: bool = False
+
+
+class DataEnv:
+    """One device's data environment, driven by a DeviceModule for the
+    actual allocation/transfer operations."""
+
+    def __init__(self, device_module):
+        self.device = device_module
+        self.entries: dict[int, MapEntry] = {}
+
+    # -- lookup ---------------------------------------------------------------
+    def find(self, host_addr: int) -> Optional[MapEntry]:
+        entry = self.entries.get(host_addr)
+        if entry is not None:
+            return entry
+        for e in self.entries.values():
+            if e.host_addr <= host_addr < e.host_addr + e.size:
+                return e
+        return None
+
+    def translate(self, host_addr: int) -> int:
+        """Host address -> device address (must be mapped)."""
+        entry = self.find(host_addr)
+        if entry is None:
+            raise MappingError(
+                f"host address {host_addr:#x} is not present in the device "
+                "data environment (missing map clause?)"
+            )
+        return entry.dev_addr + (host_addr - entry.host_addr)
+
+    def is_present(self, host_addr: int) -> bool:
+        return self.find(host_addr) is not None
+
+    # -- map/unmap ---------------------------------------------------------------
+    def map_enter(self, host_addr: int, size: int, map_type: int) -> MapEntry:
+        if size <= 0:
+            raise MappingError(f"mapping of non-positive size {size}")
+        entry = self.find(host_addr)
+        if entry is not None:
+            # present: refcount++, no re-allocation or transfer (OpenMP 4.5)
+            if host_addr + size > entry.host_addr + entry.size:
+                raise MappingError(
+                    "mapped section extends beyond an existing entry"
+                )
+            entry.refcount += 1
+            return entry
+        dev_addr = self.device.mem_alloc(size)
+        entry = MapEntry(host_addr, size, dev_addr)
+        if map_type in (MAP_TO, MAP_TOFROM):
+            self.device.write(dev_addr, host_addr, size)
+        entry.copy_back = map_type in (MAP_FROM, MAP_TOFROM)
+        self.entries[host_addr] = entry
+        return entry
+
+    def map_exit(self, host_addr: int, map_type: int) -> None:
+        entry = self.find(host_addr)
+        if entry is None:
+            raise MappingError(
+                f"unmap of address {host_addr:#x} that is not mapped"
+            )
+        entry.refcount -= 1
+        if map_type == MAP_DELETE:
+            entry.refcount = 0
+        if entry.refcount > 0:
+            return
+        # OpenMP 4.5: the copy-back decision belongs to the construct whose
+        # unmap drops the reference count to zero (an enclosing target data
+        # with map(alloc:) does NOT copy back even if inner targets mapped
+        # the same data tofrom)
+        if map_type in (MAP_FROM, MAP_TOFROM):
+            self.device.read(entry.host_addr, entry.dev_addr, entry.size)
+        self.device.mem_free(entry.dev_addr)
+        del self.entries[entry.host_addr]
+
+    # -- target update ----------------------------------------------------------
+    def update_to(self, host_addr: int, size: int) -> None:
+        entry = self.find(host_addr)
+        if entry is None:
+            raise MappingError("target update to() of unmapped data")
+        dev = entry.dev_addr + (host_addr - entry.host_addr)
+        self.device.write(dev, host_addr, size)
+
+    def update_from(self, host_addr: int, size: int) -> None:
+        entry = self.find(host_addr)
+        if entry is None:
+            raise MappingError("target update from() of unmapped data")
+        dev = entry.dev_addr + (host_addr - entry.host_addr)
+        self.device.read(host_addr, dev, size)
+
+    @property
+    def live_entries(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,267 @@
+"""The ort runtime object: devices, data environments, natives.
+
+A translated host program executes inside a cfront
+:class:`~repro.cfront.interp.Machine` whose native-function table is
+extended with the ``ort_*`` calls the OMPi code generator emits plus the
+host ``omp_*`` API.  One :class:`Ort` instance corresponds to one running
+program (like the real runtime's process-global state).
+
+Device numbering follows OpenMP: devices ``0 .. omp_get_num_devices()-1``
+are offload targets (device 0 is the cudadev GPU) and the *initial
+device* (the host itself) has id ``omp_get_num_devices()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cfront.errors import InterpError
+from repro.cfront.interp import Machine, Ptr
+from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.ptx.jit import JitCache
+from repro.hostrt.cudadev_host import CudadevModule
+from repro.hostrt.devices import HostDevice
+from repro.hostrt.icv import ICVs
+from repro.hostrt.mapping import DataEnv, MappingError
+from repro.hostrt.team import HostTeamError, TeamStack
+from repro.timing.clock import VirtualClock
+
+
+class Ort:
+    def __init__(
+        self,
+        machine: Machine,
+        device: DeviceProperties = JETSON_NANO_GPU,
+        clock: Optional[VirtualClock] = None,
+        jit_cache: Optional[JitCache] = None,
+        launch_mode: str = "auto",
+    ):
+        self.machine = machine
+        self.clock = clock or VirtualClock()
+        self.icvs = ICVs(default_device_var=0)
+        self.cudadev = CudadevModule(machine.heap, device, clock=self.clock,
+                                     jit_cache=jit_cache,
+                                     launch_mode=launch_mode)
+        self.host_device = HostDevice(machine)
+        #: offload devices (0..n-1); the initial device is id n
+        self.devices = [self.cudadev]
+        self.dataenvs = {0: DataEnv(self.cudadev)}
+        self.teams = TeamStack(self.icvs.nthreads_var)
+        self._pending_kargs: list = []
+        self._pending_pargs: list = []
+        machine.natives.update(self._natives())
+        machine.register_space(self.cudadev.driver.gmem)
+
+    # -- helpers ------------------------------------------------------------------
+    @property
+    def initial_device(self) -> int:
+        return len(self.devices)
+
+    def _resolve_device(self, dev: int) -> int:
+        if dev < 0:  # "default device" sentinel from the code generator
+            return self.icvs.default_device_var
+        return int(dev)
+
+    def _env(self, dev: int) -> Optional[DataEnv]:
+        dev = self._resolve_device(dev)
+        return self.dataenvs.get(dev)
+
+    @property
+    def log(self):
+        return self.cudadev.driver.log
+
+    # -- native table ----------------------------------------------------------------
+    def _natives(self) -> dict:
+        n = {
+            # data environment
+            "ort_map": self._ort_map,
+            "ort_unmap": self._ort_unmap,
+            "ort_update_to": self._ort_update_to,
+            "ort_update_from": self._ort_update_from,
+            "ort_is_present": self._ort_is_present,
+            # offload
+            "ort_arg_ptr": self._ort_arg_ptr,
+            "ort_arg_val": self._ort_arg_val,
+            "ort_offload": self._ort_offload,
+            # host parallel
+            "ort_parg": self._ort_parg,
+            "ort_execute_parallel": self._ort_execute_parallel,
+            "ort_for_bounds": self._ort_for_bounds,
+            "ort_host_barrier": self._ort_host_barrier,
+            # host omp API
+            "omp_get_wtime": lambda m, a, l: self.clock.now(),
+            "omp_get_num_devices": lambda m, a, l: len(self.devices),
+            "omp_get_initial_device": lambda m, a, l: self.initial_device,
+            "omp_get_default_device": lambda m, a, l: self.icvs.default_device_var,
+            "omp_set_default_device": self._omp_set_default_device,
+            "omp_is_initial_device": lambda m, a, l: 1,
+            "omp_get_thread_num": lambda m, a, l: self.teams.thread_num(),
+            "omp_get_num_threads": lambda m, a, l: self.teams.num_threads(),
+            "omp_get_max_threads": lambda m, a, l: self.icvs.nthreads_var,
+            "omp_set_num_threads": self._omp_set_num_threads,
+            "omp_get_num_procs": lambda m, a, l: 4,
+        }
+        return n
+
+    # -- data environment natives ----------------------------------------------------
+    def _addr_of(self, value, loc) -> int:
+        if isinstance(value, Ptr):
+            return value.addr
+        raise InterpError("runtime call expected a pointer argument", loc)
+
+    def _ort_map(self, machine, args, loc):
+        dev, ptr, size, map_type = args
+        dev = self._resolve_device(int(dev))
+        if dev >= self.initial_device:
+            return 0  # host device: identity mapping, nothing to do
+        env = self.dataenvs[dev]
+        try:
+            env.map_enter(self._addr_of(ptr, loc), int(size), int(map_type))
+        except MappingError as exc:
+            raise InterpError(str(exc), loc) from exc
+        return 0
+
+    def _ort_unmap(self, machine, args, loc):
+        dev, ptr, map_type = args
+        dev = self._resolve_device(int(dev))
+        if dev >= self.initial_device:
+            return 0
+        env = self.dataenvs[dev]
+        try:
+            env.map_exit(self._addr_of(ptr, loc), int(map_type))
+        except MappingError as exc:
+            raise InterpError(str(exc), loc) from exc
+        return 0
+
+    def _ort_update_to(self, machine, args, loc):
+        dev, ptr, size = args
+        dev = self._resolve_device(int(dev))
+        if dev >= self.initial_device:
+            return 0
+        self.dataenvs[dev].update_to(self._addr_of(ptr, loc), int(size))
+        return 0
+
+    def _ort_update_from(self, machine, args, loc):
+        dev, ptr, size = args
+        dev = self._resolve_device(int(dev))
+        if dev >= self.initial_device:
+            return 0
+        self.dataenvs[dev].update_from(self._addr_of(ptr, loc), int(size))
+        return 0
+
+    def _ort_is_present(self, machine, args, loc):
+        dev, ptr = args
+        env = self._env(int(dev))
+        if env is None:
+            return 1
+        return 1 if env.is_present(self._addr_of(ptr, loc)) else 0
+
+    # -- offload natives ------------------------------------------------------------
+    def _ort_arg_ptr(self, machine, args, loc):
+        """Queue one kernel argument.  ``base`` is the pointer the kernel
+        will index from; ``mapped`` is an address known to be inside the
+        mapped section (they differ when a section has a nonzero lower
+        bound: the kernel still receives a device pointer positioned so
+        that kernel-side indices match host-side indices)."""
+        dev, base, mapped = args
+        dev = self._resolve_device(int(dev))
+        if dev >= self.initial_device:
+            self._pending_kargs.append(base)   # host fallback: host pointer
+            return 0
+        env = self.dataenvs[dev]
+        base_addr = self._addr_of(base, loc)
+        mapped_addr = self._addr_of(mapped, loc)
+        try:
+            dev_mapped = env.translate(mapped_addr)
+        except MappingError as exc:
+            raise InterpError(str(exc), loc) from exc
+        self._pending_kargs.append(np.uint64(dev_mapped - (mapped_addr - base_addr)))
+        return 0
+
+    def _ort_arg_val(self, machine, args, loc):
+        """Queue a by-value scalar kernel argument (firstprivate-style:
+        never enters the device data environment)."""
+        _dev, value = args
+        self._pending_kargs.append(value)
+        return 0
+
+    def _ort_offload(self, machine, args, loc):
+        dev, name_ptr, gx, gy, gz, bx, by, bz = args
+        dev = self._resolve_device(int(dev))
+        name = machine.read_cstring(name_ptr)
+        kargs = self._pending_kargs
+        self._pending_kargs = []
+        teams = (max(int(gx), 1), max(int(gy), 1), max(int(gz), 1))
+        threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
+        if dev >= self.initial_device:
+            self.host_device.offload(name, kargs, teams, threads)
+            return 0
+        module = self.devices[dev]
+        module.offload(name, kargs, teams, threads)
+        if isinstance(module, CudadevModule) and module.stdout:
+            machine.stdout.extend(module.stdout)
+            module.stdout.clear()
+        return 0
+
+    # -- host parallel natives ----------------------------------------------------
+    def _ort_parg(self, machine, args, loc):
+        self._pending_pargs.append(args[0])
+        return 0
+
+    def _ort_execute_parallel(self, machine, args, loc):
+        name_ptr, nthreads = args
+        name = machine.read_cstring(name_ptr)
+        pargs = self._pending_pargs
+        self._pending_pargs = []
+        self.teams.run_parallel(machine, name, pargs, int(nthreads))
+        return 0
+
+    def _ort_for_bounds(self, machine, args, loc):
+        lo, hi, tlo_ptr, thi_ptr = args
+        tlo, thi = self.teams.static_bounds(int(lo), int(hi))
+        machine.store_value(tlo_ptr.mem, tlo_ptr.addr, tlo_ptr.ctype, tlo)
+        machine.store_value(thi_ptr.mem, thi_ptr.addr, thi_ptr.ctype, thi)
+        return 0
+
+    def _ort_host_barrier(self, machine, args, loc):
+        if self.teams.current is not None:
+            raise HostTeamError(
+                "barrier inside a host parallel region is not supported by "
+                "the sequential host-team simulation (see hostrt.team)"
+            )
+        return 0
+
+    # -- declare target globals ---------------------------------------------------
+    def bind_declare_target(self, name: str, host_addr: int, size: int,
+                            kernel_name: str) -> None:
+        """Give a ``declare target`` variable its device residence: force
+        the owning kernel module to load, register a permanent data-
+        environment entry (host global <-> module device global) and copy
+        the host initial value in.  One owning module per global — OMPi
+        links kernel files separately, so a declare-target variable shared
+        by several kernel files would need a cross-module linker step this
+        reproduction does not model (documented limitation)."""
+        self.cudadev.initialize()
+        fn = self.cudadev._loading_phase(kernel_name)
+        dev_addr, dev_size = self.cudadev.driver.cuModuleGetGlobal(
+            fn.module_handle, name)
+        if dev_size < size:
+            raise InterpError(
+                f"device global {name!r} smaller than host object")
+        env = self.dataenvs[0]
+        from repro.hostrt.mapping import MapEntry
+        env.entries[host_addr] = MapEntry(host_addr, size, dev_addr,
+                                          refcount=1 << 30)
+        self.cudadev.write(dev_addr, host_addr, size)
+
+    # -- host omp API ----------------------------------------------------------------
+    def _omp_set_default_device(self, machine, args, loc):
+        self.icvs.default_device_var = int(args[0])
+        return 0
+
+    def _omp_set_num_threads(self, machine, args, loc):
+        self.icvs.nthreads_var = max(1, int(args[0]))
+        self.teams.default_nthreads = self.icvs.nthreads_var
+        return 0

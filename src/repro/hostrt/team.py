@@ -1,0 +1,64 @@
+"""Host-side thread teams (parallel regions executing on the ARM A57).
+
+The reproduction's host "threads" are simulated: a parallel region's
+outlined function runs once per team member, sequentially, each run
+seeing its own ``omp_get_thread_num``.  For the data-parallel regions the
+benchmarks use (independent iterations, worksharing loops) this is
+semantically exact; mid-region cross-thread synchronisation (``barrier``
+inside a host parallel region) cannot be honoured under sequential
+simulation and raises, so misuse is loud rather than silently wrong.
+Device-side regions are unaffected (the GPU engine schedules real
+concurrent warps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class HostTeamError(Exception):
+    pass
+
+
+@dataclass
+class TeamCtx:
+    nthreads: int
+    tid: int = 0
+
+
+class TeamStack:
+    def __init__(self, default_nthreads: int = 4):
+        self.default_nthreads = default_nthreads
+        self.stack: list[TeamCtx] = []
+
+    @property
+    def current(self) -> TeamCtx | None:
+        return self.stack[-1] if self.stack else None
+
+    def thread_num(self) -> int:
+        ctx = self.current
+        return ctx.tid if ctx else 0
+
+    def num_threads(self) -> int:
+        ctx = self.current
+        return ctx.nthreads if ctx else 1
+
+    def run_parallel(self, machine, fn_name: str, args: list,
+                     nthreads: int | None) -> None:
+        n = nthreads if nthreads and nthreads > 0 else self.default_nthreads
+        for tid in range(n):
+            self.stack.append(TeamCtx(n, tid))
+            try:
+                machine.call(fn_name, *args)
+            finally:
+                self.stack.pop()
+
+    def static_bounds(self, lo: int, hi: int) -> tuple[int, int]:
+        """Contiguous static split of [lo, hi) for the calling thread."""
+        ctx = self.current
+        if ctx is None:
+            return lo, hi
+        n = max(hi - lo, 0)
+        chunk = (n + ctx.nthreads - 1) // ctx.nthreads
+        tlo = lo + ctx.tid * chunk
+        return tlo, min(tlo + chunk, hi)

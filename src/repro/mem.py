@@ -1,0 +1,170 @@
+"""Byte-addressable linear memory with a first-fit allocator.
+
+Both the host interpreter and the simulated GPU global memory are built on
+:class:`LinearMemory`.  Pointers in interpreted programs are integer byte
+addresses into one of these spaces, which is what lets the reproduction
+keep the paper's host-address -> device-address mapping tables (OMPi's
+device data environments) completely faithful.
+
+All loads/stores go through numpy dtypes so narrowing stores truncate the
+way C does (e.g. storing 300 into a ``char``).  Bulk region access uses
+views, not copies, per the HPC guide's "views, not copies" rule.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MemoryError_(Exception):
+    """Out-of-memory or invalid access in a simulated memory space."""
+
+
+@dataclass
+class _Block:
+    addr: int
+    size: int
+
+
+class LinearMemory:
+    """A contiguous byte-addressable memory of fixed capacity.
+
+    Addresses start at ``base`` (never 0, so that 0 keeps its C meaning of
+    NULL).  The allocator is a simple first-fit free list with coalescing —
+    adequate for the allocation patterns of benchmark programs, and it
+    makes double-free/overlap bugs detectable in tests.
+    """
+
+    def __init__(self, capacity: int, base: int = 0x1000, name: str = "mem"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.base = int(base)
+        self.name = name
+        self.buf = np.zeros(self.capacity, dtype=np.uint8)
+        self._free: list[_Block] = [_Block(self.base, self.capacity)]
+        self._allocated: dict[int, int] = {}  # addr -> size
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, size: int, align: int = 16) -> int:
+        if size <= 0:
+            size = 1
+        for i, blk in enumerate(self._free):
+            addr = (blk.addr + align - 1) // align * align
+            pad = addr - blk.addr
+            if blk.size >= size + pad:
+                if pad:
+                    self._free[i] = _Block(blk.addr, pad)
+                    rest_addr, rest_size = addr + size, blk.size - size - pad
+                    if rest_size:
+                        self._free.insert(i + 1, _Block(rest_addr, rest_size))
+                else:
+                    if blk.size == size:
+                        del self._free[i]
+                    else:
+                        self._free[i] = _Block(addr + size, blk.size - size)
+                self._allocated[addr] = size
+                return addr
+        raise MemoryError_(
+            f"{self.name}: out of memory allocating {size} bytes "
+            f"(capacity {self.capacity})"
+        )
+
+    def free(self, addr: int) -> None:
+        size = self._allocated.pop(addr, None)
+        if size is None:
+            raise MemoryError_(f"{self.name}: free of unallocated address {addr:#x}")
+        keys = [b.addr for b in self._free]
+        i = bisect.bisect_left(keys, addr)
+        self._free.insert(i, _Block(addr, size))
+        # coalesce with neighbours
+        merged: list[_Block] = []
+        for blk in self._free:
+            if merged and merged[-1].addr + merged[-1].size == blk.addr:
+                merged[-1] = _Block(merged[-1].addr, merged[-1].size + blk.size)
+            else:
+                merged.append(blk)
+        self._free = merged
+
+    def allocated_size(self, addr: int) -> int | None:
+        return self._allocated.get(addr)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._allocated.values())
+
+    # -- access ---------------------------------------------------------------
+    def _check(self, addr: int, size: int) -> int:
+        off = addr - self.base
+        if off < 0 or off + size > self.capacity:
+            raise MemoryError_(
+                f"{self.name}: access of {size} bytes at {addr:#x} out of range"
+            )
+        return off
+
+    def load(self, addr: int, dtype: np.dtype):
+        """Load one scalar of ``dtype`` at ``addr``."""
+        dt = np.dtype(dtype)
+        off = self._check(addr, dt.itemsize)
+        return self.buf[off : off + dt.itemsize].view(dt)[0]
+
+    def store(self, addr: int, dtype: np.dtype, value) -> None:
+        dt = np.dtype(dtype)
+        off = self._check(addr, dt.itemsize)
+        if dt.kind in "iu":
+            # Wrap like a C narrowing conversion (two's complement).
+            bits = 8 * dt.itemsize
+            v = int(value) & ((1 << bits) - 1)
+            if dt.kind == "i" and v >= 1 << (bits - 1):
+                v -= 1 << bits
+            self.buf[off : off + dt.itemsize].view(dt)[0] = v
+        else:
+            self.buf[off : off + dt.itemsize].view(dt)[0] = value
+
+    def view(self, addr: int, count: int, dtype: np.dtype) -> np.ndarray:
+        """A writable numpy view of ``count`` elements at ``addr``."""
+        dt = np.dtype(dtype)
+        off = self._check(addr, count * dt.itemsize)
+        return self.buf[off : off + count * dt.itemsize].view(dt)
+
+    def gather(self, addrs: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Vector load at per-lane byte addresses (SIMT warp loads)."""
+        dt = np.dtype(dtype)
+        offs = addrs.astype(np.int64) - self.base
+        if offs.size and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
+            raise MemoryError_(f"{self.name}: vector load out of range")
+        idx = offs[:, None] + np.arange(dt.itemsize, dtype=np.int64)[None, :]
+        raw = self.buf[idx.reshape(-1)]
+        return raw.view(dt).reshape(offs.shape)
+
+    def scatter(self, addrs: np.ndarray, dtype: np.dtype, values: np.ndarray) -> None:
+        """Vector store at per-lane byte addresses (SIMT warp stores).
+
+        Lanes scatter in lane order, so intra-warp write conflicts resolve
+        with the highest lane winning — CUDA leaves the winner undefined;
+        picking a deterministic one keeps runs reproducible.
+        """
+        dt = np.dtype(dtype)
+        offs = addrs.astype(np.int64) - self.base
+        if offs.size and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
+            raise MemoryError_(f"{self.name}: vector store out of range")
+        raw = np.ascontiguousarray(values, dtype=dt).view(np.uint8).reshape(-1, dt.itemsize)
+        idx = offs[:, None] + np.arange(dt.itemsize, dtype=np.int64)[None, :]
+        self.buf[idx.reshape(-1)] = raw.reshape(-1)
+
+    def copy_out(self, addr: int, size: int) -> bytes:
+        off = self._check(addr, size)
+        return self.buf[off : off + size].tobytes()
+
+    def copy_in(self, addr: int, data: bytes | np.ndarray) -> None:
+        data = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        off = self._check(addr, data.size)
+        self.buf[off : off + data.size] = data
+
+    def copy_within(self, dst: int, src: int, size: int) -> None:
+        so = self._check(src, size)
+        do = self._check(dst, size)
+        self.buf[do : do + size] = self.buf[so : so + size]

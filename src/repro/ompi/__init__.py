@@ -1,0 +1,18 @@
+"""The OMPi translator extended for CUDA devices (the paper's §3).
+
+Pipeline (paper Fig. 2)::
+
+    OpenMP C source
+      -> cfront parse + OpenMP validation        (Transformation & Analysis)
+      -> per-device transformation sets          (xform_host / xform_cuda)
+      -> host C + per-kernel CUDA C files        (Code Generation)
+      -> nvcc simulation: PTX or cubin images    (Device Compilation)
+      -> interpreted host program + ort runtime  (execution)
+
+Public entry point: :class:`repro.ompi.compiler.OmpiCompiler`.
+"""
+
+from repro.ompi.compiler import CompiledProgram, OmpiCompiler, ProgramRun
+from repro.ompi.config import OmpiConfig
+
+__all__ = ["CompiledProgram", "OmpiCompiler", "OmpiConfig", "ProgramRun"]

@@ -1,0 +1,72 @@
+"""Kernel call-graph discovery (paper §3).
+
+"The compiler then derives the call graph of the subtree, by discovering
+all called functions inside the kernel.  This step is required in order to
+inject all the necessary function prototypes and definitions and embed
+additional necessary wrapper functions."
+
+Built on networkx so the closure, ordering and cycle detection are
+standard graph operations.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cfront import astnodes as A
+from repro.cfront.errors import CFrontError
+from repro.ompi.outline import called_names
+
+
+class CallGraphError(CFrontError):
+    pass
+
+
+#: names resolved by the device runtime library / builtins, never emitted
+RUNTIME_NAMES = frozenset(
+    {"printf", "sqrt", "sqrtf", "fabs", "fabsf", "exp", "expf", "log", "logf",
+     "sin", "sinf", "cos", "cosf", "floor", "floorf", "ceil", "ceilf",
+     "pow", "powf", "fmin", "fminf", "fmax", "fmaxf", "fmod", "fmodf",
+     "__syncthreads", "__bar_sync",
+     "atomicCAS", "atomicAdd", "atomicExch", "atomicMax", "atomicMin"}
+)
+
+
+def build_call_graph(unit: A.TranslationUnit) -> nx.DiGraph:
+    """Call graph over the translation unit's function definitions."""
+    graph = nx.DiGraph()
+    defs = {d.name: d for d in unit.decls if isinstance(d, A.FuncDef)}
+    for name, fn in defs.items():
+        graph.add_node(name)
+        for callee in called_names(fn.body):
+            if callee in defs:
+                graph.add_edge(name, callee)
+    return graph
+
+
+def kernel_closure(
+    unit: A.TranslationUnit, seeds: list[str], kernel_name: str = "<kernel>"
+) -> list[A.FuncDef]:
+    """All function definitions a kernel needs, callees before callers
+    (so the emitted kernel file compiles top-down without prototypes
+    beyond those injected for mutual visibility)."""
+    graph = build_call_graph(unit)
+    defs = {d.name: d for d in unit.decls if isinstance(d, A.FuncDef)}
+    needed: set[str] = set()
+    frontier = [s for s in seeds if s in defs]
+    while frontier:
+        name = frontier.pop()
+        if name in needed:
+            continue
+        needed.add(name)
+        frontier.extend(graph.successors(name))
+    sub = graph.subgraph(needed)
+    try:
+        ordered = list(reversed(list(nx.topological_sort(sub))))
+    except nx.NetworkXUnfeasible:
+        cycle = nx.find_cycle(sub)
+        raise CallGraphError(
+            f"{kernel_name}: recursive call chain in device code: "
+            + " -> ".join(edge[0] for edge in cycle)
+        ) from None
+    return [defs[name] for name in ordered]

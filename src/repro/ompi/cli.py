@@ -1,0 +1,122 @@
+"""``ompicc`` — command-line driver for the OMPi reproduction.
+
+Mirrors the workflow of the real compiler::
+
+    python3 -m repro.ompi.cli program.c                 # compile + run
+    python3 -m repro.ompi.cli program.c --keep out/     # keep generated files
+    python3 -m repro.ompi.cli program.c --ptx           # ptx binary mode
+    python3 -m repro.ompi.cli program.c --no-run        # compile only
+    python3 -m repro.ompi.cli program.c --device tx2    # another board
+    python3 -m repro.ompi.cli program.c --time          # event breakdown
+
+Generated artifacts written by ``--keep``: the transformed host program
+(``<name>_ompi.c``), one ``<kernel>.cu`` per target region, the matching
+``.ptx`` listings, and (in ptx mode) the image files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cuda.device import (
+    JETSON_NANO_4GB_GPU, JETSON_NANO_GPU, JETSON_TX2_GPU,
+)
+from repro.cuda.nvcc import compile_device
+from repro.cuda.ptx.jit import JitCache
+from repro.cuda.ptx.ptxwriter import module_to_ptx
+from repro.ompi.compiler import OmpiCompiler
+from repro.ompi.config import OmpiConfig
+
+DEVICES = {
+    "nano2gb": JETSON_NANO_GPU,
+    "nano4gb": JETSON_NANO_4GB_GPU,
+    "tx2": JETSON_TX2_GPU,
+}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ompicc",
+        description="OMPi source-to-source OpenMP compiler for the "
+                    "(simulated) Jetson Nano platform",
+    )
+    parser.add_argument("source", help="OpenMP C source file")
+    parser.add_argument("--name", default=None,
+                        help="program name (default: source stem)")
+    parser.add_argument("--ptx", action="store_true",
+                        help="emit PTX kernel images (JIT at launch); "
+                             "default is cubin mode")
+    parser.add_argument("--arch", default="sm_53",
+                        help="cubin target architecture (default sm_53)")
+    parser.add_argument("--keep", metavar="DIR", default=None,
+                        help="write generated host/kernel sources to DIR")
+    parser.add_argument("--no-run", action="store_true",
+                        help="compile only, do not execute")
+    parser.add_argument("--device", choices=sorted(DEVICES), default="nano2gb",
+                        help="board to run on (default nano2gb)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="JIT compilation cache directory (ptx mode)")
+    parser.add_argument("--time", action="store_true",
+                        help="print the modelled event breakdown after the run")
+    parser.add_argument("--block-shape", default=None, metavar="X,Y,Z",
+                        help="force thread-block shape for combined constructs")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    path = Path(args.source)
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        print(f"ompicc: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    name = args.name or path.stem.replace("-", "_")
+    shape = None
+    if args.block_shape:
+        parts = [int(v) for v in args.block_shape.split(",")]
+        shape = tuple(parts + [1] * (3 - len(parts)))[:3]
+    config = OmpiConfig(binary_mode="ptx" if args.ptx else "cubin",
+                        arch=args.arch, block_shape=shape)
+    try:
+        program = OmpiCompiler(config).compile(source, name)
+    except Exception as exc:
+        print(f"ompicc: {exc}", file=sys.stderr)
+        return 1
+
+    if args.keep:
+        out = Path(args.keep)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}_ompi.c").write_text(program.host_source)
+        for kernel_name, text in program.kernel_sources.items():
+            (out / f"{kernel_name}.cu").write_text(text)
+            image = compile_device(text, kernel_name, mode="ptx")
+            (out / f"{kernel_name}.ptx").write_text(module_to_ptx(image.module))
+            if args.ptx:
+                (out / f"{kernel_name}.img").write_bytes(
+                    program.images[kernel_name].to_bytes())
+        print(f"ompicc: generated sources written to {out}/", file=sys.stderr)
+
+    print(f"ompicc: compiled {len(program.plans)} kernel(s): "
+          + ", ".join(f"{p.kernel_name} [{p.mode}]" for p in program.plans),
+          file=sys.stderr)
+    if args.no_run:
+        return 0
+
+    cache = JitCache(args.cache) if args.cache else None
+    run = program.run(device=DEVICES[args.device], jit_cache=cache)
+    sys.stdout.write(run.stdout)
+    if args.time:
+        print("--- modelled events ---", file=sys.stderr)
+        for event in run.log.events:
+            print(f"  {event.kind:16s} {event.seconds * 1e6:10.1f} us  "
+                  f"{event.kernel or ''} {event.detail}", file=sys.stderr)
+        print(f"  measured (kernel + memory ops): "
+              f"{run.measured_time * 1e3:.3f} ms", file=sys.stderr)
+    return run.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""The ompicc driver: the full compilation chain of paper Fig. 2.
+
+``OmpiCompiler.compile`` takes OpenMP C source text and produces a
+:class:`CompiledProgram` holding
+
+* the transformed host program (an AST, also unparse-able to C text),
+* one standalone CUDA C *kernel file* per target construct (pure text —
+  it is re-parsed and compiled by the nvcc simulator, exercising the real
+  pipeline boundary),
+* the compiled kernel images (PTX or cubin, per configuration).
+
+``CompiledProgram.run()`` executes the host program under the cfront
+interpreter with the ort runtime attached, offloading kernels to the
+simulated Jetson Nano GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import astnodes as A
+from repro.cfront.ctypes_ import CType
+from repro.cfront.errors import CFrontError
+from repro.cfront.interp import Machine
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.unparse import unparse
+from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.nvcc import compile_device
+from repro.cuda.ptx.jit import JitCache
+from repro.devrt.api import DEVICE_LIBRARY_HEADER
+from repro.hostrt.ort import Ort
+from repro.ompi.callgraph import kernel_closure
+from repro.ompi.config import OmpiConfig
+from repro.ompi.outline import analyze_target
+from repro.ompi.xform_cuda import CudaKernelBuilder, KernelPlan
+from repro.ompi.xform_host import HostRewriter
+from repro.openmp.directives import Directive
+from repro.openmp.validator import validate_unit
+from repro.timing.clock import VirtualClock
+
+
+class OmpiError(CFrontError):
+    pass
+
+
+@dataclass
+class ProgramRun:
+    machine: Machine
+    ort: Ort
+    exit_code: int
+
+    @property
+    def stdout(self) -> str:
+        return self.machine.output()
+
+    @property
+    def log(self):
+        return self.ort.log
+
+    @property
+    def measured_time(self) -> float:
+        """Kernel time + required memory operations (the paper's metric)."""
+        return self.ort.log.measured_time
+
+
+@dataclass
+class CompiledProgram:
+    name: str
+    config: OmpiConfig
+    host_unit: A.TranslationUnit
+    plans: list[KernelPlan]
+    kernel_sources: dict[str, str]
+    images: dict[str, object]
+    declare_target_globals: dict[str, CType] = field(default_factory=dict)
+
+    @property
+    def host_source(self) -> str:
+        return unparse(self.host_unit)
+
+    def run(
+        self,
+        device: DeviceProperties = JETSON_NANO_GPU,
+        clock: Optional[VirtualClock] = None,
+        jit_cache: Optional[JitCache] = None,
+        launch_mode: str = "auto",
+        seed_arrays: Optional[dict] = None,
+        heap_capacity: int = 1 << 30,
+        main: bool = True,
+    ) -> ProgramRun:
+        machine = Machine(self.host_unit, heap_capacity=heap_capacity)
+        ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
+                  launch_mode=launch_mode)
+        for kernel_name, image in self.images.items():
+            ort.cudadev.register_kernel_image(kernel_name, image)
+        for plan in self.plans:
+            ort.host_device.register_fallback(plan.kernel_name,
+                                              plan.kernel_name + "_hostfn")
+        if seed_arrays:
+            for name, values in seed_arrays.items():
+                if name in machine.globals:
+                    machine.global_array(name)[...] = values
+        # give declare-target globals their device residence (eager load of
+        # the owning kernel module; see Ort.bind_declare_target)
+        for gname, gtype in self.declare_target_globals.items():
+            owner = None
+            for plan in self.plans:
+                for node in plan.kernel_unit.decls:
+                    if isinstance(node, A.GlobalDecl) and any(
+                            d.name == gname for d in node.decls):
+                        owner = plan.kernel_name
+                        break
+                if owner:
+                    break
+            if owner is not None and gname in machine.globals:
+                binding = machine.global_binding(gname)
+                ort.bind_declare_target(gname, binding.addr,
+                                        gtype.sizeof(), owner)
+        exit_code = machine.run() if main else 0
+        return ProgramRun(machine, ort, exit_code)
+
+
+class OmpiCompiler:
+    def __init__(self, config: Optional[OmpiConfig] = None):
+        self.config = config or OmpiConfig()
+
+    # ------------------------------------------------------------------ compile
+    def compile(self, source: str, name: str = "prog") -> CompiledProgram:
+        unit = parse_translation_unit(source, f"{name}.c")
+        validate_unit(unit)
+        declare_globals, declare_fns = self._declare_target_items(unit)
+        global_scope: dict[str, CType] = {}
+        for d in unit.decls:
+            if isinstance(d, A.GlobalDecl):
+                for v in d.decls:
+                    global_scope[v.name] = v.type
+        known_functions = {d.name for d in unit.decls if isinstance(d, A.FuncDef)}
+
+        rewriter = HostRewriter(self.config, name)
+        plans: list[KernelPlan] = []
+        kernel_count = 0
+
+        def rewrite_stmt(stmt: A.Stmt, scopes: list[dict[str, CType]]) -> A.Stmt:
+            nonlocal kernel_count
+            if isinstance(stmt, A.Compound):
+                scopes.append({})
+                new = A.Compound([rewrite_stmt(s, scopes) for s in stmt.body])
+                scopes.pop()
+                return new
+            if isinstance(stmt, A.DeclStmt):
+                for d in stmt.decls:
+                    scopes[-1][d.name] = d.type
+                return stmt
+            if isinstance(stmt, A.If):
+                return A.If(stmt.cond, rewrite_stmt(stmt.then, scopes),
+                            rewrite_stmt(stmt.other, scopes)
+                            if stmt.other else None, loc=stmt.loc)
+            if isinstance(stmt, A.While):
+                return A.While(stmt.cond, rewrite_stmt(stmt.body, scopes),
+                               loc=stmt.loc)
+            if isinstance(stmt, A.DoWhile):
+                return A.DoWhile(rewrite_stmt(stmt.body, scopes), stmt.cond,
+                                 loc=stmt.loc)
+            if isinstance(stmt, A.For):
+                scopes.append({})
+                if isinstance(stmt.init, A.DeclStmt):
+                    for d in stmt.init.decls:
+                        scopes[-1][d.name] = d.type
+                new = A.For(stmt.init, stmt.cond, stmt.step,
+                            rewrite_stmt(stmt.body, scopes), loc=stmt.loc)
+                scopes.pop()
+                return new
+            if isinstance(stmt, A.PragmaStmt):
+                return rewrite_pragma(stmt, scopes)
+            return stmt
+
+        def flat_scope(scopes: list[dict[str, CType]]) -> dict[str, CType]:
+            out = dict(global_scope)
+            for s in scopes:
+                out.update(s)
+            return out
+
+        def rewrite_pragma(stmt: A.PragmaStmt,
+                           scopes: list[dict[str, CType]]) -> A.Stmt:
+            nonlocal kernel_count
+            d: Directive = stmt.directive
+            if d is None:
+                return stmt  # non-omp pragma, keep
+            scope = flat_scope(scopes)
+            if d.is_target_construct:
+                kernel_name = f"{name}_kernel{kernel_count}"
+                kernel_count += 1
+                region = analyze_target(kernel_name, stmt, scope,
+                                        set(declare_globals), known_functions)
+                device_fns = kernel_closure(unit, region.called_functions,
+                                            kernel_name)
+                builder = CudaKernelBuilder(region, unit, self.config, scope,
+                                            device_fns)
+                plan = builder.build()
+                # declare-target globals referenced by the region
+                for gname in region.device_globals:
+                    gtype = declare_globals[gname]
+                    plan.kernel_unit.decls.insert(0, A.GlobalDecl([
+                        A.VarDecl(gname, gtype, None, None, ("__device__",))
+                    ]))
+                plans.append(plan)
+                rewriter.make_fallback_fn(plan, region.body, scope)
+                return rewriter.launch_block(plan, d, scope)
+            if d.name == "target data":
+                inner = rewrite_stmt(stmt.body, scopes)
+                return rewriter.target_data_block(d, inner, scope)
+            if d.name in ("target update", "target enter data",
+                          "target exit data"):
+                return rewriter.standalone_data_stmt(d, scope)
+            if d.name in ("parallel", "parallel for", "parallel sections"):
+                return rewriter.outline_host_parallel(
+                    stmt, d, scope, set(global_scope)
+                )
+            if d.name == "barrier":
+                from repro.ompi.astutil import callstmt
+                return callstmt("ort_host_barrier")
+            if d.name in ("for", "single", "master", "critical", "atomic",
+                          "sections", "section"):
+                # orphaned worksharing outside any parallel region: a team
+                # of one executes it directly
+                body = stmt.body if stmt.body is not None else A.ExprStmt(None)
+                return rewrite_stmt(body, scopes)
+            raise OmpiError(f"unsupported host-side directive "
+                            f"'#pragma omp {d.name}'", stmt.loc)
+
+        # rewrite every function
+        new_decls: list[A.Node] = []
+        for node in unit.decls:
+            if isinstance(node, A.PragmaDecl):
+                continue  # declare target markers consumed
+            if isinstance(node, A.FuncDef):
+                scopes: list[dict[str, CType]] = [
+                    {p.name: p.type.decay() for p in node.params}
+                ]
+                new_body = rewrite_stmt(node.body, scopes)
+                assert isinstance(new_body, A.Compound)
+                new_decls.append(A.FuncDef(node.name, node.return_type,
+                                           node.params, new_body, node.quals,
+                                           loc=node.loc))
+            else:
+                new_decls.append(node)
+        host_unit = A.TranslationUnit(
+            new_decls + rewriter.fallback_fns + rewriter.host_parallel_fns,
+            filename=f"{name}_ompi.c",
+        )
+
+        # device compilation (paper Fig. 2, nvcc box)
+        kernel_sources: dict[str, str] = {}
+        images: dict[str, object] = {}
+        for plan in plans:
+            text = DEVICE_LIBRARY_HEADER + "\n" + unparse(plan.kernel_unit)
+            kernel_sources[plan.kernel_name] = text
+            images[plan.kernel_name] = compile_device(
+                text, plan.kernel_name, mode=self.config.binary_mode,
+                arch=self.config.arch,
+            )
+        return CompiledProgram(
+            name=name,
+            config=self.config,
+            host_unit=host_unit,
+            plans=plans,
+            kernel_sources=kernel_sources,
+            images=images,
+            declare_target_globals=declare_globals,
+        )
+
+    @staticmethod
+    def _declare_target_items(unit: A.TranslationUnit) -> tuple[dict[str, CType], set[str]]:
+        globals_: dict[str, CType] = {}
+        fns: set[str] = set()
+        depth = 0
+        for node in unit.decls:
+            if isinstance(node, A.PragmaDecl) and node.directive is not None:
+                if node.directive.name == "declare target":
+                    depth += 1
+                elif node.directive.name == "end declare target":
+                    depth -= 1
+                continue
+            if depth > 0:
+                if isinstance(node, A.GlobalDecl):
+                    for v in node.decls:
+                        globals_[v.name] = v.type
+                elif isinstance(node, (A.FuncDef, A.FuncProto)):
+                    fns.add(node.name)
+        return globals_, fns

@@ -1,0 +1,37 @@
+"""OMPi configuration (the knobs of the real compiler's configure step)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class OmpiConfig:
+    #: kernel binary mode (paper §3.3): 'cubin' (default: everything compiled
+    #: and linked ahead of time) or 'ptx' (JIT at first launch + disk cache)
+    binary_mode: str = "cubin"
+    #: target architecture for cubins
+    arch: str = "sm_53"
+    #: threads per block for master/worker kernels (paper §4.2.2: fixed 128,
+    #: matching the 128 cores of the Nano's single SM)
+    mw_block_threads: int = 128
+    #: default threads per block for combined constructs without num_threads
+    default_num_threads: int = 128
+    #: how a flat num_threads value maps to 2D block dimensions: OMPi "maps
+    #: these values to two dimensions, so as to match the block and grid
+    #: dimensions of the equivalent cuda applications" (§5).  None applies
+    #: the default rule (x = min(n, 32), y = n/32); a tuple forces a shape.
+    block_shape: Optional[tuple[int, int, int]] = None
+    #: emit the generated sources into this dict for inspection (--keep)
+    keep_generated: bool = True
+
+    def block_dims(self, num_threads: int) -> tuple[int, int, int]:
+        if self.block_shape is not None:
+            return self.block_shape
+        n = max(1, num_threads)
+        if n <= 32:
+            return (n, 1, 1)
+        x = 32
+        y = max(1, n // 32)
+        return (x, y, 1)

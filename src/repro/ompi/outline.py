@@ -1,0 +1,255 @@
+"""Target-region outlining: capture analysis and data environments.
+
+"Similarly to parallel and task directives, outlining is used when a
+target directive is encountered.  The relevant portion of the ast, i.e.
+the body of the construct, is moved to a new function (kernel function)
+and its ast node is replaced by necessary data movements and code
+offloading runtime calls" (paper §3).
+
+This module computes, for one target construct, the ordered list of
+*captured* variables (every outer variable the region references) merged
+with the ``map`` clauses, producing the kernel's parameter list and the
+host-side mapping plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import astnodes as A
+from repro.cfront.ctypes_ import ArrayType, BasicType, CType, PointerType
+from repro.cfront.errors import CFrontError
+from repro.openmp.clauses import DataSharingClause, MapClause, MapItem
+from repro.openmp.directives import Directive
+
+
+class OutlineError(CFrontError):
+    pass
+
+
+@dataclass
+class CapturedVar:
+    """One variable of the device data environment."""
+
+    name: str
+    ctype: CType                     # host-side declared type
+    map_type: str                    # to | from | tofrom | alloc | private
+    #: array section (lower, length) expression ASTs, or None for scalars /
+    #: whole objects
+    section: Optional[tuple[Optional[A.Expr], Optional[A.Expr]]] = None
+    explicit: bool = False           # appeared in a map clause
+    #: read-only scalars pass by value in the kernel parameter buffer
+    #: (firstprivate-style, like real OMPi/LLVM offloading) instead of
+    #: through the device data environment
+    by_value: bool = False
+    #: lastprivate scalars: private in the kernel, the logically-last
+    #: iteration writes the value back through this (from-mapped) entry
+    lastprivate: bool = False
+
+    @property
+    def is_pointerish(self) -> bool:
+        return isinstance(self.ctype, (PointerType, ArrayType))
+
+    def elem_type(self) -> CType:
+        if isinstance(self.ctype, PointerType):
+            return self.ctype.pointee
+        if isinstance(self.ctype, ArrayType):
+            return self.ctype.elem
+        return self.ctype
+
+
+@dataclass
+class TargetRegion:
+    """Analysis result for one target construct."""
+
+    kernel_name: str
+    directive: Directive
+    body: A.Stmt
+    captured: list[CapturedVar] = field(default_factory=list)
+    #: functions called from inside the region (call-graph closure)
+    called_functions: list[str] = field(default_factory=list)
+    #: device globals (declare target variables) referenced
+    device_globals: list[str] = field(default_factory=list)
+
+
+def collect_identifiers(node: A.Node) -> set[str]:
+    return {n.name for n in node.walk() if isinstance(n, A.Ident)}
+
+
+def locally_declared(node: A.Stmt) -> set[str]:
+    """Names declared anywhere inside the region body (block scoping is
+    conservative here: any local declaration shadows capture)."""
+    names: set[str] = set()
+    for n in node.walk():
+        if isinstance(n, A.VarDecl):
+            names.add(n.name)
+    return names
+
+
+def called_names(node: A.Node) -> set[str]:
+    out: set[str] = set()
+    for n in node.walk():
+        if isinstance(n, A.Call) and isinstance(n.func, A.Ident):
+            out.add(n.func.name)
+    return out
+
+
+def _pragma_private_names(node: A.Stmt) -> set[str]:
+    """Names made private by directives in/at the region, plus loop
+    variables of worksharing loops (implicitly private, including all
+    ``collapse(k)`` levels)."""
+    priv: set[str] = set()
+    for n in node.walk():
+        if isinstance(n, A.PragmaStmt) and n.directive is not None:
+            d: Directive = n.directive
+            for clause in d.clauses_of(DataSharingClause):
+                if clause.kind in ("private", "firstprivate", "lastprivate"):
+                    priv.update(clause.names)
+            if d.includes("for") or d.includes("distribute"):
+                from repro.openmp.clauses import ExprClause
+                depth = 1
+                ccl = d.first(ExprClause, "collapse")
+                if ccl is not None and isinstance(ccl.expr, A.IntLit):
+                    depth = ccl.expr.value
+                loop = n.body
+                while isinstance(loop, A.PragmaStmt):
+                    loop = loop.body
+                for _level in range(depth):
+                    if isinstance(loop, A.Compound) and len(loop.body) == 1:
+                        loop = loop.body[0]
+                    if not isinstance(loop, A.For):
+                        break
+                    var = _loop_var_name(loop)
+                    if var:
+                        priv.add(var)
+                    loop = loop.body
+    return priv
+
+
+def sequential_loop_vars(node: A.Node) -> set[str]:
+    """Iteration variables of every for loop in the region.  OpenMP
+    predetermines loop iteration variables of sequential loops inside a
+    construct as *private* (OpenMP 4.5 §2.15.1.1) — without this, an inner
+    ``for (k = ...)`` whose index is declared outside the target region
+    would be mapped tofrom and every ``k++`` would hit device memory."""
+    out: set[str] = set()
+    for n in node.walk():
+        if isinstance(n, A.For):
+            var = _loop_var_name(n)
+            if var:
+                out.add(var)
+    return out
+
+
+def _loop_var_name(loop: A.For) -> Optional[str]:
+    init = loop.init
+    if isinstance(init, A.ExprStmt) and isinstance(init.expr, A.Assign) \
+            and isinstance(init.expr.target, A.Ident):
+        return init.expr.target.name
+    if isinstance(init, A.DeclStmt) and init.decls:
+        return init.decls[0].name
+    return None
+
+
+def analyze_target(
+    kernel_name: str,
+    pragma: A.PragmaStmt,
+    host_scope: dict[str, CType],
+    declare_target_globals: set[str],
+    known_functions: set[str],
+) -> TargetRegion:
+    """Build the data environment for one target construct.
+
+    ``host_scope`` maps every variable name visible at the construct to its
+    declared type (the translator walks scopes to build this).
+    """
+    directive: Directive = pragma.directive
+    body = pragma.body
+    if body is None:
+        raise OutlineError("target construct with no body", pragma.loc)
+    region = TargetRegion(kernel_name, directive, body)
+    explicit: dict[str, CapturedVar] = {}
+    order: list[str] = []
+    for clause in directive.clauses_of(MapClause):
+        for item in clause.items:
+            if item.name not in host_scope:
+                raise OutlineError(
+                    f"map clause names unknown variable {item.name!r}", pragma.loc
+                )
+            if item.name in explicit:
+                raise OutlineError(
+                    f"variable {item.name!r} appears in multiple map clauses",
+                    pragma.loc,
+                )
+            section = item.sections[0] if item.sections else None
+            explicit[item.name] = CapturedVar(
+                item.name, host_scope[item.name], clause.map_type,
+                section, explicit=True,
+            )
+            order.append(item.name)
+    # implicit captures: referenced, not local, not private, not global-on-device
+    used = collect_identifiers(body)
+    local = locally_declared(body)
+    private = _pragma_private_names(pragma)   # includes this construct's own
+                                              # loop variables (combined form)
+    private |= sequential_loop_vars(body)     # predetermined private
+    device_side = set(declare_target_globals)
+    for name in sorted(used):
+        if name in explicit or name in local or name in private:
+            continue
+        if name in device_side:
+            region.device_globals.append(name)
+            continue
+        if name not in host_scope:
+            continue  # function name, enum, runtime symbol...
+        ctype = host_scope[name]
+        if isinstance(ctype, (PointerType, ArrayType)):
+            if isinstance(ctype, ArrayType) and ctype.length is not None:
+                # whole fixed-size array: implicitly tofrom (OpenMP 4.0)
+                explicit[name] = CapturedVar(name, ctype, "tofrom", None)
+                order.append(name)
+                continue
+            raise OutlineError(
+                f"pointer {name!r} is used in a target region without a map "
+                "clause (the section size is unknowable)", pragma.loc
+            )
+        # implicitly-referenced scalars behave like firstprivate (OpenMP
+        # 4.5): copied to the device, never back
+        explicit[name] = CapturedVar(name, ctype, "to", None)
+        order.append(name)
+    # lastprivate scalars: mapped 'from' so the last iteration's value
+    # reaches the host, but private inside the kernel
+    for clause in directive.clauses_of(DataSharingClause):
+        if clause.kind != "lastprivate":
+            continue
+        for lname in clause.names:
+            if lname in explicit or lname not in host_scope:
+                continue
+            ctype = host_scope[lname]
+            if isinstance(ctype, (PointerType, ArrayType)):
+                raise OutlineError(
+                    f"lastprivate on non-scalar {lname!r} is unsupported",
+                    pragma.loc,
+                )
+            cv = CapturedVar(lname, ctype, "from", None, lastprivate=True)
+            explicit[lname] = cv
+            order.append(lname)
+    # read-only mapped-to scalars pass by value (no data-environment entry)
+    writes = None
+    for cv in explicit.values():
+        if not isinstance(cv.ctype, (PointerType, ArrayType)) \
+                and cv.map_type == "to":
+            if writes is None:
+                from repro.ompi.astutil import written_names
+                writes = written_names(body)
+            if cv.name not in writes:
+                cv.by_value = True
+    region.captured = [explicit[name] for name in order]
+    # call-graph seeds
+    region.called_functions = sorted(
+        n for n in called_names(body) if n in known_functions
+    )
+    # private loop variables that are captured nowhere must be declared in
+    # the kernel; the transformation set handles that with the body rewrite.
+    return region

@@ -1,0 +1,920 @@
+"""CUDA transformation set: OpenMP target constructs -> CUDA kernel ASTs.
+
+Two lowering strategies, exactly as the paper describes:
+
+* **combined constructs** (§3.1) — ``target teams distribute parallel
+  for`` (written combined or as a directly nested chain) maps teams to the
+  CUDA grid and threads to the block; iterations are distributed in two
+  phases through the device library (``cudadev_get_distribute_chunk`` then
+  ``cudadev_get_{static,dynamic,guided}_chunk``).  No master/worker
+  machinery is used at all;
+* **master/worker scheme** (§3.2) — any other ``target`` body launches
+  with 128 threads, the master warp's thread 0 executing the sequential
+  code and worker warps serving standalone ``parallel`` regions through
+  registration over barriers B1/B2 and the shared-memory stack.
+
+The generated kernels are plain CUDA C ASTs; the compiler driver unparses
+them to standalone kernel files and feeds the *text* back through the
+nvcc simulator, reproducing the paper's Fig. 2 pipeline honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import astnodes as A
+from repro.cfront.ctypes_ import (
+    BasicType, CType, INT, LONG, PointerType, VOID, VOIDP,
+)
+from repro.cfront.errors import CFrontError
+from repro.openmp.clauses import (
+    DataSharingClause, ExprClause, MapClause, NameClause, NowaitClause,
+    ReductionClause, ScheduleClause,
+)
+from repro.openmp.directives import Directive
+from repro.ompi.astutil import (
+    addr_of, assign, binop, block, call, callstmt, cast, ceil_div, clone,
+    decl, decl_long, deref, ident, intlit, product, rename_idents,
+    sizeof_expr, written_names,
+)
+from repro.ompi.config import OmpiConfig
+from repro.ompi.outline import CapturedVar, TargetRegion, collect_identifiers, locally_declared
+
+
+class CudaXformError(CFrontError):
+    pass
+
+
+_COMBINED_SEQUENCE = ("target", "teams", "distribute", "parallel", "for")
+
+
+@dataclass
+class LoopInfo:
+    var: str
+    var_type: CType
+    lb: A.Expr
+    count: A.Expr          # iteration count expression (host names)
+    step: int
+    body: A.Stmt
+
+
+@dataclass
+class KernelPlan:
+    """Everything the host transformation needs to launch this kernel."""
+
+    kernel_name: str
+    mode: str                              # 'combined' | 'mw'
+    params: list[CapturedVar]
+    kernel_unit: A.TranslationUnit
+    #: for combined kernels: per-loop iteration-count expressions written in
+    #: terms of *host* variable names (evaluated at the launch site)
+    host_counts: list[A.Expr] = field(default_factory=list)
+    num_teams: Optional[A.Expr] = None
+    num_threads: Optional[A.Expr] = None
+    thread_limit: Optional[A.Expr] = None
+    schedule: tuple[str, Optional[A.Expr]] = ("static", None)
+    collapse: int = 1
+
+
+def flatten_construct(pragma: A.PragmaStmt) -> tuple[Directive, A.Stmt]:
+    """Merge a chain of directly nested target/teams/distribute/parallel/for
+    pragmas into one effective combined directive."""
+    words: list[str] = []
+    clauses = []
+    node: A.Stmt = pragma
+    while True:
+        if isinstance(node, A.Compound) and len(node.body) == 1 \
+                and isinstance(node.body[0], A.PragmaStmt) and words:
+            node = node.body[0]
+        if not (isinstance(node, A.PragmaStmt) and node.directive is not None):
+            break
+        d: Directive = node.directive
+        expected_next = list(_COMBINED_SEQUENCE[len(words):])
+        d_words = list(d.words)
+        if d_words != expected_next[: len(d_words)]:
+            break
+        words.extend(d_words)
+        clauses.extend(d.clauses)
+        if node.body is None:
+            raise CudaXformError("construct with no body", node.loc)
+        node = node.body
+    if not words:
+        raise CudaXformError("not a target construct", pragma.loc)
+    return Directive(" ".join(words), clauses), node
+
+
+def analyze_canonical_loop(loop: A.For) -> LoopInfo:
+    """Canonical-form analysis: ``for (i = lb; i < ub; i += step)``."""
+    if not isinstance(loop, A.For):
+        raise CudaXformError("worksharing construct requires a for loop",
+                             getattr(loop, "loc", None))
+    var: Optional[str] = None
+    var_type: CType = INT
+    lb: Optional[A.Expr] = None
+    if isinstance(loop.init, A.ExprStmt) and isinstance(loop.init.expr, A.Assign) \
+            and loop.init.expr.op is None \
+            and isinstance(loop.init.expr.target, A.Ident):
+        var = loop.init.expr.target.name
+        lb = loop.init.expr.value
+    elif isinstance(loop.init, A.DeclStmt) and len(loop.init.decls) == 1 \
+            and loop.init.decls[0].init is not None:
+        var = loop.init.decls[0].name
+        var_type = loop.init.decls[0].type
+        lb = loop.init.decls[0].init
+    if var is None or lb is None:
+        raise CudaXformError("loop is not in OpenMP canonical form (init)",
+                             loop.loc)
+    cond = loop.cond
+    if not (isinstance(cond, A.Binary) and cond.op in ("<", "<=")
+            and isinstance(cond.left, A.Ident) and cond.left.name == var):
+        raise CudaXformError("loop is not in canonical form (condition)", loop.loc)
+    step = _const_step(loop.step, var)
+    if step is None or step <= 0:
+        raise CudaXformError("loop requires a positive constant step", loop.loc)
+    ub = cond.right
+    if cond.op == "<=":
+        ub = binop("+", clone(ub), intlit(1))
+    diff = binop("-", clone(ub), clone(lb))
+    count = diff if step == 1 else ceil_div(diff, intlit(step))
+    return LoopInfo(var, var_type, lb, count, step, loop.body)
+
+
+def _const_step(step: Optional[A.Expr], var: str) -> Optional[int]:
+    if step is None:
+        return None
+    if isinstance(step, A.Unary) and step.op in ("++", "p++") \
+            and isinstance(step.operand, A.Ident) and step.operand.name == var:
+        return 1
+    if isinstance(step, A.Assign) and isinstance(step.target, A.Ident) \
+            and step.target.name == var:
+        if step.op == "+" and isinstance(step.value, A.IntLit):
+            return step.value.value
+        if step.op is None and isinstance(step.value, A.Binary) \
+                and step.value.op == "+" \
+                and isinstance(step.value.left, A.Ident) \
+                and step.value.left.name == var \
+                and isinstance(step.value.right, A.IntLit):
+            return step.value.right.value
+    return None
+
+
+class CudaKernelBuilder:
+    """Builds the kernel-file AST for one target region."""
+
+    def __init__(
+        self,
+        region: TargetRegion,
+        unit: A.TranslationUnit,
+        config: OmpiConfig,
+        host_scope: dict[str, CType],
+        device_functions: list[A.FuncDef],
+    ):
+        self.region = region
+        self.unit = unit
+        self.config = config
+        self.host_scope = host_scope
+        self.device_functions = device_functions
+        self._loop_ids = iter(range(1000))
+        self._parallel_count = 0
+        self._lock_ids: dict[str, int] = {}
+        self._extra_decls: list[A.Node] = []   # thrFuncs, structs
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> KernelPlan:
+        directive, innermost = flatten_construct(
+            A.PragmaStmt(self.region.directive.name, self.region.body,
+                         directive=self.region.directive)
+        )
+        if directive.name == " ".join(_COMBINED_SEQUENCE) and \
+                isinstance(innermost, A.For):
+            return self._build_combined(directive, innermost)
+        return self._build_masterworker()
+
+    # -- shared helpers ------------------------------------------------------
+    def _param_decls(self) -> list[A.Param]:
+        params: list[A.Param] = []
+        for cv in self.region.captured:
+            if cv.is_pointerish:
+                params.append(A.Param(cv.name, PointerType(cv.elem_type())))
+            elif cv.by_value:
+                params.append(A.Param(cv.name, cv.ctype))
+            else:
+                params.append(A.Param(cv.name + "_p", PointerType(cv.ctype)))
+        return params
+
+    def _scalar_prologue(self, body_writes: set[str]) -> tuple[list[A.Stmt], dict[str, A.Expr]]:
+        """Load read-only mapped scalars into locals; rewrite written ones
+        through their pointer parameter.  By-value scalars are already
+        kernel parameters under their own names."""
+        stmts: list[A.Stmt] = []
+        renames: dict[str, A.Expr] = {}
+        for cv in self.region.captured:
+            if cv.is_pointerish or cv.by_value or cv.lastprivate:
+                continue
+            if cv.name in body_writes:
+                renames[cv.name] = deref(ident(cv.name + "_p"))
+            else:
+                stmts.append(decl(cv.name, cv.ctype,
+                                  deref(ident(cv.name + "_p"))))
+        return stmts, renames
+
+    def _private_decls(self, body: A.Stmt, skip: set[str]) -> list[A.Stmt]:
+        """Declarations for private (unmapped, non-local) names the body
+        uses — loop indices of inner loops, private-clause variables."""
+        used = collect_identifiers(body)
+        local = locally_declared(body)
+        captured = {cv.name for cv in self.region.captured}
+        out: list[A.Stmt] = []
+        for name in sorted(used):
+            if name in local or name in captured or name in skip:
+                continue
+            if name in self.region.device_globals:
+                continue
+            ctype = self.host_scope.get(name)
+            if ctype is None or not isinstance(ctype, BasicType):
+                continue
+            out.append(decl(name, ctype))
+        return out
+
+    def _finish_unit(self, kernel_fn: A.FuncDef) -> A.TranslationUnit:
+        unit = A.TranslationUnit(filename=self.region.kernel_name + ".cu")
+        for fn in self.device_functions:
+            fn_copy = clone(fn)
+            if "__device__" not in fn_copy.quals:
+                fn_copy.quals = ("__device__",) + fn_copy.quals
+            unit.decls.append(fn_copy)
+        unit.decls.extend(self._extra_decls)
+        unit.decls.append(kernel_fn)
+        return unit
+
+    # -- combined construct (paper §3.1) --------------------------------------
+    def _build_combined(self, directive: Directive, loop: A.For) -> KernelPlan:
+        collapse = 1
+        ccl = directive.first(ExprClause, "collapse")
+        if ccl is not None:
+            if not isinstance(ccl.expr, A.IntLit):
+                raise CudaXformError("collapse argument must be a constant")
+            collapse = ccl.expr.value
+        loops: list[LoopInfo] = []
+        node: A.Stmt = loop
+        for level in range(collapse):
+            if isinstance(node, A.Compound) and len(node.body) == 1:
+                node = node.body[0]
+            if not isinstance(node, A.For):
+                raise CudaXformError(
+                    f"collapse({collapse}) requires {collapse} perfectly "
+                    f"nested loops (found {type(node).__name__} at level {level})"
+                )
+            info = analyze_canonical_loop(node)
+            loops.append(info)
+            node = info.body
+        body = loops[-1].body
+
+        body_writes = written_names(body)
+        prologue, renames = self._scalar_prologue(body_writes)
+        # reductions: local accumulator + atomic merge
+        red_epilogue: list[A.Stmt] = []
+        for red in directive.clauses_of(ReductionClause):
+            for name in red.names:
+                cv = next((c for c in self.region.captured if c.name == name), None)
+                if cv is None or cv.is_pointerish:
+                    raise CudaXformError(
+                        f"reduction variable {name!r} must be a mapped scalar")
+                acc = "__red_" + name
+                init, merge = _reduction_ops(red.op, cv, acc)
+                prologue.append(decl(acc, cv.ctype, init))
+                renames[name] = ident(acc)
+                red_epilogue.append(merge)
+
+        # iteration-space linearisation
+        kernel_counts: list[A.Expr] = []
+        for i, info in enumerate(loops):
+            count = rename_idents(info.count, renames)
+            prologue.append(decl_long(f"__n{i}", cast(LONG, count)))
+            kernel_counts.append(ident(f"__n{i}"))
+        niter = product([ident(f"__n{i}") for i in range(len(loops))])
+
+        # index reconstruction from the linear iteration number __it
+        recon: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            expr: A.Expr = ident("__it")
+            for j in range(i + 1, len(loops)):
+                expr = binop("/", expr, ident(f"__n{j}"))
+            if i > 0:
+                expr = binop("%", expr, ident(f"__n{i}"))
+            if info.step != 1:
+                expr = binop("*", expr, intlit(info.step))
+            expr = binop("+", cast(info.var_type, expr),
+                         rename_idents(info.lb, renames))
+            recon.append(decl(info.var, info.var_type, expr))
+        # per-dimension reconstruction (2D/3D scheme): var = lb + it*step
+        recon_dim: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            expr = ident(f"__it{i}")
+            if info.step != 1:
+                expr = binop("*", expr, intlit(info.step))
+            expr = binop("+", cast(info.var_type, expr),
+                         rename_idents(info.lb, renames))
+            recon_dim.append(decl(info.var, info.var_type, expr))
+
+        schedule = ("static", None)
+        scl = directive.first(ScheduleClause)
+        chunk_expr: A.Expr = intlit(0)
+        sched_fn = "cudadev_get_static_chunk"
+        if scl is not None:
+            schedule = (scl.schedule, scl.chunk)
+            if scl.schedule == "dynamic":
+                sched_fn = "cudadev_get_dynamic_chunk"
+            elif scl.schedule == "guided":
+                sched_fn = "cudadev_get_guided_chunk"
+            elif scl.schedule in ("auto", "runtime"):
+                sched_fn = "cudadev_get_static_chunk"
+            if scl.chunk is not None:
+                chunk_expr = rename_idents(scl.chunk, renames)
+
+        new_body = rename_idents(body, renames)
+        # inner synchronisation constructs (atomic/critical/barrier) still
+        # present in the loop body are lowered by the region transformer
+        new_body = _RegionTransformer(self, {}).transform_stmt(new_body)
+        # lastprivate: private local + conditional write-back from the
+        # logically-last iteration of the collapsed nest
+        last_cvs = [cv for cv in self.region.captured if cv.lastprivate]
+        if last_cvs:
+            last_cond: Optional[A.Expr] = None
+            for i, info in enumerate(loops):
+                term = binop("==", ident(info.var), binop(
+                    "-", binop("+", rename_idents(info.lb, renames),
+                               binop("*", ident(f"__n{i}"),
+                                     intlit(info.step))),
+                    intlit(info.step)))
+                last_cond = term if last_cond is None else \
+                    binop("&&", last_cond, term)
+            writes = [assign(deref(ident(cv.name + "_p")), ident(cv.name))
+                      for cv in last_cvs]
+            for cv in last_cvs:
+                prologue.append(decl(cv.name, cv.ctype))
+            new_body = block(new_body, A.If(last_cond, block(writes)))
+
+        # 1D loops use the linear scheme (linear thread id over the whole
+        # block, matching the linearised indexing of 1D CUDA kernels); 2D/3D
+        # collapsed nests use per-dimension chunking so the thread->iteration
+        # mapping equals the CUDA grid's.
+        use_dims = schedule[0] == "static" and 2 <= len(loops) <= 3
+        if use_dims:
+            # OMPi's 2D/3D mapping (§5: "Internally, ompi maps these values
+            # to two dimensions, so as to match the block and grid
+            # dimensions of the equivalent cuda applications"): every
+            # collapsed loop dimension distributes along one grid/block
+            # dimension — x for the innermost, y/z outwards — through
+            # dimension-wise two-phase chunking.
+            ndims = len(loops)
+            decls: list[A.Stmt] = []
+            nest: A.Stmt = new_body
+            for level in range(ndims - 1, -1, -1):
+                info = loops[level]
+                dim = ndims - 1 - level
+                loop_id = next(self._loop_ids)
+                sfx = str(level)
+                decls.extend([
+                    decl_long("__lo" + sfx), decl_long("__hi" + sfx),
+                    decl_long("__tlo" + sfx), decl_long("__thi" + sfx),
+                    decl_long("__it" + sfx),
+                ])
+                chunk_arg = chunk_expr if level == ndims - 1 else intlit(0)
+                inner_for = A.For(
+                    A.ExprStmt(A.Assign(ident("__it" + sfx), ident("__tlo" + sfx))),
+                    binop("<", ident("__it" + sfx), ident("__thi" + sfx)),
+                    A.Assign(ident("__it" + sfx), intlit(1), "+"),
+                    block(recon_dim[level], nest),
+                )
+                nest = block(
+                    callstmt("cudadev_get_distribute_chunk_dim", intlit(dim),
+                             intlit(0), ident(f"__n{level}"),
+                             addr_of(ident("__lo" + sfx)),
+                             addr_of(ident("__hi" + sfx))),
+                    A.While(
+                        call("cudadev_get_static_chunk_dim", intlit(dim),
+                             intlit(loop_id), ident("__lo" + sfx),
+                             ident("__hi" + sfx), cast(LONG, clone(chunk_arg)),
+                             addr_of(ident("__tlo" + sfx)),
+                             addr_of(ident("__thi" + sfx))),
+                        block([inner_for]),
+                    ),
+                )
+            kernel_body = block(
+                callstmt("cudadev_target_init", intlit(0)),
+                prologue,
+                self._private_decls(body, {info.var for info in loops}),
+                decls,
+                nest,
+                red_epilogue,
+            )
+        else:
+            # linear scheme over the collapsed iteration space (dynamic and
+            # guided schedules need the shared team-wide counter)
+            loop_id = next(self._loop_ids)
+            inner_for = A.For(
+                A.ExprStmt(A.Assign(ident("__it"), ident("__tlo"))),
+                binop("<", ident("__it"), ident("__thi")),
+                A.Assign(ident("__it"), intlit(1), "+"),
+                block(recon, new_body),
+            )
+            while_loop = A.While(
+                call(sched_fn, intlit(loop_id), ident("__lo"), ident("__hi"),
+                     cast(LONG, chunk_expr), addr_of(ident("__tlo")),
+                     addr_of(ident("__thi"))),
+                block([inner_for]),
+            )
+            kernel_body = block(
+                callstmt("cudadev_target_init", intlit(0)),
+                prologue,
+                self._private_decls(body, {info.var for info in loops}),
+                decl_long("__niter", niter),
+                decl_long("__lo"), decl_long("__hi"),
+                decl_long("__tlo"), decl_long("__thi"), decl_long("__it"),
+                callstmt("cudadev_get_distribute_chunk", intlit(0),
+                         ident("__niter"), addr_of(ident("__lo")),
+                         addr_of(ident("__hi"))),
+                while_loop,
+                red_epilogue,
+            )
+        kernel_fn = A.FuncDef(self.region.kernel_name, VOID,
+                              self._param_decls(), kernel_body,
+                              ("__global__",))
+        plan = KernelPlan(
+            kernel_name=self.region.kernel_name,
+            mode="combined",
+            params=list(self.region.captured),
+            kernel_unit=self._finish_unit(kernel_fn),
+            host_counts=[clone(info.count) for info in loops],
+            schedule=schedule,
+            collapse=len(loops),
+        )
+        tc = directive.first(ExprClause, "num_teams")
+        plan.num_teams = clone(tc.expr) if tc else None
+        th = directive.first(ExprClause, "num_threads")
+        plan.num_threads = clone(th.expr) if th else None
+        tl = directive.first(ExprClause, "thread_limit")
+        plan.thread_limit = clone(tl.expr) if tl else None
+        return plan
+
+    # -- master/worker scheme (paper §3.2) --------------------------------------
+    def _build_masterworker(self) -> KernelPlan:
+        # master/worker kernels keep the paper's Fig. 3b pointer convention
+        # for every mapped variable (scalars reach parallel regions through
+        # the shared-memory stack, which needs addressable master copies)
+        for cv in self.region.captured:
+            cv.by_value = False
+        body_writes = written_names(self.region.body)
+        prologue, renames = self._scalar_prologue(body_writes)
+        transformer = _MwTransformer(self, renames)
+        seq_body = transformer.transform_stmt(self.region.body)
+        kernel_body = block(
+            decl("_mw_thrid", INT, binop(
+                "+", A.Member(ident("threadIdx"), "x"),
+                binop("*", A.Member(ident("threadIdx"), "y"),
+                      A.Member(ident("blockDim"), "x")))),
+            callstmt("cudadev_target_init", intlit(1)),
+            A.If(
+                call("cudadev_in_masterwarp", ident("_mw_thrid")),
+                block(
+                    A.If(A.Unary("!", call("cudadev_is_masterthr",
+                                           ident("_mw_thrid"))),
+                         A.Return(None)),
+                    prologue,
+                    self._private_decls(self.region.body, set()),
+                    seq_body,
+                    callstmt("cudadev_exit_target"),
+                ),
+                block(callstmt("cudadev_workerfunc", ident("_mw_thrid"))),
+            ),
+        )
+        kernel_fn = A.FuncDef(self.region.kernel_name, VOID,
+                              self._param_decls(), kernel_body,
+                              ("__global__",))
+        return KernelPlan(
+            kernel_name=self.region.kernel_name,
+            mode="mw",
+            params=list(self.region.captured),
+            kernel_unit=self._finish_unit(kernel_fn),
+        )
+
+    # -- scope helpers ------------------------------------------------------------
+    def target_local_types(self) -> dict[str, CType]:
+        """Types of variables declared inside the target body (master
+        locals), which parallel regions may capture."""
+        cache = getattr(self, "_tlt_cache", None)
+        if cache is None:
+            cache = {n.name: n.type for n in self.region.body.walk()
+                     if isinstance(n, A.VarDecl)}
+            self._tlt_cache = cache
+        return cache
+
+    def lookup_type(self, name: str) -> Optional[CType]:
+        cv = next((c for c in self.region.captured if c.name == name), None)
+        if cv is not None:
+            return cv.ctype
+        tlt = self.target_local_types()
+        if name in tlt:
+            return tlt[name]
+        return self.host_scope.get(name)
+
+    # -- lock ids ---------------------------------------------------------------
+    def lock_id(self, name: str) -> int:
+        if name not in self._lock_ids:
+            self._lock_ids[name] = len(self._lock_ids)
+        return self._lock_ids[name]
+
+
+def _reduction_ops(op: str, cv: CapturedVar, acc: str) -> tuple[A.Expr, A.Stmt]:
+    """(accumulator initialiser, final merge statement)."""
+    target_ptr = ident(cv.name + "_p")
+    if op == "+":
+        init: A.Expr = A.FloatLit(0.0, single=(
+            isinstance(cv.ctype, BasicType) and cv.ctype.kind == "float"
+        )) if cv.ctype.is_floating else intlit(0)
+        merge = callstmt("atomicAdd", target_ptr, ident(acc))
+        return init, merge
+    if op in ("max", "min"):
+        init = deref(clone(target_ptr))
+        fn = "atomicMax" if op == "max" else "atomicMin"
+        merge = callstmt(fn, target_ptr, ident(acc))
+        return init, merge
+    raise CudaXformError(f"unsupported device reduction operator {op!r}")
+
+
+class _MwTransformer:
+    """Rewrites a target body for master-thread execution, outlining
+    parallel regions (paper Fig. 3)."""
+
+    def __init__(self, builder: CudaKernelBuilder, scalar_renames: dict[str, A.Expr]):
+        self.b = builder
+        self.scalar_renames = scalar_renames
+
+    # sequential (master) context ------------------------------------------------
+    def transform_stmt(self, stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.Compound):
+            return A.Compound([self.transform_stmt(s) for s in stmt.body])
+        if isinstance(stmt, A.PragmaStmt):
+            return self._transform_pragma(stmt)
+        if isinstance(stmt, A.If):
+            return A.If(rename_idents(stmt.cond, self.scalar_renames),
+                        self.transform_stmt(stmt.then),
+                        self.transform_stmt(stmt.other) if stmt.other else None)
+        if isinstance(stmt, A.While):
+            return A.While(rename_idents(stmt.cond, self.scalar_renames),
+                           self.transform_stmt(stmt.body))
+        if isinstance(stmt, A.For):
+            return A.For(
+                rename_idents(stmt.init, self.scalar_renames) if stmt.init else None,
+                rename_idents(stmt.cond, self.scalar_renames) if stmt.cond else None,
+                rename_idents(stmt.step, self.scalar_renames) if stmt.step else None,
+                self.transform_stmt(stmt.body),
+            )
+        return rename_idents(stmt, self.scalar_renames)
+
+    def _transform_pragma(self, stmt: A.PragmaStmt) -> A.Stmt:
+        d: Directive = stmt.directive
+        if d is None:
+            return A.ExprStmt(None)
+        if d.name in ("parallel", "parallel for", "parallel sections"):
+            return self._outline_parallel(stmt, d)
+        if d.name == "for":
+            # worksharing in the sequential part: a team of one — plain loop
+            return self.transform_stmt(stmt.body)
+        if d.name in ("single", "master"):
+            return self.transform_stmt(stmt.body)
+        if d.name == "barrier":
+            return A.ExprStmt(None)   # team of one
+        if d.name == "critical":
+            return self.transform_stmt(stmt.body)
+        raise CudaXformError(
+            f"'#pragma omp {d.name}' is not supported in the sequential part "
+            "of a target region", stmt.loc
+        )
+
+    # parallel-region outlining -----------------------------------------------------
+    def _outline_parallel(self, stmt: A.PragmaStmt, d: Directive) -> A.Stmt:
+        b = self.b
+        idx = b._parallel_count
+        b._parallel_count += 1
+        fn_name = f"thrFunc{idx}"
+        struct_name = f"vars_st{idx}"
+        region_body = stmt.body
+        if d.name == "parallel for":
+            region_body = A.PragmaStmt("omp for", stmt.body,
+                                       directive=Directive("for", [
+                                           c for c in d.clauses
+                                           if isinstance(c, (ScheduleClause,
+                                                             NowaitClause))
+                                       ]))
+        if d.name == "parallel sections":
+            region_body = A.PragmaStmt("omp sections", stmt.body,
+                                       directive=Directive("sections", []))
+
+        from repro.ompi.outline import sequential_loop_vars
+        private: set[str] = sequential_loop_vars(stmt.body)
+        firstprivate: set[str] = set()
+        for clause in d.clauses_of(DataSharingClause):
+            if clause.kind == "private":
+                private.update(clause.names)
+            elif clause.kind == "firstprivate":
+                firstprivate.update(clause.names)
+        used = collect_identifiers(stmt.body)
+        local = locally_declared(stmt.body)
+        if d.includes("for"):
+            loop = stmt.body
+            if isinstance(loop, A.For):
+                var = loop.init.decls[0].name if isinstance(loop.init, A.DeclStmt) \
+                    else (loop.init.expr.target.name
+                          if isinstance(loop.init, A.ExprStmt)
+                          and isinstance(loop.init.expr, A.Assign)
+                          and isinstance(loop.init.expr.target, A.Ident) else None)
+                if var:
+                    private.add(var)
+
+        captured_params: list[CapturedVar] = []   # kernel params (arrays)
+        captured_scalars: list[tuple[str, CType]] = []  # master locals/scalars
+        for name in sorted(used):
+            if name in local or name in private:
+                continue
+            cv = next((c for c in b.region.captured if c.name == name), None)
+            if cv is not None:
+                if cv.is_pointerish:
+                    captured_params.append(cv)
+                else:
+                    captured_scalars.append((name, cv.ctype))
+                continue
+            ctype = b.target_local_types().get(name)
+            if ctype is not None and isinstance(ctype, BasicType):
+                # a master local declared in the target body
+                captured_scalars.append((name, ctype))
+        # build the vars struct
+        fields: list[tuple[str, CType]] = []
+        for cv in captured_params:
+            fields.append((cv.name, PointerType(cv.elem_type())))
+        for name, ctype in captured_scalars:
+            fields.append((name, PointerType(ctype)))
+        from repro.cfront.ctypes_ import StructType
+        stype = StructType(struct_name, tuple(fields))
+        b._extra_decls.append(A.StructDef(struct_name, list(fields)))
+
+        # registration block (paper Fig. 3b)
+        reg: list[A.Stmt] = []
+        reg.append(A.DeclStmt([A.VarDecl("vars", stype, None, None,
+                                         ("__shared__",))]))
+        for cv in captured_params:
+            reg.append(assign(
+                A.Member(ident("vars"), cv.name),
+                cast(PointerType(cv.elem_type()),
+                     call("cudadev_getaddr", cast(VOIDP, ident(cv.name)))),
+            ))
+        for name, ctype in captured_scalars:
+            src = self.scalar_renames.get(name)
+            src_addr = addr_of(clone(src.operand)) if isinstance(src, A.Unary) \
+                and src.op == "*" else addr_of(ident(name))
+            reg.append(assign(
+                A.Member(ident("vars"), name),
+                cast(PointerType(ctype),
+                     call("cudadev_push_shmem", cast(VOIDP, src_addr),
+                          sizeof_expr(ident(name)
+                                      if src is None else clone(src)))),
+            ))
+        nthr = d.first(ExprClause, "num_threads")
+        nthr_expr = rename_idents(nthr.expr, self.scalar_renames) if nthr \
+            else intlit(-1)
+        reg.append(callstmt("cudadev_register_parallel", ident(fn_name),
+                            cast(VOIDP, addr_of(ident("vars"))), nthr_expr))
+        for name, ctype in reversed(captured_scalars):
+            src = self.scalar_renames.get(name)
+            src_addr = addr_of(clone(src.operand)) if isinstance(src, A.Unary) \
+                and src.op == "*" else addr_of(ident(name))
+            reg.append(callstmt("cudadev_pop_shmem", cast(VOIDP, src_addr),
+                                sizeof_expr(ident(name)
+                                            if src is None else clone(src))))
+
+        # thrFunc body
+        thr_prologue: list[A.Stmt] = [
+            decl("vars", PointerType(stype),
+                 cast(PointerType(stype), ident("__arg"))),
+        ]
+        renames: dict[str, A.Expr] = {}
+        for cv in captured_params:
+            thr_prologue.append(decl(cv.name, PointerType(cv.elem_type()),
+                                     A.Member(ident("vars"), cv.name,
+                                              arrow=True)))
+        for name, ctype in captured_scalars:
+            if name in firstprivate:
+                thr_prologue.append(decl(name, ctype,
+                                         deref(A.Member(ident("vars"), name,
+                                                        arrow=True))))
+            else:
+                renames[name] = deref(A.Member(ident("vars"), name, arrow=True))
+        for name in sorted(private - local):
+            ctype = b.lookup_type(name)
+            if ctype is not None and isinstance(ctype, BasicType):
+                thr_prologue.append(decl(name, ctype))
+
+        region_xf = _RegionTransformer(b, renames)
+        thr_body = block(thr_prologue,
+                         region_xf.transform_stmt(region_body))
+        thr_fn = A.FuncDef(fn_name, VOID,
+                           [A.Param("__arg", VOIDP)], thr_body,
+                           ("__device__",))
+        b._extra_decls.append(thr_fn)
+        return A.Compound(reg)
+
+
+def _declared_in(stmt: A.Stmt, name: str) -> bool:
+    return any(isinstance(n, A.VarDecl) and n.name == name for n in stmt.walk())
+
+
+class _RegionTransformer:
+    """Rewrites a parallel-region body for worker-thread execution."""
+
+    def __init__(self, builder: CudaKernelBuilder, renames: dict[str, A.Expr]):
+        self.b = builder
+        self.renames = renames
+
+    def transform_stmt(self, stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.Compound):
+            return A.Compound([self.transform_stmt(s) for s in stmt.body])
+        if isinstance(stmt, A.PragmaStmt):
+            return self._transform_pragma(stmt)
+        if isinstance(stmt, (A.If, A.While, A.For, A.DoWhile)):
+            out = clone(stmt)
+            # rename, then recurse into sub-statements
+            out = rename_idents(out, self.renames)
+            self._recurse_pragmas(out)
+            return out
+        return rename_idents(stmt, self.renames)
+
+    def _recurse_pragmas(self, node: A.Node) -> None:
+        import dataclasses
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, A.PragmaStmt):
+                setattr(node, f.name, self._transform_pragma(value,
+                                                             prerenamed=True))
+            elif isinstance(value, A.Node):
+                self._recurse_pragmas(value)
+            elif isinstance(value, list):
+                for i, item in enumerate(value):
+                    if isinstance(item, A.PragmaStmt):
+                        value[i] = self._transform_pragma(item, prerenamed=True)
+                    elif isinstance(item, A.Node):
+                        self._recurse_pragmas(item)
+
+    def _transform_pragma(self, stmt: A.PragmaStmt, prerenamed: bool = False) -> A.Stmt:
+        from repro.openmp.pragma_parser import parse_omp_pragma
+        d: Directive = stmt.directive
+        if d is None:
+            d = parse_omp_pragma(stmt.text)
+        rn = {} if prerenamed else self.renames
+        if d.name in ("for", "for simd"):
+            return self._worksharing_for(stmt, d, rn)
+        if d.name == "simd":
+            # warps already execute in lockstep; simd is a no-op hint here
+            return self.transform_stmt(rename_idents(stmt.body, rn))
+        if d.name == "barrier":
+            return callstmt("cudadev_barrier")
+        if d.name == "critical":
+            return self._critical(stmt, d, rn)
+        if d.name in ("single", "master"):
+            body = self.transform_stmt(rename_idents(stmt.body, rn))
+            guarded = A.If(binop("==", call("omp_get_thread_num"), intlit(0)),
+                           body)
+            if d.name == "single" and not d.has(NowaitClause):
+                return block(guarded, callstmt("cudadev_barrier"))
+            return guarded
+        if d.name == "sections":
+            return self._sections(stmt, d, rn)
+        if d.name == "atomic":
+            return self._atomic(stmt, rn)
+        if d.name == "parallel":
+            raise CudaXformError(
+                "nested parallel regions inside a device parallel region "
+                "are not supported", stmt.loc
+            )
+        raise CudaXformError(
+            f"'#pragma omp {d.name}' inside a device parallel region is "
+            "not supported", stmt.loc
+        )
+
+    def _worksharing_for(self, stmt: A.PragmaStmt, d: Directive,
+                         rn: dict[str, A.Expr]) -> A.Stmt:
+        loop = stmt.body
+        if isinstance(loop, A.Compound) and len(loop.body) == 1:
+            loop = loop.body[0]
+        info = analyze_canonical_loop(loop)
+        loop_id = next(self.b._loop_ids)
+        sched_fn = "cudadev_get_static_chunk"
+        chunk: A.Expr = intlit(0)
+        scl = d.first(ScheduleClause)
+        if scl is not None:
+            if scl.schedule == "dynamic":
+                sched_fn = "cudadev_get_dynamic_chunk"
+            elif scl.schedule == "guided":
+                sched_fn = "cudadev_get_guided_chunk"
+            if scl.chunk is not None:
+                chunk = rename_idents(scl.chunk, rn)
+        count = rename_idents(info.count, rn)
+        recon: A.Expr = ident("__it")
+        if info.step != 1:
+            recon = binop("*", recon, intlit(info.step))
+        recon = binop("+", cast(info.var_type, recon),
+                      rename_idents(info.lb, rn))
+        body = self.transform_stmt(rename_idents(info.body, rn))
+        inner = A.For(
+            A.ExprStmt(A.Assign(ident("__it"), ident("__tlo"))),
+            binop("<", ident("__it"), ident("__thi")),
+            A.Assign(ident("__it"), intlit(1), "+"),
+            block(assign(ident(info.var), recon), body),
+        )
+        out = block(
+            decl_long("__cnt", cast(LONG, count)),
+            decl_long("__tlo"), decl_long("__thi"), decl_long("__it"),
+            A.While(
+                call(sched_fn, intlit(loop_id), intlit(0), ident("__cnt"),
+                     cast(LONG, chunk), addr_of(ident("__tlo")),
+                     addr_of(ident("__thi"))),
+                block([inner]),
+            ),
+        )
+        if not d.has(NowaitClause):
+            out.body.append(callstmt("cudadev_barrier"))
+        return out
+
+    def _critical(self, stmt: A.PragmaStmt, d: Directive,
+                  rn: dict[str, A.Expr]) -> A.Stmt:
+        name_clause = d.first(NameClause)
+        lock_id = self.b.lock_id(name_clause.name if name_clause else "")
+        body = self.transform_stmt(rename_idents(stmt.body, rn))
+        return block(
+            decl("__done", INT, intlit(0)),
+            A.While(
+                A.Unary("!", ident("__done")),
+                block(
+                    A.If(
+                        binop("==", call("cudadev_trylock", intlit(lock_id)),
+                              intlit(0)),
+                        block(
+                            body,
+                            callstmt("cudadev_unlock", intlit(lock_id)),
+                            assign(ident("__done"), intlit(1)),
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+    def _sections(self, stmt: A.PragmaStmt, d: Directive,
+                  rn: dict[str, A.Expr]) -> A.Stmt:
+        body = stmt.body
+        if not isinstance(body, A.Compound):
+            raise CudaXformError("sections requires a block", stmt.loc)
+        sections: list[A.Stmt] = []
+        for child in body.body:
+            if isinstance(child, A.PragmaStmt) and child.directive is not None \
+                    and child.directive.name == "section":
+                sections.append(child.body)
+            elif isinstance(child, A.PragmaStmt) and child.text.strip() == "omp section":
+                sections.append(child.body)
+            else:
+                sections.append(child)
+        sid = next(self.b._loop_ids)
+        chain: Optional[A.Stmt] = None
+        for i in range(len(sections) - 1, -1, -1):
+            sec = self.transform_stmt(rename_idents(sections[i], rn))
+            chain = A.If(binop("==", ident("__s"), intlit(i)), sec, chain)
+        out = block(
+            callstmt("cudadev_sections_init", intlit(sid),
+                     intlit(len(sections))),
+            decl("__s", INT),
+            A.While(
+                binop(">=",
+                      A.Assign(ident("__s"),
+                               call("cudadev_next_section", intlit(sid))),
+                      intlit(0)),
+                block([chain] if chain else []),
+            ),
+        )
+        if not d.has(NowaitClause):
+            out.body.append(callstmt("cudadev_barrier"))
+        return out
+
+    def _atomic(self, stmt: A.PragmaStmt, rn: dict[str, A.Expr]) -> A.Stmt:
+        body = stmt.body
+        if isinstance(body, A.Compound) and len(body.body) == 1:
+            body = body.body[0]
+        if not (isinstance(body, A.ExprStmt) and isinstance(body.expr, A.Assign)
+                and body.expr.op in ("+", "-")):
+            raise CudaXformError(
+                "only '+='/'-=' update forms of atomic are supported", stmt.loc
+            )
+        target = rename_idents(body.expr.target, rn)
+        value = rename_idents(body.expr.value, rn)
+        if body.expr.op == "-":
+            value = A.Unary("-", value)
+        return callstmt("atomicAdd", addr_of(target), value)

@@ -1,0 +1,25 @@
+"""OpenMP directive layer: pragma parsing, clause model, validation.
+
+This package turns the raw ``#pragma omp ...`` text captured by the C
+frontend into structured :class:`~repro.openmp.directives.Directive`
+objects the OMPi translator consumes.  Clause arguments that are C
+expressions (``num_teams(n/2)``, ``map(to: x[0:size])``) are parsed with
+the same cfront expression parser as the surrounding program.
+"""
+
+from repro.openmp.clauses import (
+    Clause, DataSharingClause, DefaultClause, DeviceClause, ExprClause,
+    IfClause, MapClause, MapItem, MotionClause, NameClause, NowaitClause,
+    ReductionClause, ScheduleClause,
+)
+from repro.openmp.directives import Directive, DIRECTIVE_NAMES
+from repro.openmp.pragma_parser import OmpParseError, parse_omp_pragma
+from repro.openmp.validator import OmpValidationError, validate_directive, validate_unit
+
+__all__ = [
+    "Clause", "DataSharingClause", "DefaultClause", "DeviceClause",
+    "Directive", "DIRECTIVE_NAMES", "ExprClause", "IfClause", "MapClause",
+    "MapItem", "MotionClause", "NameClause", "NowaitClause", "OmpParseError",
+    "OmpValidationError", "ReductionClause", "ScheduleClause",
+    "parse_omp_pragma", "validate_directive", "validate_unit",
+]

@@ -1,0 +1,114 @@
+"""Directive node model.
+
+A :class:`Directive` is the parsed form of one ``#pragma omp`` line.
+Combined constructs keep their full name (``target teams distribute
+parallel for``); the OMPi translator decomposes them during lowering, as
+the paper's Section 3.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, TypeVar
+
+from repro.openmp.clauses import Clause
+
+#: All directive names the implementation understands, longest first so the
+#: pragma parser can do maximal-munch matching on the name.
+DIRECTIVE_NAMES = (
+    "target teams distribute parallel for",
+    "teams distribute parallel for",
+    "distribute parallel for",
+    "target teams distribute",
+    "teams distribute",
+    "target parallel for",
+    "target enter data",
+    "target exit data",
+    "end declare target",
+    "target parallel",
+    "parallel sections",
+    "target update",
+    "declare target",
+    "target teams",
+    "target data",
+    "parallel for",
+    "distribute",
+    "for simd",
+    "sections",
+    "parallel",
+    "critical",
+    "barrier",
+    "section",
+    "target",
+    "single",
+    "master",
+    "atomic",
+    "teams",
+    "simd",
+    "for",
+)
+
+#: Directives that stand alone (no associated statement).
+STANDALONE_DIRECTIVES = frozenset(
+    {"barrier", "target update", "target enter data", "target exit data"}
+)
+
+#: Directives that are declarative (file scope).
+DECLARATIVE_DIRECTIVES = frozenset({"declare target", "end declare target"})
+
+C = TypeVar("C", bound=Clause)
+
+
+@dataclass
+class Directive:
+    name: str
+    clauses: list[Clause] = field(default_factory=list)
+
+    # -- clause lookup helpers ------------------------------------------------
+    def clauses_of(self, cls: type[C]) -> Iterator[C]:
+        for clause in self.clauses:
+            if isinstance(clause, cls):
+                yield clause
+
+    def first(self, cls: type[C], kind: Optional[str] = None) -> Optional[C]:
+        for clause in self.clauses_of(cls):
+            if kind is None or clause.kind == kind:
+                return clause
+        return None
+
+    def has(self, cls: type[C], kind: Optional[str] = None) -> bool:
+        return self.first(cls, kind) is not None
+
+    # -- name decomposition ------------------------------------------------------
+    @property
+    def words(self) -> tuple[str, ...]:
+        return tuple(self.name.split())
+
+    def includes(self, part: str) -> bool:
+        """True when this (possibly combined) directive contains ``part``
+        as a sub-construct, e.g. 'parallel for'.includes('for')."""
+        part_words = part.split()
+        words = list(self.words)
+        # handle 'parallel for' vs 'parallel sections' word order: a
+        # sub-construct is a contiguous word subsequence.
+        for i in range(len(words) - len(part_words) + 1):
+            if words[i : i + len(part_words)] == part_words:
+                return True
+        return False
+
+    @property
+    def is_standalone(self) -> bool:
+        return self.name in STANDALONE_DIRECTIVES
+
+    @property
+    def is_declarative(self) -> bool:
+        return self.name in DECLARATIVE_DIRECTIVES
+
+    @property
+    def is_target_construct(self) -> bool:
+        return self.words[0] == "target" and self.name not in (
+            "target data", "target update", "target enter data", "target exit data"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"#pragma omp {self.name} ({len(self.clauses)} clauses)"

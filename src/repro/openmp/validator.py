@@ -1,0 +1,210 @@
+"""Semantic validation of OpenMP directives: clause legality and nesting.
+
+OMPi reports such errors at translation time; we do the same before the
+transformation phase runs, so the translator can assume well-formed input.
+"""
+
+from __future__ import annotations
+
+from repro.cfront import astnodes as A
+from repro.cfront.errors import CFrontError
+from repro.openmp.clauses import (
+    DataSharingClause, DefaultClause, DeviceClause, DistScheduleClause,
+    ExprClause, IfClause, MapClause, MotionClause, NameClause, NowaitClause,
+    ProcBindClause, ReductionClause, ScheduleClause,
+)
+from repro.openmp.directives import Directive
+from repro.openmp.pragma_parser import parse_omp_pragma
+
+
+class OmpValidationError(CFrontError):
+    """Directive violates a clause-legality or nesting rule."""
+
+
+#: clause kinds legal on each leaf construct; combined constructs accept the
+#: union of their parts.
+_LEGAL: dict[str, frozenset[str]] = {
+    "target": frozenset({"map", "device", "if", "nowait", "is_device_ptr",
+                         "firstprivate", "private"}),
+    "target data": frozenset({"map", "device", "if", "use_device_ptr"}),
+    "target enter data": frozenset({"map", "device", "if", "nowait"}),
+    "target exit data": frozenset({"map", "device", "if", "nowait"}),
+    "target update": frozenset({"motion", "device", "if", "nowait"}),
+    "teams": frozenset({"num_teams", "thread_limit", "private", "firstprivate",
+                        "shared", "default", "reduction"}),
+    "distribute": frozenset({"private", "firstprivate", "lastprivate",
+                             "collapse", "dist_schedule"}),
+    "parallel": frozenset({"num_threads", "private", "firstprivate", "shared",
+                           "default", "reduction", "if", "proc_bind", "copyin"}),
+    "for": frozenset({"private", "firstprivate", "lastprivate", "reduction",
+                      "schedule", "collapse", "nowait", "ordered"}),
+    "simd": frozenset({"private", "lastprivate", "reduction", "collapse",
+                       "safelen", "simdlen"}),
+    "sections": frozenset({"private", "firstprivate", "lastprivate",
+                           "reduction", "nowait"}),
+    "section": frozenset(),
+    "single": frozenset({"private", "firstprivate", "nowait", "copyprivate"}),
+    "critical": frozenset({"name"}),
+    "master": frozenset(),
+    "barrier": frozenset(),
+    "atomic": frozenset(),
+    "declare target": frozenset(),
+    "end declare target": frozenset(),
+}
+
+_CLAUSE_KIND: dict[type, str] = {
+    MapClause: "map",
+    MotionClause: "motion",
+    IfClause: "if",
+    DeviceClause: "device",
+    ReductionClause: "reduction",
+    ScheduleClause: "schedule",
+    DistScheduleClause: "dist_schedule",
+    DefaultClause: "default",
+    NowaitClause: "nowait",
+    NameClause: "name",
+    ProcBindClause: "proc_bind",
+}
+
+
+def _clause_kind(clause) -> str:
+    if isinstance(clause, (DataSharingClause, ExprClause)):
+        return clause.kind
+    return _CLAUSE_KIND[type(clause)]
+
+
+def _legal_kinds(directive: Directive) -> frozenset[str]:
+    legal: set[str] = set()
+    words = list(directive.words)
+    i = 0
+    while i < len(words):
+        # match the longest leaf name at this position
+        for leaf in ("target enter data", "target exit data", "target update",
+                     "target data", "declare target", "end declare target"):
+            leaf_words = leaf.split()
+            if words[i : i + len(leaf_words)] == leaf_words:
+                legal |= _LEGAL[leaf]
+                i += len(leaf_words)
+                break
+        else:
+            legal |= _LEGAL.get(words[i], frozenset())
+            i += 1
+    return frozenset(legal)
+
+
+def validate_directive(directive: Directive, loc=None) -> None:
+    """Check clause legality for one directive."""
+    if directive.name in ("target update",):
+        if not any(isinstance(c, MotionClause) for c in directive.clauses):
+            raise OmpValidationError(
+                "target update requires at least one to()/from() clause", loc
+            )
+    if directive.name in ("target enter data", "target exit data"):
+        maps = list(directive.clauses_of(MapClause))
+        if not maps:
+            raise OmpValidationError(f"{directive.name} requires a map clause", loc)
+        for m in maps:
+            if directive.name == "target enter data" and m.map_type not in ("to", "alloc"):
+                raise OmpValidationError(
+                    f"target enter data map type must be to/alloc, got {m.map_type}", loc
+                )
+            if directive.name == "target exit data" and m.map_type not in (
+                "from", "release", "delete"
+            ):
+                raise OmpValidationError(
+                    f"target exit data map type must be from/release/delete, "
+                    f"got {m.map_type}", loc
+                )
+    legal = _legal_kinds(directive)
+    for clause in directive.clauses:
+        kind = _clause_kind(clause)
+        if kind not in legal:
+            raise OmpValidationError(
+                f"clause '{kind}' is not permitted on '#pragma omp "
+                f"{directive.name}'", loc
+            )
+    seen_unique: set[str] = set()
+    for clause in directive.clauses:
+        kind = _clause_kind(clause)
+        if kind in ("num_teams", "num_threads", "thread_limit", "collapse",
+                    "schedule", "dist_schedule", "default", "device", "if"):
+            if kind in seen_unique:
+                raise OmpValidationError(
+                    f"duplicate '{kind}' clause on '#pragma omp {directive.name}'", loc
+                )
+            seen_unique.add(kind)
+
+
+#: constructs that may appear (dynamically) nested inside a target region in
+#: this implementation (matches the device-side features of the paper §4.2.2)
+_DEVICE_SIDE = frozenset(
+    {"teams", "distribute", "parallel", "for", "parallel for", "sections",
+     "simd", "for simd",
+     "section", "single", "critical", "barrier", "master", "atomic",
+     "teams distribute", "distribute parallel for",
+     "teams distribute parallel for"}
+)
+
+
+def validate_unit(unit: A.TranslationUnit) -> list[Directive]:
+    """Parse + validate every pragma in the unit; attaches ``directive`` to
+    each PragmaStmt/PragmaDecl node.  Returns all directives found."""
+    out: list[Directive] = []
+    declare_target_depth = 0
+    for decl in unit.decls:
+        if isinstance(decl, A.PragmaDecl) and decl.text.strip().startswith("omp"):
+            directive = parse_omp_pragma(decl.text)
+            decl.directive = directive
+            validate_directive(directive, decl.loc)
+            if directive.name == "declare target":
+                declare_target_depth += 1
+            elif directive.name == "end declare target":
+                declare_target_depth -= 1
+                if declare_target_depth < 0:
+                    raise OmpValidationError(
+                        "end declare target without matching declare target", decl.loc
+                    )
+            out.append(directive)
+    if declare_target_depth != 0:
+        raise OmpValidationError("unterminated declare target region")
+    for decl in unit.decls:
+        if not isinstance(decl, A.FuncDef):
+            continue
+        for node in decl.body.walk():
+            if isinstance(node, A.PragmaStmt) and node.text.strip().startswith("omp"):
+                directive = parse_omp_pragma(node.text)
+                node.directive = directive
+                validate_directive(directive, node.loc)
+                out.append(directive)
+        # nesting rules within this function
+        _check_nesting(decl.body, in_target=False)
+    return out
+
+
+def _check_nesting(stmt: A.Stmt, in_target: bool, in_teams: bool = False) -> None:
+    if isinstance(stmt, A.PragmaStmt) and stmt.directive is not None:
+        d: Directive = stmt.directive
+        if d.name == "distribute" and not in_teams:
+            raise OmpValidationError(
+                "distribute must be closely nested inside a teams region", stmt.loc
+            )
+        if d.is_target_construct and in_target:
+            raise OmpValidationError("target regions cannot nest", stmt.loc)
+        if in_target and not d.is_target_construct and d.name not in _DEVICE_SIDE \
+                and d.name not in ("target data",):
+            raise OmpValidationError(
+                f"'#pragma omp {d.name}' is not supported inside a target region",
+                stmt.loc,
+            )
+        child_in_target = in_target or d.is_target_construct
+        child_in_teams = d.includes("teams") or (
+            in_teams and d.name in ("section",)
+        )
+        if stmt.body is not None:
+            _check_nesting(stmt.body, child_in_target, child_in_teams)
+        return
+    for child in stmt.children():
+        if isinstance(child, A.Stmt):
+            _check_nesting(child, in_target, in_teams)
+        elif isinstance(child, (A.Expr,)):
+            continue

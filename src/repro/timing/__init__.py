@@ -1,0 +1,17 @@
+"""Virtual time and performance models.
+
+Nothing in the measurement path reads the wall clock: the driver advances
+a :class:`~repro.timing.clock.VirtualClock` using the analytic Maxwell
+model (:mod:`repro.timing.gpumodel`) for kernels and the LPDDR4 transfer
+model (:mod:`repro.timing.hostmodel`) for memory operations, which is what
+``omp_get_wtime`` and the benchmark harness observe.  Constants are
+calibrated against the absolute ranges of the paper's Figure 4
+(:mod:`repro.timing.calibration`).
+"""
+
+from repro.timing.clock import VirtualClock
+from repro.timing.gpumodel import GpuTimingModel
+from repro.timing.hostmodel import HostModel
+from repro.timing.stats import EventLog, RunEvent
+
+__all__ = ["EventLog", "GpuTimingModel", "HostModel", "RunEvent", "VirtualClock"]

@@ -1,0 +1,75 @@
+"""Calibrated model constants.
+
+These constants are fitted so the simulated Jetson Nano lands in the
+absolute ranges of the paper's Figure 4 (execution times between ~0.05 s
+and ~10 s across the six applications) while every *relative* effect —
+who wins, scaling with problem size, the gemm@2048 gap — emerges from the
+model structure, not from per-benchmark fudge factors.  EXPERIMENTS.md
+records the paper-vs-measured comparison.
+
+Hardware-anchored values (clock rate, core counts, warp size, bandwidth)
+come from :mod:`repro.cuda.device` and are not repeated here.
+"""
+
+# -- GPU core model ------------------------------------------------------------
+#: peak warp instructions issued per cycle on the single Maxwell SM
+#: (4 schedulers, but realistic ILP keeps sustained issue below that)
+IPC_PEAK = 4.0
+#: resident warps needed to reach peak issue (latency hiding knee)
+WARPS_FOR_PEAK = 16.0
+#: minimum issue efficiency with a single resident warp
+MIN_ISSUE_EFF = 0.14
+#: f64 ALU throughput penalty on Maxwell (1/32 rate)
+F64_PENALTY = 32.0
+#: special-function (sqrt/exp/...) penalty relative to f32 ALU
+SFU_PENALTY = 4.0
+#: shared-memory access cost in cycles per warp access
+SHARED_ACCESS_CYCLES = 0.5
+#: local-memory access cost (local is DRAM-backed but L1-cached)
+LOCAL_ACCESS_CYCLES = 0.25
+#: cycles per 32-byte DRAM segment at peak bandwidth:
+#: 921.6 MHz / (14.4 GB/s / 32 B) = ~2.05 cycles per segment
+def dram_cycles_per_segment(clock_hz: float, bandwidth_gbps: float) -> float:
+    return clock_hz / (bandwidth_gbps * 1e9 / 32.0)
+
+#: average DRAM access latency in cycles (LPDDR4 on Tegra X1)
+DRAM_LATENCY_CYCLES = 420.0
+#: barrier cost per warp arrival, cycles
+BARRIER_CYCLES = 32.0
+#: atomic op cost, cycles each (global, serialised)
+ATOMIC_CYCLES = 60.0
+#: cost of a divergent branch re-convergence, cycles
+DIVERGENCE_CYCLES = 4.0
+
+#: register file per SM (Maxwell: 64K 32-bit registers)
+REGISTERS_PER_SM = 65536
+#: maximum resident threads / blocks per SM (cc 5.3)
+MAX_THREADS_PER_SM = 2048
+MAX_BLOCKS_PER_SM = 32
+
+# -- launch / runtime overheads -----------------------------------------------
+#: fixed kernel-launch latency (driver + hardware), seconds — Jetson-class
+LAUNCH_LATENCY_S = 95e-6
+#: additional per-launch cost of the cudadev module's three launch phases
+#: (locate function, prepare parameters, set dims), seconds
+CUDADEV_LAUNCH_PHASES_S = 22e-6
+#: per-parameter preparation cost, seconds
+PARAM_PREP_S = 0.6e-6
+#: device memory allocation/free cost, seconds
+MEM_ALLOC_S = 40e-6
+#: fixed DMA setup latency per memcpy, seconds
+MEMCPY_LATENCY_S = 18e-6
+#: host<->device sustained copy bandwidth, GB/s (shared LPDDR4: a copy
+#: reads and writes the same DRAM, so ~half the raw bandwidth)
+MEMCPY_BANDWIDTH_GBPS = 6.8
+
+# -- host (ARM A57) model -------------------------------------------------------
+A57_CLOCK_HZ = 1.43e9
+#: host cycles per interpreted "simple statement" (only used for the tiny
+#: host-side bookkeeping the benchmarks measure)
+HOST_OP_CYCLES = 1.6
+
+# -- run-to-run jitter ---------------------------------------------------------
+#: relative sigma of per-run multiplicative jitter ("negligible variation
+#: among runs", paper §5)
+RUN_JITTER_SIGMA = 0.004

@@ -1,0 +1,28 @@
+"""The virtual clock.
+
+All times in the reproduction are *modelled* seconds on the simulated
+Jetson Nano, advanced explicitly by the runtime layers.  Determinism
+requirement: two identical runs must produce identical timings, so no
+wall-clock reads occur anywhere in a measurement path.  The paper's
+"average of 10 runs" protocol is reproduced by adding seeded per-run
+jitter in the harness, not here.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    def __init__(self):
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0

@@ -1,0 +1,26 @@
+"""Host-side timing: ARM A57 work and LPDDR4 host<->device transfers.
+
+The Jetson's host and device share physical LPDDR4; the CUDA programming
+model still performs explicit copies between host allocations and device
+allocations (both benchmark suites use cudaMemcpy / the cudadev mapping
+machinery), so copies cost real bandwidth — roughly half the raw DRAM
+rate, because a copy reads and writes the same memory.
+"""
+
+from __future__ import annotations
+
+from repro.timing import calibration as C
+
+
+class HostModel:
+    def memcpy_time(self, nbytes: int) -> float:
+        """Host<->device transfer time (either direction)."""
+        if nbytes <= 0:
+            return C.MEMCPY_LATENCY_S
+        return C.MEMCPY_LATENCY_S + nbytes / (C.MEMCPY_BANDWIDTH_GBPS * 1e9)
+
+    def alloc_time(self) -> float:
+        return C.MEM_ALLOC_S
+
+    def host_ops_time(self, ops: int) -> float:
+        return ops * C.HOST_OP_CYCLES / C.A57_CLOCK_HZ

@@ -1,0 +1,60 @@
+"""Per-run event log: every driver-level action with its modelled cost.
+
+The benchmark harness reads this to report "kernel execution time plus any
+required memory operations" exactly as the paper's §5 measures, and the
+ablation benches use it to separate JIT, launch-phase and transfer costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RunEvent:
+    kind: str                 # 'kernel' | 'memcpy_h2d' | 'memcpy_d2h' |
+                              # 'alloc' | 'free' | 'jit' | 'launch_overhead' |
+                              # 'module_load' | 'host'
+    seconds: float
+    detail: str = ""
+    bytes: int = 0
+    kernel: Optional[str] = None
+
+
+@dataclass
+class EventLog:
+    events: list[RunEvent] = field(default_factory=list)
+
+    def add(self, kind: str, seconds: float, detail: str = "", nbytes: int = 0,
+            kernel: Optional[str] = None) -> None:
+        self.events.append(RunEvent(kind, seconds, detail, nbytes, kernel))
+
+    def total(self, *kinds: str) -> float:
+        if not kinds:
+            return sum(e.seconds for e in self.events)
+        wanted = set(kinds)
+        return sum(e.seconds for e in self.events if e.kind in wanted)
+
+    @property
+    def kernel_time(self) -> float:
+        return self.total("kernel")
+
+    @property
+    def memory_time(self) -> float:
+        return self.total("memcpy_h2d", "memcpy_d2h", "alloc", "free")
+
+    @property
+    def measured_time(self) -> float:
+        """The paper's metric: kernel execution + required memory operations
+        (launch overheads are part of kernel dispatch)."""
+        return self.total(
+            "kernel", "launch_overhead", "memcpy_h2d", "memcpy_d2h",
+            "alloc", "free", "jit",
+        )
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()

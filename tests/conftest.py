@@ -1,0 +1,15 @@
+"""Test-suite configuration.
+
+Hypothesis deadlines are disabled globally: the suite runs interpreters
+and a GPU simulator whose per-example wall time varies wildly with machine
+load, and a wall-clock deadline would make correctness tests flaky.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

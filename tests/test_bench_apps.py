@@ -1,0 +1,130 @@
+"""Tests for the benchmark suite: functional verification of every app
+(CUDA and OMPi versions vs the sequential numpy reference) and harness
+behaviour.  This is the repository's strongest end-to-end evidence: each
+verification runs the full compiler + runtime + GPU-engine stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_app, run_cuda, run_ompi, verify_app
+from repro.bench.suite import ALL_APPS, get_app, registry
+
+
+def test_registry_matches_paper_panel_order():
+    assert ALL_APPS == ("3dconv", "bicg", "atax", "mvt", "gemm", "gramschmidt")
+    assert set(ALL_APPS) <= set(registry())
+    from repro.bench.suite import EXTENDED_APP_NAMES
+    assert set(EXTENDED_APP_NAMES) <= set(registry())
+
+
+def test_categories_match_paper():
+    # "one stencil application, four kernel applications ... one solver"
+    cats = {name: get_app(name).category for name in ALL_APPS}
+    assert cats["3dconv"] == "stencil"
+    assert cats["gramschmidt"] == "solver"
+    assert sum(1 for c in cats.values() if c == "kernel") == 4
+
+
+def test_sizes_match_figure4_axes():
+    assert get_app("3dconv").sizes == (32, 64, 128, 256, 384)
+    assert get_app("bicg").sizes == (512, 1024, 2048, 4096, 8192)
+    assert get_app("atax").sizes == (512, 1024, 2048, 4096, 8192)
+    assert get_app("mvt").sizes == (512, 1024, 2048, 4096, 8192)
+    assert get_app("gemm").sizes == (128, 256, 512, 1024, 2048)
+    assert get_app("gramschmidt").sizes == (128, 256, 512, 1024, 2048)
+
+
+def test_thread_geometries_match_paper():
+    # "all applications use 32x8 threads, except for gramschmidt which is
+    # fixed to use 256x1 ... and 3dconv which uses 2x4x32"
+    assert get_app("gemm").block_shape == (32, 8, 1)
+    assert get_app("bicg").block_shape == (32, 8, 1)
+    assert get_app("gramschmidt").block_shape == (256, 1, 1)
+    assert get_app("3dconv").block_shape == (32, 4, 2)
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+def test_functional_verification(name):
+    """Both compiled versions reproduce the numpy reference exactly
+    (within float32 accumulation tolerance)."""
+    outcome = verify_app(get_app(name))
+    assert outcome.ok_cuda, f"{name} CUDA: max rel err {outcome.max_err_cuda}"
+    assert outcome.ok_ompi, f"{name} OMPi: max rel err {outcome.max_err_ompi}"
+
+
+def test_cuda_and_ompi_agree_bit_for_bit():
+    """Same op order on the same simulated hardware: the two versions
+    should agree with each other even more tightly than with numpy."""
+    app = get_app("bicg")
+    n = 64
+    _, m_cuda = run_cuda(app, n, launch_mode="full")
+    _, m_ompi = run_ompi(app, n, launch_mode="full")
+    for out in app.outputs:
+        a = np.asarray(m_cuda.global_array(out))
+        b = np.asarray(m_ompi.global_array(out))
+        assert np.array_equal(a, b)
+
+
+def test_measured_time_is_deterministic():
+    app = get_app("gemm")
+    r1 = run_app(app, 128, "ompi")
+    r2 = run_app(app, 128, "ompi")
+    assert r1.measured_s == r2.measured_s
+    assert r1.runs == r2.runs          # jitter is seeded
+
+
+def test_ten_run_protocol():
+    r = run_app(get_app("gemm"), 128, "cuda")
+    assert len(r.runs) == 10
+    # "negligible variation among runs"
+    assert np.std(r.runs) / np.mean(r.runs) < 0.02
+    assert r.mean_s == pytest.approx(r.measured_s, rel=0.02)
+
+
+def test_measured_time_grows_with_size():
+    app = get_app("atax")
+    small = run_app(app, 512, "cuda")
+    big = run_app(app, 1024, "cuda")
+    assert big.measured_s > small.measured_s
+
+
+def test_ompi_tracks_cuda_closely():
+    """The paper's headline: 'for all applications, ompi follows closely
+    the performance of pure cuda'."""
+    for name, n in (("gemm", 256), ("bicg", 512), ("3dconv", 32)):
+        rc = run_app(get_app(name), n, "cuda")
+        ro = run_app(get_app(name), n, "ompi")
+        ratio = ro.measured_s / rc.measured_s
+        assert 0.8 < ratio < 1.35, f"{name}@{n}: OMPi/CUDA = {ratio:.3f}"
+
+
+def test_gramschmidt_is_the_slowest_app():
+    """Fig. 4 shape: the solver dwarfs the kernels at comparable sizes."""
+    gs = run_app(get_app("gramschmidt"), 256, "cuda")
+    ge = run_app(get_app("gemm"), 256, "cuda")
+    assert gs.measured_s > 3 * ge.measured_s
+
+
+def test_launch_counts():
+    r_gemm = run_app(get_app("gemm"), 128, "cuda")
+    assert r_gemm.launches == 1
+    r_bicg = run_app(get_app("bicg"), 512, "cuda")
+    assert r_bicg.launches == 2
+    n = 128
+    r_gs = run_app(get_app("gramschmidt"), n, "cuda")
+    assert r_gs.launches == 3 * n
+
+
+@pytest.mark.parametrize("name", ("2dconv", "gesummv", "syrk", "2mm"))
+def test_extended_suite_verifies(name):
+    """'We get similar results with the rest of the applications in the
+    suite' (§5): the extended set passes the same functional check."""
+    outcome = verify_app(get_app(name))
+    assert outcome.ok, (name, outcome)
+
+
+def test_extended_suite_tracks_cuda():
+    rc = run_app(get_app("gesummv"), 512, "cuda")
+    ro = run_app(get_app("gesummv"), 512, "ompi")
+    assert 0.8 < ro.measured_s / rc.measured_s < 1.35

@@ -1,0 +1,285 @@
+"""Tests for the host C interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.cfront.errors import InterpError
+from repro.cfront.interp import Machine, Ptr
+from repro.cfront.parser import parse_translation_unit
+
+
+def run(src, **kw):
+    machine = Machine(parse_translation_unit(src), **kw)
+    code = machine.run()
+    return machine, code
+
+
+def test_return_code_from_main():
+    _, code = run("int main(void) { return 42; }")
+    assert code == 42
+
+
+def test_arithmetic_and_precedence():
+    m, _ = run("""
+    int main(void) {
+        printf("%d %d %d %d\\n", 2 + 3 * 4, (2 + 3) * 4, 7 / 2, 7 % 2);
+        return 0;
+    }
+    """)
+    assert m.output() == "14 20 3 1\n"
+
+
+def test_c_truncating_division_negative():
+    m, _ = run("""
+    int main(void) {
+        printf("%d %d %d\\n", -7 / 2, -7 % 2, 7 / -2);
+        return 0;
+    }
+    """)
+    assert m.output() == "-3 -1 -3\n"
+
+
+def test_float_formats():
+    m, _ = run("""
+    int main(void) {
+        double x = 2.5;
+        printf("%.2f %e\\n", x, 0.001);
+        return 0;
+    }
+    """)
+    assert m.output() == "2.50 1.000000e-03\n"
+
+
+def test_char_narrowing_store():
+    m, _ = run("""
+    int main(void) {
+        char c = 300;
+        printf("%d\\n", c);
+        return 0;
+    }
+    """)
+    assert m.output() == "44\n"
+
+
+def test_pointers_and_address_of():
+    m, _ = run("""
+    int main(void) {
+        int x = 5;
+        int *p = &x;
+        *p = 9;
+        printf("%d\\n", x);
+        return 0;
+    }
+    """)
+    assert m.output() == "9\n"
+
+
+def test_pointer_arithmetic_and_subtraction():
+    m, _ = run("""
+    int xs[10];
+    int main(void) {
+        int *p = xs;
+        int *q = p + 4;
+        *q = 7;
+        printf("%d %d\\n", xs[4], (int) (q - p));
+        return 0;
+    }
+    """)
+    assert m.output() == "7 4\n"
+
+
+def test_arrays_2d_layout():
+    m, _ = run("""
+    float A[3][4];
+    int main(void) {
+        A[1][2] = 9.0f;
+        return 0;
+    }
+    """)
+    arr = m.global_array("A")
+    assert arr.shape == (3, 4)
+    assert arr[1, 2] == 9.0
+
+
+def test_function_calls_and_recursion():
+    m, _ = run("""
+    int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+    int main(void) { printf("%d\\n", fib(10)); return 0; }
+    """)
+    assert m.output() == "55\n"
+
+
+def test_arguments_passed_by_value():
+    m, _ = run("""
+    void bump(int x) { x = x + 1; }
+    int main(void) { int a = 1; bump(a); printf("%d\\n", a); return 0; }
+    """)
+    assert m.output() == "1\n"
+
+
+def test_array_parameter_aliases_caller():
+    m, _ = run("""
+    void fill(float dst[], int n) { int i; for (i = 0; i < n; i++) dst[i] = i; }
+    float data[8];
+    int main(void) { fill(data, 8); return 0; }
+    """)
+    assert list(m.global_array("data")) == list(range(8))
+
+
+def test_while_do_while_break_continue():
+    m, _ = run("""
+    int main(void) {
+        int i = 0, total = 0;
+        while (1) {
+            i++;
+            if (i % 2) continue;
+            if (i > 8) break;
+            total += i;
+        }
+        printf("%d\\n", total);
+        return 0;
+    }
+    """)
+    assert m.output() == "20\n"  # 2+4+6+8
+
+
+def test_logical_short_circuit():
+    m, _ = run("""
+    int calls = 0;
+    int bump(void) { calls++; return 1; }
+    int main(void) {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        printf("%d %d %d\\n", a, b, calls);
+        return 0;
+    }
+    """)
+    assert m.output() == "0 1 0\n"
+
+
+def test_struct_members_dim3():
+    m, _ = run("""
+    int main(void) {
+        dim3 g = dim3(4, 2, 1);
+        printf("%d %d %d\\n", g.x, g.y, g.z);
+        return 0;
+    }
+    """)
+    assert m.output() == "4 2 1\n"
+
+
+def test_sizeof():
+    m, _ = run("""
+    int main(void) {
+        float x[10];
+        printf("%d %d %d %d\\n", (int) sizeof(int), (int) sizeof(double),
+               (int) sizeof x, (int) sizeof(float *));
+        return 0;
+    }
+    """)
+    assert m.output() == "4 8 40 8\n"
+
+
+def test_malloc_free_memset():
+    m, _ = run("""
+    int main(void) {
+        int *p = (int *) malloc(10 * sizeof(int));
+        memset(p, 0, 10 * sizeof(int));
+        p[3] = 5;
+        printf("%d %d\\n", p[3], p[4]);
+        free(p);
+        return 0;
+    }
+    """)
+    assert m.output() == "5 0\n"
+
+
+def test_string_literals_and_puts():
+    m, _ = run('int main(void) { puts("hello"); printf("%s!", "bye"); return 0; }')
+    assert m.output() == "hello\nbye!"
+
+
+def test_exit_native():
+    _, code = run("int main(void) { exit(3); return 0; }")
+    assert code == 3
+
+
+def test_global_initializer():
+    m, _ = run("int n = 6; int main(void) { printf(\"%d\", n * 7); return 0; }")
+    assert m.output() == "42"
+
+
+def test_static_local_not_supported_semantics_but_runs():
+    # 'static' storage on locals is accepted; value lives per call frame.
+    m, _ = run("int main(void) { static int x = 1; return x; }")
+
+
+def test_untranslated_omp_pragma_raises():
+    with pytest.raises(InterpError):
+        run("""
+        int main(void) {
+            #pragma omp parallel
+            { }
+            return 0;
+        }
+        """)
+
+
+def test_missing_main_raises():
+    machine = Machine(parse_translation_unit("int f(void) { return 1; }"))
+    with pytest.raises(InterpError):
+        machine.run()
+
+
+def test_call_by_name_from_python():
+    m = Machine(parse_translation_unit("int twice(int x) { return 2 * x; }"))
+    assert m.call("twice", 21) == 42
+
+
+def test_float_cast_rounds_to_f32():
+    m, _ = run("""
+    int main(void) {
+        double d = 0.1;
+        float f = (float) d;
+        printf("%.10f\\n", (double) f);
+        return 0;
+    }
+    """)
+    assert m.output().strip() == f"{np.float32(0.1):.10f}"
+
+
+def test_ternary_and_comma():
+    m, _ = run("""
+    int main(void) {
+        int a, b;
+        a = 1, b = 2;
+        printf("%d\\n", a > b ? a : b);
+        return 0;
+    }
+    """)
+    assert m.output() == "2\n"
+
+
+def test_rand_is_deterministic():
+    m1, _ = run("int main(void){ srand(7); printf(\"%d %d\", rand(), rand()); return 0; }")
+    m2, _ = run("int main(void){ srand(7); printf(\"%d %d\", rand(), rand()); return 0; }")
+    assert m1.output() == m2.output()
+
+
+def test_out_of_bounds_access_detected():
+    with pytest.raises(Exception):
+        run("""
+        int main(void) {
+            int *p = (int *) 1;
+            return *p;
+        }
+        """)
+
+
+def test_stack_frames_freed():
+    m, _ = run("""
+    void work(void) { float scratch[256]; scratch[0] = 1.0f; }
+    int main(void) { int i; for (i = 0; i < 100; i++) work(); return 0; }
+    """)
+    # all frame allocations released; only globals/strings remain
+    assert m.heap.bytes_in_use < 4096

@@ -1,0 +1,170 @@
+"""Tests for the C lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cfront.errors import LexError
+from repro.cfront.lexer import tokenize
+from repro.cfront.tokens import TokenKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_keywords():
+    toks = tokenize("int foo _bar x9 while")[:-1]
+    assert [t.kind for t in toks] == [
+        TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.IDENT,
+        TokenKind.IDENT, TokenKind.KEYWORD,
+    ]
+
+
+def test_cuda_keywords():
+    toks = tokenize("__global__ __device__ __shared__")[:-1]
+    assert all(t.kind is TokenKind.KEYWORD for t in toks)
+
+
+def test_integer_literals():
+    toks = tokenize("0 42 0x1F 100u 7L")[:-1]
+    assert [t.value for t in toks] == [0, 42, 31, 100, 7]
+    assert all(t.kind is TokenKind.INT_LIT for t in toks)
+
+
+def test_float_literals():
+    toks = tokenize("1.5 2.5f .25 1e3 1.5e-2 3. 2f")[:-1]
+    assert [t.kind for t in toks] == [TokenKind.FLOAT_LIT] * 7
+    assert toks[0].value == 1.5
+    assert toks[2].value == 0.25
+    assert toks[3].value == 1000.0
+    assert toks[5].value == 3.0
+    assert toks[6].value == 2.0  # '2f' float suffix on integer
+
+
+def test_char_and_string_literals():
+    toks = tokenize(r"'a' '\n' "  + r'"hi\tthere"')[:-1]
+    assert toks[0].value == ord("a")
+    assert toks[1].value == ord("\n")
+    assert toks[2].value == "hi\tthere"
+
+
+def test_string_escapes():
+    (tok,) = tokenize(r'"\x41\\\""')[:-1]
+    assert tok.value == 'A\\"'
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+
+
+def test_multichar_char_literal_raises():
+    with pytest.raises(LexError):
+        tokenize("'ab'")
+
+
+def test_maximal_munch_operators():
+    assert texts("a+++b") == ["a", "++", "+", "b"]
+    assert texts("x<<=2") == ["x", "<<=", "2"]
+    assert texts("a->b") == ["a", "->", "b"]
+
+
+def test_triple_chevron_tokens():
+    assert "<<<" in texts("k<<<g, b>>>(x)")
+    assert ">>>" in texts("k<<<g, b>>>(x)")
+
+
+def test_comments_are_skipped():
+    assert texts("a /* b c */ d // e\n f") == ["a", "d", "f"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_pragma_line_captured_whole():
+    toks = tokenize("#pragma omp parallel for\nint x;")
+    assert toks[0].kind is TokenKind.PRAGMA
+    assert toks[0].text == "omp parallel for"
+    assert toks[1].is_keyword("int")
+
+
+def test_pragma_backslash_continuation():
+    src = "#pragma omp target map(to: a) \\\n    map(from: b)\nint x;"
+    toks = tokenize(src)
+    assert toks[0].kind is TokenKind.PRAGMA
+    assert "map(to: a)" in toks[0].text and "map(from: b)" in toks[0].text
+
+
+def test_include_lines_are_skipped():
+    toks = tokenize("#include <stdio.h>\nint x;")
+    assert toks[0].is_keyword("int")
+
+
+def test_unknown_directive_raises():
+    with pytest.raises(LexError):
+        tokenize("#define N 100\n")
+
+
+def test_hash_must_start_line():
+    with pytest.raises(LexError):
+        tokenize("int x; #pragma omp barrier")
+
+
+def test_locations_track_lines_and_columns():
+    toks = tokenize("int\n  x;")
+    assert toks[0].loc.line == 1 and toks[0].loc.col == 1
+    assert toks[1].loc.line == 2 and toks[1].loc.col == 3
+
+
+def test_stray_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int $x;")
+
+
+def test_bad_suffix_raises():
+    with pytest.raises(LexError):
+        tokenize("1.5q")
+    with pytest.raises(LexError):
+        tokenize("10uz9")
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_int_literal_roundtrip(n):
+    (tok,) = tokenize(str(n))[:-1]
+    assert tok.kind is TokenKind.INT_LIT and tok.value == n
+
+
+@given(st.floats(min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False))
+def test_property_float_literal_roundtrip(x):
+    (tok,) = tokenize(repr(float(x)))[:-1]
+    assert tok.kind is TokenKind.FLOAT_LIT
+    assert tok.value == pytest.approx(x, rel=1e-15)
+
+
+@given(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu"), max_codepoint=127),
+        min_size=1, max_size=12,
+    ).filter(lambda s: s not in {"if", "else", "for", "while", "do", "int",
+                                 "char", "float", "double", "void", "return",
+                                 "break", "continue", "long", "short", "struct",
+                                 "union", "enum", "static", "extern", "auto",
+                                 "signed", "unsigned", "const", "sizeof", "case",
+                                 "goto", "switch", "default", "typedef", "inline",
+                                 "register", "volatile", "restrict"})
+)
+def test_property_identifier_roundtrip(name):
+    (tok,) = tokenize(name)[:-1]
+    assert tok.kind is TokenKind.IDENT and tok.text == name

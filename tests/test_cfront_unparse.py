@@ -1,0 +1,155 @@
+"""Tests for the unparser, including parse -> unparse -> parse stability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.ctypes_ import (
+    ArrayType, FLOAT, FunctionType, INT, PointerType, VOID,
+)
+from repro.cfront.parser import parse_expression, parse_translation_unit
+from repro.cfront.unparse import declarator, unparse
+
+
+def roundtrip(src):
+    text1 = unparse(parse_translation_unit(src))
+    text2 = unparse(parse_translation_unit(text1))
+    assert text1 == text2
+    return text1
+
+
+def test_declarator_simple():
+    assert declarator(INT, "x") == "int x"
+    assert declarator(PointerType(FLOAT), "p") == "float *p"
+
+
+def test_declarator_array():
+    assert declarator(ArrayType(FLOAT, 10), "a") == "float a[10]"
+    assert declarator(ArrayType(ArrayType(FLOAT, 3), 2), "a") == "float a[2][3]"
+
+
+def test_declarator_pointer_to_array():
+    t = PointerType(ArrayType(INT, 96))
+    assert declarator(t, "x") == "int (*x)[96]"
+
+
+def test_declarator_function_pointer():
+    t = PointerType(FunctionType(VOID, (INT, FLOAT)))
+    assert declarator(t, "cb") == "void (*cb)(int, float)"
+
+
+def test_declarator_abstract():
+    assert declarator(PointerType(ArrayType(INT, 96)), "") == "int (*)[96]"
+
+
+def test_expression_precedence_parens():
+    e = parse_expression("(a + b) * c")
+    assert unparse(e) == "(a + b) * c"
+    e2 = parse_expression("a + b * c")
+    assert unparse(e2) == "a + b * c"
+
+
+def test_negative_literal_spacing():
+    e = parse_expression("- -x")
+    text = unparse(e)
+    assert "--" not in text
+    assert unparse(parse_expression(text)) == text
+
+
+def test_assignment_and_ternary():
+    assert unparse(parse_expression("a = b ? c : d")) == "a = b ? c : d"
+
+
+def test_kernel_launch_roundtrip():
+    e = parse_expression("k<<<dim3(4, 2), 256>>>(p, n)")
+    assert unparse(e) == "k<<<dim3(4, 2), 256>>>(p, n)"
+
+
+def test_full_function_roundtrip():
+    roundtrip("""
+    float dot(float x[], float y[], int n)
+    {
+        int i;
+        float s = 0.0f;
+        for (i = 0; i < n; i++)
+            s += x[i] * y[i];
+        return s;
+    }
+    """)
+
+
+def test_pragma_roundtrip():
+    text = roundtrip("""
+    void f(float y[], int n)
+    {
+        int i;
+        #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+        for (i = 0; i < n; i++)
+            y[i] = 2.0f * y[i];
+    }
+    """)
+    assert "#pragma omp target teams distribute parallel for" in text
+
+
+def test_shared_struct_roundtrip():
+    text = roundtrip("""
+    __global__ void k(int (*x)[96])
+    {
+        __shared__ struct vars_st {
+            int *i;
+            int (*x)[96];
+        } vars;
+        vars.i = (int *) 0;
+    }
+    """)
+    assert "__shared__ struct vars_st {" in text
+    assert "int (*x)[96];" in text
+
+
+def test_do_while_and_conditional_roundtrip():
+    roundtrip("""
+    int f(int n)
+    {
+        do {
+            n = n > 2 ? n - 1 : n + 1;
+        } while (n != 3 && n < 100);
+        return n;
+    }
+    """)
+
+
+def test_globals_and_prototypes_roundtrip():
+    text = roundtrip("""
+    int counter = 0;
+    float xs[128];
+    void saxpy(float a, float *x, int n);
+    """)
+    assert "int counter = 0;" in text
+    assert "void saxpy(float a, float *x, int n);" in text
+
+
+# A small expression grammar for property-based roundtrip testing.
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+_leaf = st.one_of(
+    st.integers(min_value=0, max_value=999).map(str),
+    _names,
+)
+
+
+def _binop(children):
+    op = st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>", "<", ">",
+                          "==", "!=", "&", "^", "|", "&&", "||"])
+    return st.tuples(children, op, children).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+
+
+_expr_text = st.recursive(_leaf, _binop, max_leaves=20)
+
+
+@settings(max_examples=100)
+@given(_expr_text)
+def test_property_expression_unparse_reparse_fixpoint(src):
+    e1 = parse_expression(src)
+    text1 = unparse(e1)
+    e2 = parse_expression(text1)
+    text2 = unparse(e2)
+    assert text1 == text2

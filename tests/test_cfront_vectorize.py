@@ -1,0 +1,210 @@
+"""Tests for the affine-loop vectorizer (equivalence with tree-walking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront import astnodes as A
+from repro.cfront.interp import Machine
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.vectorize import try_vectorize_for
+
+
+def run(src):
+    machine = Machine(parse_translation_unit(src))
+    machine.run()
+    return machine
+
+
+def _has_vectorizable_main_loop(src) -> bool:
+    """Check the first for-loop in main() against the full vectorizer
+    (analysis + dry compilation), without running the rest of main."""
+    machine = Machine(parse_translation_unit(src))
+    main = machine.globals["main"].defn
+    loops = [n for n in main.body.walk() if isinstance(n, A.For)]
+    env = [{}]
+    # declare locals so analysis can resolve them: execute decls only
+    for stmt in main.body.body:
+        if isinstance(stmt, A.DeclStmt):
+            machine._exec_decl(stmt, env)
+    loop = loops[0]
+    if loop.init is not None:
+        machine.exec_stmt(loop.init, env)
+    return try_vectorize_for(machine, loop, env)
+
+
+def test_simple_init_vectorized_matches():
+    m = run("""
+    float x[1000];
+    int main(void) { int i; for (i = 0; i < 1000; i++) x[i] = 2 * i + 1; return 0; }
+    """)
+    assert np.array_equal(m.global_array("x"), 2 * np.arange(1000) + 1)
+
+
+def test_loop_variable_final_value():
+    m = run("""
+    int final;
+    int main(void) { int i; for (i = 3; i < 17; i += 4) ; final = i; return 0; }
+    """)
+    # iterations at 3,7,11,15 -> final value 19
+    assert m.global_array("final") == 19
+
+
+def test_le_condition():
+    m = run("""
+    int xs[11];
+    int main(void) { int i; for (i = 0; i <= 10; i++) xs[i] = i; return 0; }
+    """)
+    assert list(m.global_array("xs")) == list(range(11))
+
+
+def test_saxpy_pattern_same_index_read_write():
+    m = run("""
+    float x[256], y[256];
+    int main(void) {
+        int i;
+        for (i = 0; i < 256; i++) { x[i] = i; y[i] = 1.0f; }
+        for (i = 0; i < 256; i++) y[i] = 2.5f * x[i] + y[i];
+        return 0;
+    }
+    """)
+    assert np.allclose(m.global_array("y"), 2.5 * np.arange(256) + 1)
+
+
+def test_compound_assignment_vectorized():
+    m = run("""
+    float y[64];
+    int main(void) {
+        int i;
+        for (i = 0; i < 64; i++) y[i] = i;
+        for (i = 0; i < 64; i++) y[i] *= 3.0f;
+        return 0;
+    }
+    """)
+    assert np.allclose(m.global_array("y"), 3.0 * np.arange(64))
+
+
+def test_loop_carried_dependence_not_vectorized():
+    src = """
+    int xs[16];
+    int main(void) {
+        int i;
+        for (i = 1; i < 16; i++) xs[i] = xs[i - 1] + 1;
+        return 0;
+    }
+    """
+    assert not _has_vectorizable_main_loop(src)
+    # and the interpreted fallback is still correct
+    m = run(src)
+    assert list(m.global_array("xs")) == list(range(16))
+
+
+def test_call_in_body_not_vectorized_unless_math():
+    src_math = """
+    float x[32];
+    int main(void) { int i; for (i = 0; i < 32; i++) x[i] = sqrt((double) i); return 0; }
+    """
+    m = run(src_math)
+    assert np.allclose(m.global_array("x"), np.sqrt(np.arange(32)), rtol=1e-6)
+
+    src_user = """
+    int f(int i) { return i; }
+    int xs[8];
+    int main(void) { int i; for (i = 0; i < 8; i++) xs[i] = f(i); return 0; }
+    """
+    assert not _has_vectorizable_main_loop(src_user)
+    m2 = run(src_user)
+    assert list(m2.global_array("xs")) == list(range(8))
+
+
+def test_2d_init_via_flattened_index():
+    m = run("""
+    float A[64 * 64];
+    int n = 64;
+    int main(void) {
+        int i, j;
+        for (i = 0; i < 64; i++)
+            for (j = 0; j < 64; j++)
+                A[i * 64 + j] = ((float) (i * j)) / 64;
+        return 0;
+    }
+    """)
+    i, j = np.meshgrid(np.arange(64), np.arange(64), indexing="ij")
+    assert np.allclose(m.global_array("A").reshape(64, 64), (i * j).astype(np.float32) / 64)
+
+
+def test_2d_init_via_true_2d_array():
+    m = run("""
+    float A[32][16];
+    int main(void) {
+        int i, j;
+        for (i = 0; i < 32; i++)
+            for (j = 0; j < 16; j++)
+                A[i][j] = i + 10 * j;
+        return 0;
+    }
+    """)
+    i, j = np.meshgrid(np.arange(32), np.arange(16), indexing="ij")
+    assert np.allclose(m.global_array("A"), i + 10 * j)
+
+
+def test_modulo_and_division_patterns():
+    m = run("""
+    int xs[100];
+    int main(void) { int i; for (i = 0; i < 100; i++) xs[i] = (i % 7) + i / 9; return 0; }
+    """)
+    iv = np.arange(100)
+    assert np.array_equal(m.global_array("xs"), iv % 7 + iv // 9)
+
+
+def test_empty_iteration_space():
+    m = run("""
+    int xs[4];
+    int final;
+    int main(void) { int i; for (i = 5; i < 5; i++) xs[0] = 99; final = i; return 0; }
+    """)
+    assert m.global_array("xs")[0] == 0
+    assert m.global_array("final") == 5
+
+
+def test_if_in_body_falls_back():
+    src = """
+    int xs[10];
+    int main(void) {
+        int i;
+        for (i = 0; i < 10; i++) { if (i % 2) xs[i] = 1; }
+        return 0;
+    }
+    """
+    assert not _has_vectorizable_main_loop(src)
+    m = run(src)
+    assert list(m.global_array("xs")) == [0, 1] * 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=20),
+    stop=st.integers(min_value=0, max_value=200),
+    step=st.integers(min_value=1, max_value=7),
+    scale=st.integers(min_value=-5, max_value=5),
+)
+def test_property_vectorized_matches_scalar_semantics(start, stop, step, scale):
+    src = f"""
+    int xs[512];
+    int final;
+    int main(void) {{
+        int i;
+        for (i = {start}; i < {stop}; i += {step}) xs[i] = {scale} * i + 2;
+        final = i;
+        return 0;
+    }}
+    """
+    m = run(src)
+    expect = np.zeros(512, dtype=np.int64)
+    i = start
+    while i < stop:
+        expect[i] = scale * i + 2
+        i += step
+    assert np.array_equal(m.global_array("xs"), expect[:512].astype(np.int32))
+    assert m.global_array("final") == i

@@ -1,0 +1,200 @@
+"""Tests for the simulated CUDA driver API."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.device import JETSON_NANO_GPU
+from repro.cuda.driver import CudaDriver
+from repro.cuda.errors import CudaError, CUresult
+from repro.cuda.nvcc import compile_device
+from repro.cuda.ptx.jit import JitCache
+
+SRC = """
+__global__ void scale(float *p, float a, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) p[i] = a * p[i];
+}
+"""
+
+
+def make_driver(**kw):
+    drv = CudaDriver(**kw)
+    drv.cuInit(0)
+    dev = drv.cuDeviceGet(0)
+    ctx = drv.cuDevicePrimaryCtxRetain(dev)
+    drv.cuCtxSetCurrent(ctx)
+    return drv
+
+
+def test_uninitialized_calls_rejected():
+    drv = CudaDriver()
+    with pytest.raises(CudaError) as err:
+        drv.cuDeviceGetCount()
+    assert err.value.result == CUresult.CUDA_ERROR_NOT_INITIALIZED
+
+
+def test_device_discovery_and_attributes():
+    drv = make_driver()
+    assert drv.cuDeviceGetCount() == 1
+    assert "Jetson Nano" in drv.cuDeviceGetName(0)
+    assert drv.cuDeviceComputeCapability(0) == (5, 3)
+    assert drv.cuDeviceGetAttribute("WARP_SIZE", 0) == 32
+    assert drv.cuDeviceGetAttribute("MULTIPROCESSOR_COUNT", 0) == 1
+    with pytest.raises(CudaError):
+        drv.cuDeviceGet(1)
+    with pytest.raises(CudaError):
+        drv.cuDeviceGetAttribute("NOT_A_THING", 0)
+
+
+def test_mem_alloc_free_and_oom():
+    drv = make_driver(gmem_capacity=1 << 20)
+    a = drv.cuMemAlloc(1024)
+    drv.cuMemcpyHtoD(a, np.arange(256, dtype=np.float32))
+    data = np.frombuffer(drv.cuMemcpyDtoH(a, 1024), dtype=np.float32)
+    assert np.array_equal(data, np.arange(256))
+    drv.cuMemFree(a)
+    with pytest.raises(CudaError) as err:
+        drv.cuMemAlloc(1 << 21)
+    assert err.value.result == CUresult.CUDA_ERROR_OUT_OF_MEMORY
+    with pytest.raises(CudaError):
+        drv.cuMemAlloc(0)
+
+
+def test_module_load_and_launch_cubin():
+    drv = make_driver()
+    image = compile_device(SRC, "m", mode="cubin")
+    handle = drv.cuModuleLoadData(image)
+    fn = drv.cuModuleGetFunction(handle, "scale")
+    n = 100
+    ptr = drv.cuMemAlloc(4 * n)
+    drv.cuMemcpyHtoD(ptr, np.ones(n, dtype=np.float32))
+    drv.cuLaunchKernel(fn, 4, 1, 1, 32, 1, 1,
+                       kernel_params=[ptr, np.float32(3.0), np.int32(n)])
+    out = np.frombuffer(drv.cuMemcpyDtoH(ptr, 4 * n), dtype=np.float32)
+    assert (out == 3.0).all()
+    assert drv.log.count("jit") == 0
+
+
+def test_module_load_ptx_jits_with_cache(tmp_path):
+    cache = JitCache(tmp_path)
+    image = compile_device(SRC, "m", mode="ptx")
+    drv1 = make_driver(jit_cache=cache)
+    drv1.cuModuleLoadData(image)
+    assert [e.detail for e in drv1.log.events if e.kind == "jit"] == ["compiled"]
+    drv2 = make_driver(jit_cache=cache)
+    drv2.cuModuleLoadData(image)
+    assert [e.detail for e in drv2.log.events if e.kind == "jit"] == ["cache hit"]
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_image_bytes_round_trip():
+    drv = make_driver()
+    image = compile_device(SRC, "m", mode="cubin")
+    handle = drv.cuModuleLoadData(image.to_bytes())
+    assert drv.cuModuleGetFunction(handle, "scale")
+
+
+def test_unknown_kernel_name_rejected():
+    drv = make_driver()
+    handle = drv.cuModuleLoadData(compile_device(SRC, "m"))
+    with pytest.raises(CudaError) as err:
+        drv.cuModuleGetFunction(handle, "nonsense")
+    assert err.value.result == CUresult.CUDA_ERROR_NOT_FOUND
+
+
+def test_unlinked_cubin_cannot_launch():
+    drv = make_driver()
+    image = compile_device(SRC, "m", mode="cubin", link_device_library=False)
+    handle = drv.cuModuleLoadData(image)
+    fn = drv.cuModuleGetFunction(handle, "scale")
+    ptr = drv.cuMemAlloc(16)
+    with pytest.raises(CudaError) as err:
+        drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1,
+                           kernel_params=[ptr, np.float32(1.0), np.int32(4)])
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_IMAGE
+
+
+def test_wrong_param_count_rejected():
+    drv = make_driver()
+    handle = drv.cuModuleLoadData(compile_device(SRC, "m"))
+    fn = drv.cuModuleGetFunction(handle, "scale")
+    with pytest.raises(CudaError) as err:
+        drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, kernel_params=[np.int32(4)])
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_VALUE
+
+
+def test_module_unload_frees_globals():
+    src = """
+    __device__ float cache[256];
+    __global__ void k(float *p) { p[0] = cache[0]; }
+    """
+    drv = make_driver()
+    handle = drv.cuModuleLoadData(compile_device(src, "m"))
+    addr, size = drv.cuModuleGetGlobal(handle, "cache")
+    assert size == 1024
+    in_use = drv.gmem.bytes_in_use
+    drv.cuModuleUnload(handle)
+    assert drv.gmem.bytes_in_use == in_use - 1024
+    with pytest.raises(CudaError):
+        drv.cuModuleGetFunction(handle, "k")
+
+
+def test_memset_d8():
+    drv = make_driver()
+    ptr = drv.cuMemAlloc(64)
+    drv.cuMemsetD8(ptr, 0xAB, 64)
+    out = drv.cuMemcpyDtoH(ptr, 64)
+    assert out == b"\xab" * 64
+
+
+def test_sampled_launch_matches_full_timing_for_uniform_kernel():
+    """Sampling must agree with full execution for a uniform kernel."""
+    image = compile_device(SRC, "m")
+    n = 64 * 256
+    results = {}
+    for mode in ("full", "sample"):
+        drv = make_driver(launch_mode=mode)
+        handle = drv.cuModuleLoadData(image)
+        fn = drv.cuModuleGetFunction(handle, "scale")
+        ptr = drv.cuMemAlloc(4 * n)
+        drv.cuMemcpyHtoD(ptr, np.ones(n, dtype=np.float32))
+        stats = drv.cuLaunchKernel(fn, n // 256, 1, 1, 256, 1, 1,
+                                   kernel_params=[ptr, np.float32(2.0),
+                                                  np.int32(n)])
+        results[mode] = (stats.instructions,
+                         [e.seconds for e in drv.log.events
+                          if e.kind == "kernel"][0])
+    full_i, full_t = results["full"]
+    samp_i, samp_t = results["sample"]
+    assert abs(samp_i - full_i) / full_i < 0.02
+    assert abs(samp_t - full_t) / full_t < 0.02
+
+
+def test_series_extrapolation_close_to_reality():
+    """Launch a kernel many times with a varying scalar; unsampled launches
+    must be extrapolated close to what full execution would charge."""
+    src = """
+    __global__ void work(float *p, int n, int k)
+    {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        int j;
+        if (i < n) {
+            for (j = 0; j < k; j++)
+                p[i] = p[i] + 1.0f;
+        }
+    }
+    """
+    image = compile_device(src, "m")
+    n = 64 * 256
+    times = {}
+    for mode in ("full", "sample"):
+        drv = make_driver(launch_mode=mode)
+        handle = drv.cuModuleLoadData(image)
+        fn = drv.cuModuleGetFunction(handle, "work")
+        ptr = drv.cuMemAlloc(4 * n)
+        for k in range(1, 40):
+            drv.cuLaunchKernel(fn, n // 256, 1, 1, 256, 1, 1,
+                               kernel_params=[ptr, np.int32(n), np.int32(k)])
+        times[mode] = drv.log.kernel_time
+    assert abs(times["sample"] - times["full"]) / times["full"] < 0.10

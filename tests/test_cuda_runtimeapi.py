@@ -1,0 +1,137 @@
+"""Tests for the CUDA runtime API layer (.cu host programs)."""
+
+import numpy as np
+import pytest
+
+from repro.cfront.errors import InterpError
+from repro.cuda.runtimeapi import run_cuda_program
+
+
+def test_full_cu_program_round_trip():
+    src = r'''
+    __global__ void twice(float *p, int n)
+    {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n) p[i] = 2.0f * p[i];
+    }
+    float host[100];
+    int main(void)
+    {
+        int i, n = 100;
+        for (i = 0; i < n; i++) host[i] = i;
+        float *dev;
+        cudaMalloc((void **) &dev, n * sizeof(float));
+        cudaMemcpy(dev, host, n * sizeof(float), cudaMemcpyHostToDevice);
+        twice<<<4, 32>>>(dev, n);
+        cudaDeviceSynchronize();
+        cudaMemcpy(host, dev, n * sizeof(float), cudaMemcpyDeviceToHost);
+        cudaFree(dev);
+        return 0;
+    }
+    '''
+    machine, driver = run_cuda_program(src)
+    assert np.allclose(machine.global_array("host"), 2.0 * np.arange(100))
+    assert driver.log.count("kernel") == 1
+
+
+def test_dim3_launch_geometry():
+    src = r'''
+    __global__ void where(int *p)
+    {
+        int i = (blockIdx.y * gridDim.x + blockIdx.x) * (blockDim.x * blockDim.y)
+              + threadIdx.y * blockDim.x + threadIdx.x;
+        p[i] = blockIdx.y;
+    }
+    int main(void)
+    {
+        int *d;
+        cudaMalloc((void **) &d, 2 * 3 * 64 * sizeof(int));
+        dim3 grid = dim3(2, 3, 1);
+        dim3 block = dim3(32, 2, 1);
+        where<<<grid, block>>>(d);
+        cudaFree(d);
+        return 0;
+    }
+    '''
+    machine, driver = run_cuda_program(src)
+    stats = driver.last_kernel_stats
+    assert stats.grid == (2, 3, 1)
+    assert stats.block == (32, 2, 1)
+
+
+def test_device_to_device_copy():
+    src = r'''
+    float out[16];
+    int main(void)
+    {
+        int i, n = 16;
+        float *a, *b;
+        cudaMalloc((void **) &a, n * sizeof(float));
+        cudaMalloc((void **) &b, n * sizeof(float));
+        for (i = 0; i < n; i++) out[i] = 5.0f;
+        cudaMemcpy(a, out, n * sizeof(float), cudaMemcpyHostToDevice);
+        cudaMemcpy(b, a, n * sizeof(float), cudaMemcpyDeviceToDevice);
+        for (i = 0; i < n; i++) out[i] = 0.0f;
+        cudaMemcpy(out, b, n * sizeof(float), cudaMemcpyDeviceToHost);
+        return 0;
+    }
+    '''
+    machine, _ = run_cuda_program(src)
+    assert (machine.global_array("out") == 5.0).all()
+
+
+def test_cudamemset():
+    src = r'''
+    int out[8];
+    int main(void)
+    {
+        int *d;
+        cudaMalloc((void **) &d, 8 * sizeof(int));
+        cudaMemset(d, 0xFF, 8 * sizeof(int));
+        cudaMemcpy(out, d, 8 * sizeof(int), cudaMemcpyDeviceToHost);
+        return 0;
+    }
+    '''
+    machine, _ = run_cuda_program(src)
+    assert (machine.global_array("out") == -1).all()
+
+
+def test_free_of_null_is_noop():
+    src = r'''
+    int main(void)
+    {
+        float *p = 0;
+        cudaFree(p);
+        return 0;
+    }
+    '''
+    machine, _ = run_cuda_program(src)
+
+
+def test_launch_without_runtime_raises():
+    from repro.cfront.interp import Machine
+    from repro.cfront.parser import parse_translation_unit
+    src = r'''
+    __global__ void k(void) { }
+    int main(void) { k<<<1, 32>>>(); return 0; }
+    '''
+    machine = Machine(parse_translation_unit(src))
+    with pytest.raises(InterpError):
+        machine.run()
+
+
+def test_kernel_printf_reaches_host_stdout():
+    src = r'''
+    __global__ void hello(void)
+    {
+        if (threadIdx.x == 0)
+            printf("hello from block %d\n", blockIdx.x);
+    }
+    int main(void)
+    {
+        hello<<<2, 32>>>();
+        return 0;
+    }
+    '''
+    machine, _ = run_cuda_program(src)
+    assert machine.output() == "hello from block 0\nhello from block 1\n"

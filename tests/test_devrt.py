@@ -1,0 +1,343 @@
+"""Tests for the cudadev device runtime library (device part)."""
+
+import numpy as np
+import pytest
+
+from repro.cfront.parser import parse_translation_unit
+from repro.cuda.device import JETSON_NANO_GPU, Dim3
+from repro.cuda.ptx.lower import lower_translation_unit
+from repro.cuda.sim.engine import FunctionalEngine, LaunchError
+from repro.devrt import INTRINSIC_SIGS, build_intrinsics
+from repro.devrt.barriers import round_up_threads
+from repro.devrt.state import MW_BLOCK_THREADS, MW_WORKERS
+from repro.mem import LinearMemory
+
+GMEM_BASE = 0x2_0000_0000
+
+
+def run_kernel(src, kernel, grid, block, arrays, scalars=()):
+    unit = parse_translation_unit(src, "t.cu")
+    module = lower_translation_unit(unit, INTRINSIC_SIGS, "t")
+    gmem = LinearMemory(16 << 20, base=GMEM_BASE, name="gmem")
+    addrs = []
+    shapes = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        addr = gmem.alloc(max(arr.nbytes, 1))
+        gmem.view(addr, arr.size, arr.dtype)[:] = arr.reshape(-1)
+        addrs.append(addr)
+        shapes.append(arr)
+    engine = FunctionalEngine(JETSON_NANO_GPU, gmem, build_intrinsics(), {})
+    params = [np.uint64(a) for a in addrs] + list(scalars)
+    stats = engine.launch(module.kernels[kernel], Dim3.of(grid), Dim3.of(block), params)
+    outs = [gmem.view(a, arr.size, arr.dtype).reshape(arr.shape)
+            for a, arr in zip(addrs, shapes)]
+    return outs, stats, engine
+
+
+MW_WRAPPER = """
+__global__ void k(int *out, int *nbuf)
+{{
+    int _mw_thrid = threadIdx.x;
+    cudadev_target_init(1);
+    if (cudadev_in_masterwarp(_mw_thrid)) {{
+        if (!cudadev_is_masterthr(_mw_thrid))
+            return;
+        int n = nbuf[0];
+        {master}
+        cudadev_exit_target();
+    }} else {{
+        cudadev_workerfunc(_mw_thrid);
+    }}
+}}
+"""
+
+
+def test_constants_match_paper():
+    assert MW_BLOCK_THREADS == 128
+    assert MW_WORKERS == 96
+
+
+def test_round_up_rule():
+    assert round_up_threads(96) == 96
+    assert round_up_threads(1) == 32
+    assert round_up_threads(33) == 64
+    assert round_up_threads(0) == 32
+    assert round_up_threads(95) == 96
+
+
+def test_masterworker_default_96_threads():
+    src = """
+    struct vs { int *out; };
+    __device__ void tf(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        v->out[omp_get_thread_num()] = omp_get_num_threads();
+    }
+    """ + MW_WRAPPER.format(master="""
+        {
+            __shared__ struct vs vars;
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            cudadev_register_parallel(tf, (void *) &vars, -1);
+        }
+    """)
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(96, dtype=np.int32),
+                             np.zeros(1, dtype=np.int32)])
+    # all 96 workers participated and saw omp_get_num_threads() == 96
+    assert (outs[0] == 96).all()
+
+
+def test_masterworker_num_threads_subset():
+    src = """
+    struct vs { int *out; };
+    __device__ void tf(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        v->out[omp_get_thread_num()] = 1;
+    }
+    """ + MW_WRAPPER.format(master="""
+        {
+            __shared__ struct vs vars;
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            cudadev_register_parallel(tf, (void *) &vars, 40);
+        }
+    """)
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(96, dtype=np.int32),
+                             np.zeros(1, dtype=np.int32)])
+    assert outs[0][:40].sum() == 40
+    assert outs[0][40:].sum() == 0
+
+
+def test_masterworker_two_sequential_regions():
+    src = """
+    struct vs { int *out; };
+    __device__ void tf1(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        v->out[omp_get_thread_num()] += 1;
+    }
+    __device__ void tf2(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        v->out[omp_get_thread_num()] += 10;
+    }
+    """ + MW_WRAPPER.format(master="""
+        {
+            __shared__ struct vs vars;
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            cudadev_register_parallel(tf1, (void *) &vars, 96);
+            cudadev_register_parallel(tf2, (void *) &vars, 96);
+        }
+    """)
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(96, dtype=np.int32),
+                             np.zeros(1, dtype=np.int32)])
+    assert (outs[0] == 11).all()
+
+
+def test_shmem_stack_push_pop_copies_back():
+    src = """
+    struct vs { int *i; int *out; };
+    __device__ void tf(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        int t = omp_get_thread_num();
+        v->out[t] = *v->i + t;
+        if (t == 0)
+            *v->i = 999;
+    }
+    """ + MW_WRAPPER.format(master="""
+        int ival = 42;
+        {
+            __shared__ struct vs vars;
+            vars.i = (int *) cudadev_push_shmem((void *) &ival, sizeof(ival));
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            cudadev_register_parallel(tf, (void *) &vars, 96);
+            cudadev_pop_shmem((void *) &ival, sizeof(ival));
+        }
+        out[100] = ival;
+    """)
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(101, dtype=np.int32),
+                             np.zeros(1, dtype=np.int32)])
+    assert outs[0][1] == 43          # workers saw the pushed value
+    assert outs[0][100] == 999       # pop copied the update back
+
+
+def test_worksharing_static_covers_iteration_space():
+    src = """
+    struct vs { int *out; int *n; };
+    __device__ void tf(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        long tlo, thi, it;
+        while (cudadev_get_static_chunk(0, 0, (long) *v->n, 0, &tlo, &thi)) {
+            for (it = tlo; it < thi; it++)
+                v->out[it] += 1;
+        }
+        cudadev_barrier();
+    }
+    """ + MW_WRAPPER.format(master="""
+        {
+            __shared__ struct vs vars;
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            vars.n = (int *) cudadev_getaddr((void *) nbuf);
+            cudadev_register_parallel(tf, (void *) &vars, 96);
+        }
+    """)
+    n = 1000
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(n, dtype=np.int32),
+                             np.array([n], dtype=np.int32)])
+    # exactly-once coverage: every iteration executed exactly one time
+    assert (outs[0] == 1).all()
+
+
+@pytest.mark.parametrize("sched", ["static", "dynamic", "guided"])
+@pytest.mark.parametrize("chunk", [0, 1, 7])
+def test_combined_mode_schedules_cover_space(sched, chunk):
+    if sched in ("dynamic", "guided") and chunk == 0:
+        chunk = 1
+    src = f"""
+    __global__ void k(int *out, int n)
+    {{
+        cudadev_target_init(0);
+        long lo, hi, tlo, thi, it;
+        cudadev_get_distribute_chunk(0, (long) n, &lo, &hi);
+        while (cudadev_get_{sched}_chunk(0, lo, hi, {chunk}, &tlo, &thi)) {{
+            for (it = tlo; it < thi; it++)
+                out[it] += 1;
+        }}
+    }}
+    """
+    n = 500
+    outs, _, _ = run_kernel(src, "k", 4, 32,
+                            [np.zeros(n, dtype=np.int32)],
+                            scalars=(np.int32(n),))
+    assert (outs[0] == 1).all(), f"{sched}/{chunk}: some iterations ran != once"
+
+
+def test_distribute_chunks_partition_by_team():
+    src = """
+    __global__ void k(long *lo_out, long *hi_out, int n)
+    {
+        cudadev_target_init(0);
+        long lo, hi;
+        cudadev_get_distribute_chunk(0, (long) n, &lo, &hi);
+        if (threadIdx.x == 0) {
+            lo_out[blockIdx.x] = lo;
+            hi_out[blockIdx.x] = hi;
+        }
+    }
+    """
+    outs, _, _ = run_kernel(src, "k", 4, 32,
+                            [np.zeros(4, dtype=np.int64),
+                             np.zeros(4, dtype=np.int64)],
+                            scalars=(np.int32(100),))
+    los, his = outs
+    assert los[0] == 0 and his[-1] == 100
+    for t in range(3):
+        assert his[t] == los[t + 1]  # contiguous partition
+
+
+def test_sections_each_runs_once():
+    src = """
+    __global__ void k(int *out)
+    {
+        cudadev_target_init(0);
+        cudadev_sections_init(5, 3);
+        int s;
+        while ((s = cudadev_next_section(5)) >= 0) {
+            atomicAdd(&out[s], 1);
+        }
+    }
+    """
+    outs, _, _ = run_kernel(src, "k", 1, 128, [np.zeros(3, dtype=np.int32)])
+    assert list(outs[0]) == [1, 1, 1]
+
+
+def test_trylock_critical_counts_correctly():
+    src = """
+    __global__ void k(int *total)
+    {
+        cudadev_target_init(0);
+        int done = 0;
+        while (!done) {
+            if (cudadev_trylock(0) == 0) {
+                *total = *total + 1;
+                cudadev_unlock(0);
+                done = 1;
+            }
+        }
+    }
+    """
+    outs, _, _ = run_kernel(src, "k", 2, 96, [np.zeros(1, dtype=np.int32)])
+    assert outs[0][0] == 192
+
+
+def test_omp_barrier_roundup_allows_non_multiple_subset():
+    # 40 participating workers: X = 64, two worker warps synchronize
+    src = """
+    struct vs { int *out; };
+    __device__ void tf(void *a)
+    {
+        struct vs *v = (struct vs *) a;
+        int t = omp_get_thread_num();
+        v->out[t] = 1;
+        cudadev_barrier();
+        if (t == 0) {
+            int i, total = 0;
+            for (i = 0; i < 40; i++) total += v->out[i];
+            v->out[95] = total;
+        }
+    }
+    """ + MW_WRAPPER.format(master="""
+        {
+            __shared__ struct vs vars;
+            vars.out = (int *) cudadev_getaddr((void *) out);
+            cudadev_register_parallel(tf, (void *) &vars, 40);
+        }
+    """)
+    outs, _, _ = run_kernel(src, "k", 1, 128,
+                            [np.zeros(96, dtype=np.int32),
+                             np.zeros(1, dtype=np.int32)])
+    assert outs[0][95] == 40   # barrier ordered all 40 writes before the sum
+
+
+def test_device_omp_api_combined_mode():
+    src = """
+    __global__ void k(int *out)
+    {
+        cudadev_target_init(0);
+        int t = threadIdx.x + blockDim.x * threadIdx.y;
+        if (t == 3 && omp_get_team_num() == 1) {
+            out[0] = omp_get_thread_num();
+            out[1] = omp_get_num_threads();
+            out[2] = omp_get_team_num();
+            out[3] = omp_get_num_teams();
+            out[4] = omp_is_initial_device();
+        }
+    }
+    """
+    outs, _, _ = run_kernel(src, "k", 4, 64, [np.zeros(5, dtype=np.int32)])
+    assert list(outs[0]) == [3, 64, 1, 4, 0]
+
+
+def test_shmem_overflow_detected():
+    src = """
+    struct vs { int *p; };
+    """ + MW_WRAPPER.format(master="""
+        long big = 0;
+        {
+            __shared__ struct vs vars;
+            long j;
+            for (j = 0; j < 7000; j++)
+                vars.p = (int *) cudadev_push_shmem((void *) &big, sizeof(big));
+        }
+    """)
+    from repro.devrt.shmem import ShmemStackError
+    with pytest.raises((ShmemStackError, LaunchError, Exception)):
+        run_kernel(src, "k", 1, 128, [np.zeros(4, dtype=np.int32),
+                                      np.zeros(1, dtype=np.int32)])

@@ -1,0 +1,220 @@
+"""Property-based tests on worksharing invariants and more device-code
+control-flow coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.parser import parse_translation_unit
+from repro.cuda.device import JETSON_NANO_GPU, Dim3
+from repro.cuda.ptx.lower import lower_translation_unit
+from repro.cuda.sim.engine import FunctionalEngine
+from repro.devrt import INTRINSIC_SIGS, build_intrinsics
+from repro.mem import LinearMemory
+
+GMEM_BASE = 0x2_0000_0000
+
+
+def run_kernel(src, kernel, grid, block, arrays, scalars=()):
+    unit = parse_translation_unit(src, "t.cu")
+    module = lower_translation_unit(unit, INTRINSIC_SIGS, "t")
+    gmem = LinearMemory(8 << 20, base=GMEM_BASE, name="gmem")
+    addrs, shapes = [], []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        addr = gmem.alloc(max(arr.nbytes, 1))
+        gmem.view(addr, arr.size, arr.dtype)[:] = arr.reshape(-1)
+        addrs.append(addr)
+        shapes.append(arr)
+    engine = FunctionalEngine(JETSON_NANO_GPU, gmem, build_intrinsics(), {})
+    params = [np.uint64(a) for a in addrs] + list(scalars)
+    engine.launch(module.kernels[kernel], Dim3.of(grid), Dim3.of(block), params)
+    return [gmem.view(a, arr.size, arr.dtype).reshape(arr.shape)
+            for a, arr in zip(addrs, shapes)]
+
+
+_CHUNK_SRC = """
+__global__ void k(int *out, int n, int chunk)
+{{
+    cudadev_target_init(0);
+    long lo, hi, tlo, thi, it;
+    cudadev_get_distribute_chunk(0, (long) n, &lo, &hi);
+    while (cudadev_get_{kind}_chunk(0, lo, hi, (long) chunk, &tlo, &thi)) {{
+        for (it = tlo; it < thi; it++)
+            out[it] += 1;
+    }}
+}}
+"""
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=700),
+    teams=st.integers(min_value=1, max_value=5),
+    threads=st.sampled_from([32, 64, 96, 128]),
+    chunk=st.sampled_from([0, 1, 3, 16]),
+    kind=st.sampled_from(["static", "dynamic", "guided"]),
+)
+def test_property_every_iteration_exactly_once(n, teams, threads, chunk, kind):
+    """The fundamental worksharing invariant: the two-phase distribution
+    covers [0, n) exactly once for every geometry/schedule/chunk combo."""
+    if kind in ("dynamic", "guided") and chunk == 0:
+        chunk = 1
+    out = np.zeros(max(n, 1), dtype=np.int32)
+    result = run_kernel(_CHUNK_SRC.format(kind=kind), "k", teams, threads,
+                        [out], scalars=(np.int32(n), np.int32(chunk)))
+    assert (result[0][:n] == 1).all(), f"{kind} chunk={chunk}"
+    assert result[0][n:].sum() == 0
+
+
+_DIM_SRC = """
+__global__ void k(int *out, int n0, int n1)
+{
+    cudadev_target_init(0);
+    long lo0, hi0, tlo0, thi0, it0;
+    long lo1, hi1, tlo1, thi1, it1;
+    cudadev_get_distribute_chunk_dim(1, 0, (long) n0, &lo0, &hi0);
+    while (cudadev_get_static_chunk_dim(1, 0, lo0, hi0, 0, &tlo0, &thi0)) {
+        for (it0 = tlo0; it0 < thi0; it0++) {
+            cudadev_get_distribute_chunk_dim(0, 0, (long) n1, &lo1, &hi1);
+            while (cudadev_get_static_chunk_dim(0, 1, lo1, hi1, 0, &tlo1, &thi1)) {
+                for (it1 = tlo1; it1 < thi1; it1++)
+                    out[it0 * n1 + it1] += 1;
+            }
+        }
+    }
+}
+"""
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n0=st.integers(min_value=1, max_value=24),
+    n1=st.integers(min_value=1, max_value=40),
+    gx=st.integers(min_value=1, max_value=3),
+    gy=st.integers(min_value=1, max_value=3),
+)
+def test_property_2d_dimension_chunking_exactly_once(n0, n1, gx, gy):
+    """The 2D mapping (§5) must also cover the space exactly once for any
+    grid/extent combination, including non-divisible ones."""
+    out = np.zeros(n0 * n1, dtype=np.int32)
+    result = run_kernel(_DIM_SRC, "k", (gx, gy), (16, 4),
+                        [out], scalars=(np.int32(n0), np.int32(n1)))
+    assert (result[0] == 1).all()
+
+
+def test_sections_construct_reusable_across_instances():
+    src = """
+    __global__ void k(int *out)
+    {
+        cudadev_target_init(0);
+        int rep;
+        for (rep = 0; rep < 3; rep++) {
+            cudadev_sections_init(9, 2);
+            int s;
+            while ((s = cudadev_next_section(9)) >= 0)
+                atomicAdd(&out[s], 1);
+            __syncthreads();
+        }
+    }
+    """
+    out = run_kernel(src, "k", 1, 64, [np.zeros(2, dtype=np.int32)])[0]
+    assert list(out) == [3, 3]
+
+
+# -- extra device control-flow coverage ----------------------------------------
+
+def test_device_do_while():
+    src = """
+    __global__ void k(int *out)
+    {
+        int i = threadIdx.x, count = 0;
+        do {
+            count++;
+        } while (count < i);
+        out[i] = count;
+    }
+    """
+    out = run_kernel(src, "k", 1, 16, [np.zeros(16, dtype=np.int32)])[0]
+    assert list(out) == [1] + list(range(1, 16))
+
+
+def test_device_break_continue_in_nested_loops():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x, i, j, acc = 0;
+        for (i = 0; i < 10; i++) {
+            if (i == t) continue;
+            for (j = 0; j < 10; j++) {
+                if (j > i) break;
+                acc += 1;
+            }
+            if (i >= 5) break;
+        }
+        out[t] = acc;
+    }
+    """
+    def scalar(t):
+        acc = 0
+        for i in range(10):
+            if i == t:
+                continue
+            for j in range(10):
+                if j > i:
+                    break
+                acc += 1
+            if i >= 5:
+                break
+        return acc
+    out = run_kernel(src, "k", 1, 16, [np.zeros(16, dtype=np.int32)])[0]
+    assert list(out) == [scalar(t) for t in range(16)]
+
+
+def test_device_ternary_with_side_effects():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x;
+        int x = 0;
+        int v = t % 2 == 0 ? (x = 10) : (x = 20);
+        out[t] = v + x;
+    }
+    """
+    out = run_kernel(src, "k", 1, 8, [np.zeros(8, dtype=np.int32)])[0]
+    assert list(out) == [20, 40] * 4
+
+
+def test_device_while_with_divergent_exit():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x;
+        int v = t;
+        while (v < 20)
+            v = v * 2 + 1;
+        out[t] = v;
+    }
+    """
+    def scalar(t):
+        v = t
+        while v < 20:
+            v = v * 2 + 1
+        return v
+    out = run_kernel(src, "k", 1, 32, [np.zeros(32, dtype=np.int32)])[0]
+    assert list(out) == [scalar(t) for t in range(32)]
+
+
+def test_device_comma_and_compound_assignment():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x;
+        int a = 1, b = 2;
+        a += t, b *= 2;
+        out[t] = a * 100 + b;
+    }
+    """
+    out = run_kernel(src, "k", 1, 4, [np.zeros(4, dtype=np.int32)])[0]
+    assert list(out) == [104, 204, 304, 404]

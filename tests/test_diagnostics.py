@@ -1,0 +1,161 @@
+"""Error-path coverage: the compiler must fail loudly, early, and with
+source locations — not produce wrong kernels."""
+
+import pytest
+
+from repro.cfront.errors import CFrontError
+from repro.ompi import OmpiCompiler
+from repro.ompi.xform_cuda import CudaXformError
+from repro.openmp import OmpParseError, OmpValidationError
+
+
+def compile_(src, name="diag"):
+    return OmpiCompiler().compile(src, name)
+
+
+def test_unknown_directive_has_location():
+    src = "int main(void)\n{\n    #pragma omp teleport\n    return 0;\n}\n"
+    with pytest.raises(OmpParseError) as err:
+        compile_(src)
+    assert "teleport" in str(err.value)
+
+
+def test_illegal_clause_reports_directive():
+    src = """
+    int main(void)
+    {
+        #pragma omp barrier nowait
+        return 0;
+    }
+    """
+    with pytest.raises((OmpValidationError, OmpParseError)) as err:
+        compile_(src)
+    assert "barrier" in str(err.value)
+
+
+def test_noncanonical_loop_rejected():
+    src = """
+    float v[64];
+    int main(void)
+    {
+        int i, n = 64;
+        #pragma omp target teams distribute parallel for map(tofrom: v[0:n], n)
+        for (i = n; i > 0; i--)
+            v[i - 1] = 1.0f;
+        return 0;
+    }
+    """
+    with pytest.raises(CudaXformError) as err:
+        compile_(src)
+    assert "canonical" in str(err.value) or "step" in str(err.value)
+
+
+def test_collapse_non_nested_rejected():
+    src = """
+    float v[64];
+    int main(void)
+    {
+        int i, j, n = 8;
+        #pragma omp target teams distribute parallel for collapse(2) \
+            map(tofrom: v[0:n*n], n)
+        for (i = 0; i < n; i++)
+        {
+            v[i] = 0.0f;
+            for (j = 0; j < n; j++)
+                v[i * n + j] = 1.0f;
+        }
+        return 0;
+    }
+    """
+    with pytest.raises(CudaXformError) as err:
+        compile_(src)
+    assert "collapse" in str(err.value)
+
+
+def test_nested_parallel_on_device_rejected():
+    src = """
+    float v[64];
+    int main(void)
+    {
+        int i;
+        #pragma omp target map(tofrom: v)
+        {
+            #pragma omp parallel num_threads(8)
+            {
+                #pragma omp parallel num_threads(4)
+                { v[0] = 1.0f; }
+            }
+        }
+        return 0;
+    }
+    """
+    with pytest.raises(CudaXformError) as err:
+        compile_(src)
+    assert "nested parallel" in str(err.value)
+
+
+def test_recursive_device_function_rejected():
+    src = """
+    int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }
+    int out[1];
+    int main(void)
+    {
+        #pragma omp target map(tofrom: out)
+        { out[0] = fact(5); }
+        return 0;
+    }
+    """
+    from repro.ompi.callgraph import CallGraphError
+    from repro.cuda.nvcc import NvccError
+    with pytest.raises((CallGraphError, NvccError)):
+        compile_(src)
+
+
+def test_unsupported_host_directive_rejected():
+    src = """
+    int main(void)
+    {
+        #pragma omp teams
+        { }
+        return 0;
+    }
+    """
+    with pytest.raises(CFrontError):
+        compile_(src)
+
+
+def test_error_message_includes_filename_and_line():
+    src = "int main(void)\n{\n    int x = ;\n    return 0;\n}\n"
+    with pytest.raises(CFrontError) as err:
+        compile_(src, "named")
+    assert "named.c:3" in str(err.value)
+
+
+def test_map_of_undeclared_variable():
+    src = """
+    int main(void)
+    {
+        #pragma omp target map(to: nonexistent)
+        { }
+        return 0;
+    }
+    """
+    from repro.ompi.outline import OutlineError
+    with pytest.raises(OutlineError) as err:
+        compile_(src)
+    assert "nonexistent" in str(err.value)
+
+
+def test_duplicate_map_of_same_variable():
+    src = """
+    float v[8];
+    int main(void)
+    {
+        #pragma omp target map(to: v) map(from: v)
+        { v[0] = 1.0f; }
+        return 0;
+    }
+    """
+    from repro.ompi.outline import OutlineError
+    with pytest.raises(OutlineError):
+        compile_(src)

@@ -1,0 +1,29 @@
+"""The examples are part of the public API surface: run them as tests so
+they cannot rot.  (cuda_vs_openmp is exercised with a reduced size.)"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/masterworker_inspect.py",
+    "examples/data_environments.py",
+    "examples/compiler_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()          # every example narrates what it did
+
+
+def test_cuda_vs_openmp_example_small(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/cuda_vs_openmp.py", "96"])
+    runpy.run_path("examples/cuda_vs_openmp.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OMPi/CUDA ratio" in out

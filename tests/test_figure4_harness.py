@@ -1,0 +1,60 @@
+"""Tests for the Figure-4 harness and the report generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.figure4 import Panel, PanelPoint, panel, render_text
+from repro.bench.report import PAPER_FIG4, render_markdown
+
+
+def test_panel_smallest_sizes_end_to_end():
+    p = panel("3dconv", sizes=(16, 20), launch_mode="full")
+    assert p.app == "3dconv" and p.category == "stencil"
+    sizes, cuda_s, ompi_s = p.series()
+    assert sizes == [16, 20]
+    assert all(t > 0 for t in cuda_s + ompi_s)
+    assert cuda_s[1] > cuda_s[0]          # monotone in problem size
+    for point in p.points:
+        assert 0.7 < point.ratio < 1.6
+
+
+def test_render_text_format():
+    p = Panel("gemm", "kernel",
+              [PanelPoint(128, 0.01, 0.011), PanelPoint(256, 0.04, 0.041)])
+    text = render_text({"gemm": p})
+    assert "# gemm (kernel)" in text
+    assert "128" in text and "0.0110" in text
+    assert "OMPi/CUDA" in text
+
+
+def test_render_markdown_includes_paper_columns():
+    data = {"gemm": [[128, 0.01, 0.011], [2048, 5.0, 5.05]]}
+    md = render_markdown(data)
+    assert "### gemm" in md
+    assert "| 128 |" in md
+    # paper value for gemm@128 present
+    assert f"{PAPER_FIG4['gemm'][128]:.2f}" in md
+    assert "| 1.010 |" in md
+
+
+def test_paper_reference_values_cover_all_panels():
+    assert set(PAPER_FIG4) == {"3dconv", "bicg", "atax", "mvt", "gemm",
+                               "gramschmidt"}
+    from repro.bench.suite import get_app
+    for app_name, values in PAPER_FIG4.items():
+        assert set(values) == set(get_app(app_name).sizes)
+
+
+def test_render_ascii_bars():
+    from repro.bench.figure4 import render_ascii
+    p = Panel("bicg", "kernel",
+              [PanelPoint(512, 0.01, 0.011), PanelPoint(1024, 0.04, 0.041)])
+    art = render_ascii(p, width=20)
+    lines = art.splitlines()
+    assert lines[0].startswith("bicg (kernel)")
+    assert len(lines) == 1 + 2 * 2
+    # the largest value fills the full width
+    assert "#" * 20 in art
+    assert "0.0110" in art

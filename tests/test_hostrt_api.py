@@ -1,0 +1,199 @@
+"""Tests for the host runtime: teams, ICVs, omp_* API, device registry."""
+
+import numpy as np
+import pytest
+
+from repro.hostrt.team import HostTeamError, TeamStack
+from repro.ompi import OmpiCompiler
+
+
+def compile_run(src, name="prog"):
+    prog = OmpiCompiler().compile(src, name)
+    return prog, prog.run()
+
+
+# -- TeamStack unit behaviour ------------------------------------------------
+
+def test_team_stack_defaults():
+    teams = TeamStack(default_nthreads=4)
+    assert teams.thread_num() == 0
+    assert teams.num_threads() == 1
+
+
+def test_static_bounds_partition_exactly():
+    from repro.hostrt.team import TeamCtx
+    teams = TeamStack()
+    for nthreads in (1, 3, 4, 7):
+        covered = []
+        for tid in range(nthreads):
+            teams.stack.append(TeamCtx(nthreads, tid))
+            lo, hi = teams.static_bounds(0, 103)
+            covered.extend(range(lo, hi))
+            teams.stack.pop()
+        assert sorted(covered) == list(range(103))
+
+
+def test_static_bounds_outside_parallel_is_whole_range():
+    teams = TeamStack()
+    assert teams.static_bounds(5, 50) == (5, 50)
+
+
+# -- host omp API through translated programs ---------------------------------
+
+def test_host_api_values():
+    src = r'''
+    int vals[6];
+    int main(void)
+    {
+        vals[0] = omp_get_num_devices();
+        vals[1] = omp_get_initial_device();
+        vals[2] = omp_get_default_device();
+        vals[3] = omp_is_initial_device();
+        vals[4] = omp_get_max_threads();
+        vals[5] = omp_get_num_procs();
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    vals = list(run.machine.global_array("vals"))
+    assert vals[0] == 1          # one offload device (the GPU)
+    assert vals[1] == 1          # initial device id = num_devices
+    assert vals[2] == 0          # default device is the GPU
+    assert vals[3] == 1          # host code runs on the initial device
+    assert vals[4] == 4          # quad-core A57
+    assert vals[5] == 4
+
+
+def test_set_default_device_to_host():
+    src = r'''
+    float y[64];
+    int main(void)
+    {
+        int i;
+        omp_set_default_device(omp_get_initial_device());
+        #pragma omp target teams distribute parallel for map(tofrom: y[0:64])
+        for (i = 0; i < 64; i++) y[i] = 5.0f;
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert (run.machine.global_array("y") == 5.0).all()
+    assert run.log.count("kernel") == 0     # ran as host fallback
+
+
+def test_omp_set_num_threads():
+    src = r'''
+    int count[1];
+    int main(void)
+    {
+        omp_set_num_threads(3);
+        #pragma omp parallel
+        {
+            count[omp_get_thread_num()] = omp_get_num_threads();
+        }
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert run.machine.global_array("count")[0] == 3
+
+
+def test_host_parallel_firstprivate():
+    src = r'''
+    int out[4];
+    int main(void)
+    {
+        int base = 100;
+        #pragma omp parallel num_threads(4) firstprivate(base)
+        {
+            base = base + omp_get_thread_num();
+            out[omp_get_thread_num()] = base;
+        }
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert list(run.machine.global_array("out")) == [100, 101, 102, 103]
+
+
+def test_host_parallel_shared_writeback():
+    src = r'''
+    int total[1];
+    int main(void)
+    {
+        int acc = 0;
+        #pragma omp parallel num_threads(4)
+        {
+            #pragma omp critical
+            { acc = acc + 1; }
+        }
+        total[0] = acc;
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert run.machine.global_array("total")[0] == 4
+
+
+def test_host_parallel_for_schedule_covers_space():
+    src = r'''
+    int hits[997];
+    int main(void)
+    {
+        int i;
+        #pragma omp parallel for num_threads(4)
+        for (i = 0; i < 997; i++)
+            hits[i] += 1;
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert (run.machine.global_array("hits") == 1).all()
+
+
+def test_host_barrier_inside_region_raises():
+    src = r'''
+    int main(void)
+    {
+        #pragma omp parallel num_threads(2)
+        {
+            #pragma omp barrier
+        }
+        return 0;
+    }
+    '''
+    prog = OmpiCompiler().compile(src, "hb")
+    with pytest.raises(HostTeamError):
+        prog.run()
+
+
+def test_host_single_and_master():
+    src = r'''
+    int singles[1];
+    int main(void)
+    {
+        #pragma omp parallel num_threads(4)
+        {
+            #pragma omp master
+            { singles[0] += 1; }
+        }
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert run.machine.global_array("singles")[0] == 1
+
+
+def test_orphaned_worksharing_executes_once():
+    src = r'''
+    int hits[10];
+    int main(void)
+    {
+        int i;
+        #pragma omp for
+        for (i = 0; i < 10; i++) hits[i] += 1;
+        return 0;
+    }
+    '''
+    _, run = compile_run(src)
+    assert (run.machine.global_array("hits") == 1).all()

@@ -1,0 +1,158 @@
+"""Tests for device data environments (map semantics, refcounts)."""
+
+import numpy as np
+import pytest
+
+from repro.hostrt.mapping import (
+    DataEnv, MAP_ALLOC, MAP_DELETE, MAP_FROM, MAP_RELEASE, MAP_TO,
+    MAP_TOFROM, MappingError,
+)
+
+
+class FakeDevice:
+    """Minimal DeviceModule stand-in recording transfers."""
+
+    def __init__(self):
+        self.next_addr = 0x1000
+        self.allocs: dict[int, int] = {}
+        self.writes: list[tuple[int, int, int]] = []
+        self.reads: list[tuple[int, int, int]] = []
+
+    def mem_alloc(self, size):
+        addr = self.next_addr
+        self.next_addr += (size + 255) // 256 * 256
+        self.allocs[addr] = size
+        return addr
+
+    def mem_free(self, addr):
+        del self.allocs[addr]
+
+    def write(self, dev, host, size):
+        self.writes.append((dev, host, size))
+
+    def read(self, host, dev, size):
+        self.reads.append((host, dev, size))
+
+
+@pytest.fixture
+def env():
+    return DataEnv(FakeDevice())
+
+
+def test_map_to_copies_in_once(env):
+    env.map_enter(0x100, 64, MAP_TO)
+    assert len(env.device.writes) == 1
+    assert env.device.writes[0][2] == 64
+
+
+def test_map_alloc_does_not_copy(env):
+    env.map_enter(0x100, 64, MAP_ALLOC)
+    assert env.device.writes == []
+
+
+def test_map_from_copies_out_on_exit_only(env):
+    env.map_enter(0x100, 64, MAP_FROM)
+    assert env.device.writes == []
+    assert env.device.reads == []
+    env.map_exit(0x100, MAP_FROM)
+    assert len(env.device.reads) == 1
+
+
+def test_tofrom_round_trip(env):
+    env.map_enter(0x100, 64, MAP_TOFROM)
+    env.map_exit(0x100, MAP_TOFROM)
+    assert len(env.device.writes) == 1
+    assert len(env.device.reads) == 1
+    assert env.live_entries == 0
+    assert env.device.allocs == {}
+
+
+def test_present_reference_counting(env):
+    env.map_enter(0x100, 64, MAP_TO)
+    env.map_enter(0x100, 64, MAP_TOFROM)   # present: no new transfer
+    assert len(env.device.writes) == 1
+    env.map_exit(0x100, MAP_TOFROM)        # refcount 1: no copy yet
+    assert env.device.reads == []
+    assert env.live_entries == 1
+    env.map_exit(0x100, MAP_TO)            # refcount 0, exit type 'to': free
+    assert env.device.reads == []
+    assert env.live_entries == 0
+
+
+def test_enclosing_alloc_suppresses_copy_back(env):
+    # the OpenMP rule the Jacobi example depends on
+    env.map_enter(0x100, 64, MAP_ALLOC)
+    env.map_enter(0x100, 64, MAP_TOFROM)
+    env.map_exit(0x100, MAP_TOFROM)
+    env.map_exit(0x100, MAP_ALLOC)
+    assert env.device.reads == []
+
+
+def test_exit_from_copies_back(env):
+    env.map_enter(0x100, 64, MAP_ALLOC)
+    env.map_exit(0x100, MAP_FROM)
+    assert len(env.device.reads) == 1
+
+
+def test_delete_forces_removal(env):
+    env.map_enter(0x100, 64, MAP_TO)
+    env.map_enter(0x100, 64, MAP_TO)
+    env.map_exit(0x100, MAP_DELETE)
+    assert env.live_entries == 0
+    assert env.device.reads == []
+
+
+def test_translate_interior_address(env):
+    env.map_enter(0x100, 64, MAP_TO)
+    dev = env.entries[0x100].dev_addr
+    assert env.translate(0x100) == dev
+    assert env.translate(0x120) == dev + 0x20
+
+
+def test_translate_unmapped_raises(env):
+    with pytest.raises(MappingError):
+        env.translate(0x500)
+    env.map_enter(0x100, 64, MAP_TO)
+    with pytest.raises(MappingError):
+        env.translate(0x100 + 64)   # one past the end
+
+
+def test_section_extending_beyond_entry_rejected(env):
+    env.map_enter(0x100, 64, MAP_TO)
+    with pytest.raises(MappingError):
+        env.map_enter(0x120, 128, MAP_TO)
+
+
+def test_unmap_of_unmapped_raises(env):
+    with pytest.raises(MappingError):
+        env.map_exit(0x100, MAP_FROM)
+
+
+def test_zero_size_rejected(env):
+    with pytest.raises(MappingError):
+        env.map_enter(0x100, 0, MAP_TO)
+
+
+def test_update_to_from(env):
+    env.map_enter(0x100, 64, MAP_ALLOC)
+    env.update_to(0x110, 16)
+    env.update_from(0x110, 16)
+    assert env.device.writes[-1][2] == 16
+    assert env.device.reads[-1][2] == 16
+    dev = env.entries[0x100].dev_addr
+    assert env.device.writes[-1][0] == dev + 0x10
+
+
+def test_update_unmapped_raises(env):
+    with pytest.raises(MappingError):
+        env.update_to(0x100, 8)
+    with pytest.raises(MappingError):
+        env.update_from(0x100, 8)
+
+
+def test_is_present(env):
+    assert not env.is_present(0x100)
+    env.map_enter(0x100, 64, MAP_TO)
+    assert env.is_present(0x100)
+    assert env.is_present(0x13F)
+    assert not env.is_present(0x140)

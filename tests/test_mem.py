@@ -1,0 +1,174 @@
+"""Tests for the linear-memory substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import LinearMemory, MemoryError_
+
+
+def test_alloc_returns_aligned_disjoint_blocks():
+    mem = LinearMemory(1 << 16)
+    a = mem.alloc(100, align=16)
+    b = mem.alloc(50, align=16)
+    assert a % 16 == 0 and b % 16 == 0
+    assert b >= a + 100 or a >= b + 50
+
+
+def test_alloc_zero_size_is_one_byte():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(0)
+    b = mem.alloc(0)
+    assert a != b
+
+
+def test_free_and_reuse():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(256)
+    mem.free(a)
+    b = mem.alloc(256)
+    assert b == a  # first fit reuses the hole
+
+
+def test_double_free_raises():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(8)
+    mem.free(a)
+    with pytest.raises(MemoryError_):
+        mem.free(a)
+
+
+def test_out_of_memory_raises():
+    mem = LinearMemory(1 << 10)
+    with pytest.raises(MemoryError_):
+        mem.alloc(1 << 20)
+
+
+def test_oom_after_fragmentation():
+    mem = LinearMemory(1024, base=0x1000)
+    blocks = [mem.alloc(128, align=1) for _ in range(8)]
+    with pytest.raises(MemoryError_):
+        mem.alloc(16, align=1)
+    for b in blocks[::2]:
+        mem.free(b)
+    # freed 4x128 but not contiguous: a 256-byte request must fail
+    with pytest.raises(MemoryError_):
+        mem.alloc(256, align=1)
+    mem.free(blocks[1])
+    # now blocks 0,1,2 form a 384-byte hole
+    assert mem.alloc(256, align=1) == blocks[0]
+
+
+def test_scalar_store_load_roundtrip():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(8)
+    mem.store(a, np.float32, 3.25)
+    assert mem.load(a, np.float32) == np.float32(3.25)
+    mem.store(a, np.int32, -7)
+    assert mem.load(a, np.int32) == -7
+
+
+def test_store_narrowing_wraps_like_c():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(1)
+    mem.store(a, np.int8, 300)        # (char)300 == 44
+    assert mem.load(a, np.int8) == 44
+    mem.store(a, np.int8, -1)
+    assert mem.load(a, np.uint8) == 255
+
+
+def test_view_is_writable_window():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(64)
+    view = mem.view(a, 16, np.float32)
+    view[:] = np.arange(16)
+    assert mem.load(a + 4 * 5, np.float32) == 5.0
+
+
+def test_gather_scatter_roundtrip():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(128)
+    addrs = a + 4 * np.array([3, 1, 4, 1, 5], dtype=np.int64)
+    mem.scatter(addrs, np.int32, np.array([30, 10, 40, 11, 50]))
+    got = mem.gather(addrs, np.int32)
+    # lane 3 overwrote lane 1 (highest lane wins deterministically)
+    assert list(got) == [30, 11, 40, 11, 50]
+
+
+def test_gather_out_of_range_raises():
+    mem = LinearMemory(1 << 10)
+    with pytest.raises(MemoryError_):
+        mem.gather(np.array([mem.base + mem.capacity], dtype=np.int64), np.int32)
+
+
+def test_load_out_of_range_raises():
+    mem = LinearMemory(64, base=0x100)
+    with pytest.raises(MemoryError_):
+        mem.load(0x100 + 64, np.int8)
+    with pytest.raises(MemoryError_):
+        mem.load(0x100 - 1, np.int8)
+
+
+def test_copy_within():
+    mem = LinearMemory(1 << 12)
+    a = mem.alloc(32)
+    b = mem.alloc(32)
+    mem.view(a, 8, np.int32)[:] = np.arange(8)
+    mem.copy_within(b, a, 32)
+    assert list(mem.view(b, 8, np.int32)) == list(range(8))
+
+
+def test_bytes_in_use_tracks_allocations():
+    mem = LinearMemory(1 << 12)
+    assert mem.bytes_in_use == 0
+    a = mem.alloc(100)
+    b = mem.alloc(28)
+    assert mem.bytes_in_use == 128
+    mem.free(a)
+    assert mem.bytes_in_use == 28
+    mem.free(b)
+    assert mem.bytes_in_use == 0
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=40))
+def test_property_allocations_never_overlap(sizes):
+    mem = LinearMemory(1 << 16)
+    spans = []
+    for size in sizes:
+        addr = mem.alloc(size, align=8)
+        for other_addr, other_size in spans:
+            assert addr + size <= other_addr or other_addr + other_size <= addr
+        spans.append((addr, size))
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=256), st.booleans()),
+        min_size=1, max_size=30,
+    )
+)
+def test_property_free_all_restores_full_capacity(ops):
+    """After freeing everything, one maximal allocation must succeed again."""
+    mem = LinearMemory(1 << 14, base=16)
+    live = []
+    for size, do_free in ops:
+        live.append(mem.alloc(size, align=1))
+        if do_free and live:
+            mem.free(live.pop(0))
+    for addr in live:
+        mem.free(addr)
+    assert mem.bytes_in_use == 0
+    big = mem.alloc(mem.capacity, align=1)
+    assert big == mem.base
+
+
+@settings(max_examples=40)
+@given(st.binary(min_size=1, max_size=200))
+def test_property_copyin_copyout_roundtrip(data):
+    mem = LinearMemory(1 << 12)
+    addr = mem.alloc(len(data))
+    mem.copy_in(addr, data)
+    assert mem.copy_out(addr, len(data)) == data

@@ -1,0 +1,253 @@
+"""Tests for OpenMP pragma parsing and validation."""
+
+import pytest
+
+from repro.cfront import astnodes as A
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.unparse import unparse
+from repro.openmp import (
+    DataSharingClause, DeviceClause, ExprClause, IfClause, MapClause,
+    MotionClause, NowaitClause, OmpParseError, OmpValidationError,
+    ReductionClause, ScheduleClause, parse_omp_pragma, validate_directive,
+    validate_unit,
+)
+from repro.openmp.clauses import NameClause
+
+
+def test_simple_directive_names():
+    assert parse_omp_pragma("omp parallel").name == "parallel"
+    assert parse_omp_pragma("omp barrier").name == "barrier"
+    assert parse_omp_pragma("omp target data map(to: x)").name == "target data"
+
+
+def test_combined_directive_longest_match():
+    d = parse_omp_pragma("omp target teams distribute parallel for")
+    assert d.name == "target teams distribute parallel for"
+    assert d.includes("teams")
+    assert d.includes("parallel for")
+    assert d.includes("for")
+    assert not d.includes("sections")
+
+
+def test_map_clause_fig1():
+    d = parse_omp_pragma("omp target map(to: a,size,x[0:size]) map(tofrom: y[0:size])")
+    maps = list(d.clauses_of(MapClause))
+    assert [m.map_type for m in maps] == ["to", "tofrom"]
+    names = [item.name for item in maps[0].items]
+    assert names == ["a", "size", "x"]
+    section = maps[0].items[2].sections[0]
+    assert isinstance(section[0], A.IntLit) and section[0].value == 0
+    assert isinstance(section[1], A.Ident) and section[1].name == "size"
+
+
+def test_map_default_type_is_tofrom():
+    d = parse_omp_pragma("omp target map(x)")
+    (m,) = d.clauses_of(MapClause)
+    assert m.map_type == "tofrom"
+
+
+def test_map_with_expression_section():
+    d = parse_omp_pragma("omp target map(to: A[0:n*n])")
+    (m,) = d.clauses_of(MapClause)
+    lo, length = m.items[0].sections[0]
+    assert unparse(length).strip() == "n * n"
+
+
+def test_map_partial_sections():
+    d = parse_omp_pragma("omp target map(to: x[:n], y[2:])")
+    (m,) = d.clauses_of(MapClause)
+    assert m.items[0].sections[0][0] is None
+    assert m.items[1].sections[0][1] is None
+
+
+def test_num_teams_num_threads_thread_limit():
+    d = parse_omp_pragma(
+        "omp target teams distribute parallel for "
+        "num_teams(n / 32) num_threads(256) thread_limit(512)"
+    )
+    teams = d.first(ExprClause, "num_teams")
+    assert unparse(teams.expr).strip() == "n / 32"
+    assert d.first(ExprClause, "num_threads").expr.value == 256
+    assert d.first(ExprClause, "thread_limit").expr.value == 512
+
+
+def test_collapse_clause():
+    d = parse_omp_pragma("omp target teams distribute parallel for collapse(2)")
+    assert d.first(ExprClause, "collapse").expr.value == 2
+
+
+def test_schedule_clauses():
+    d = parse_omp_pragma("omp for schedule(dynamic, 4)")
+    s = d.first(ScheduleClause)
+    assert s.schedule == "dynamic" and s.chunk.value == 4
+    d2 = parse_omp_pragma("omp for schedule(guided)")
+    assert d2.first(ScheduleClause).schedule == "guided"
+    assert d2.first(ScheduleClause).chunk is None
+
+
+def test_bad_schedule_kind_raises():
+    with pytest.raises(OmpParseError):
+        parse_omp_pragma("omp for schedule(fancy)")
+
+
+def test_data_sharing_clauses():
+    d = parse_omp_pragma("omp parallel private(a, b) firstprivate(c) shared(d)")
+    kinds = {c.kind: c.names for c in d.clauses_of(DataSharingClause)}
+    assert kinds == {"private": ["a", "b"], "firstprivate": ["c"], "shared": ["d"]}
+
+
+def test_reduction_clause():
+    d = parse_omp_pragma("omp parallel for reduction(+: s, t) reduction(max: m)")
+    reds = list(d.clauses_of(ReductionClause))
+    assert reds[0].op == "+" and reds[0].names == ["s", "t"]
+    assert reds[1].op == "max" and reds[1].names == ["m"]
+
+
+def test_bad_reduction_op_raises():
+    with pytest.raises(OmpParseError):
+        parse_omp_pragma("omp parallel for reduction(@: s)")
+
+
+def test_if_and_device_clauses():
+    d = parse_omp_pragma("omp target if(target: n > 100) device(1)")
+    ifc = d.first(IfClause)
+    assert ifc.modifier == "target"
+    assert unparse(ifc.expr).strip() == "n > 100"
+    assert d.first(DeviceClause).expr.value == 1
+
+
+def test_nowait():
+    d = parse_omp_pragma("omp for nowait")
+    assert d.has(NowaitClause)
+
+
+def test_critical_name():
+    d = parse_omp_pragma("omp critical (lock1)")
+    assert d.first(NameClause).name == "lock1"
+    d2 = parse_omp_pragma("omp critical")
+    assert not d2.has(NameClause)
+
+
+def test_target_update_motion():
+    d = parse_omp_pragma("omp target update to(x[0:n]) from(y)")
+    motions = list(d.clauses_of(MotionClause))
+    assert [m.direction for m in motions] == ["to", "from"]
+
+
+def test_unknown_directive_raises():
+    with pytest.raises(OmpParseError):
+        parse_omp_pragma("omp teleport")
+
+
+def test_unknown_clause_raises():
+    with pytest.raises(OmpParseError):
+        parse_omp_pragma("omp parallel sparkle(2)")
+
+
+def test_standalone_and_declarative_flags():
+    assert parse_omp_pragma("omp barrier").is_standalone
+    assert parse_omp_pragma("omp target update to(x)").is_standalone
+    assert parse_omp_pragma("omp declare target").is_declarative
+    assert parse_omp_pragma("omp target").is_target_construct
+    assert not parse_omp_pragma("omp target data map(to: x)").is_target_construct
+
+
+# -- validation ----------------------------------------------------------------
+
+def test_illegal_clause_on_directive():
+    d = parse_omp_pragma("omp barrier")
+    d.clauses.append(NowaitClause())
+    with pytest.raises(OmpValidationError):
+        validate_directive(d)
+
+
+def test_map_not_allowed_on_parallel():
+    with pytest.raises(OmpValidationError):
+        validate_directive(parse_omp_pragma("omp parallel map(to: x)"))
+
+
+def test_duplicate_unique_clause_rejected():
+    with pytest.raises(OmpValidationError):
+        validate_directive(parse_omp_pragma("omp parallel num_threads(2) num_threads(4)"))
+
+
+def test_target_update_requires_motion():
+    with pytest.raises(OmpValidationError):
+        validate_directive(parse_omp_pragma("omp target update"))
+
+
+def test_enter_exit_data_map_types():
+    validate_directive(parse_omp_pragma("omp target enter data map(to: x)"))
+    validate_directive(parse_omp_pragma("omp target exit data map(from: x)"))
+    with pytest.raises(OmpValidationError):
+        validate_directive(parse_omp_pragma("omp target enter data map(from: x)"))
+    with pytest.raises(OmpValidationError):
+        validate_directive(parse_omp_pragma("omp target exit data map(to: x)"))
+
+
+def test_validate_unit_attaches_directives():
+    unit = parse_translation_unit("""
+    void f(float y[], int n) {
+        int i;
+        #pragma omp target teams distribute parallel for map(tofrom: y[0:n]) num_teams(8)
+        for (i = 0; i < n; i++) y[i] = 0.0f;
+    }
+    """)
+    directives = validate_unit(unit)
+    assert len(directives) == 1
+    pragma = unit.functions()[0].body.body[1]
+    assert pragma.directive is directives[0]
+
+
+def test_nested_target_rejected():
+    unit = parse_translation_unit("""
+    void f(void) {
+        #pragma omp target
+        {
+            #pragma omp target
+            { }
+        }
+    }
+    """)
+    with pytest.raises(OmpValidationError):
+        validate_unit(unit)
+
+
+def test_distribute_requires_teams():
+    unit = parse_translation_unit("""
+    void f(float y[], int n) {
+        int i;
+        #pragma omp target
+        {
+            #pragma omp distribute
+            for (i = 0; i < n; i++) y[i] = 0.0f;
+        }
+    }
+    """)
+    with pytest.raises(OmpValidationError):
+        validate_unit(unit)
+
+
+def test_distribute_inside_teams_ok():
+    unit = parse_translation_unit("""
+    void f(float y[], int n) {
+        int i;
+        #pragma omp target map(tofrom: y[0:n])
+        #pragma omp teams num_teams(4)
+        {
+            #pragma omp distribute
+            for (i = 0; i < n; i++) y[i] = 0.0f;
+        }
+    }
+    """)
+    validate_unit(unit)
+
+
+def test_declare_target_pairing():
+    unit = parse_translation_unit(
+        "#pragma omp declare target\nint x;\n#pragma omp end declare target\n"
+    )
+    validate_unit(unit)
+    bad = parse_translation_unit("#pragma omp declare target\nint x;\n")
+    with pytest.raises(OmpValidationError):
+        validate_unit(bad)

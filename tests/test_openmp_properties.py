@@ -1,0 +1,108 @@
+"""Property-based tests for the OpenMP pragma parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp import parse_omp_pragma
+from repro.openmp.clauses import (
+    DataSharingClause, ExprClause, MapClause, NowaitClause, ReductionClause,
+    ScheduleClause,
+)
+
+_names = st.lists(
+    st.sampled_from(["a", "b2", "xs", "total", "nrm"]),
+    min_size=1, max_size=3, unique=True,
+)
+
+
+@st.composite
+def _clause(draw):
+    kind = draw(st.sampled_from(
+        ["map", "num_teams", "num_threads", "private", "firstprivate",
+         "reduction", "schedule", "nowait", "collapse"]))
+    if kind == "map":
+        mtype = draw(st.sampled_from(["to", "from", "tofrom", "alloc"]))
+        names = draw(_names)
+        items = ", ".join(f"{n}[0:{draw(st.integers(1, 999))}]" for n in names)
+        return kind, f"map({mtype}: {items})", {"map_type": mtype,
+                                                "names": names}
+    if kind in ("num_teams", "num_threads", "collapse"):
+        value = draw(st.integers(min_value=1, max_value=4096))
+        return kind, f"{kind}({value})", {"value": value}
+    if kind in ("private", "firstprivate"):
+        names = draw(_names)
+        return kind, f"{kind}({', '.join(names)})", {"names": names}
+    if kind == "reduction":
+        op = draw(st.sampled_from(["+", "*", "max", "min"]))
+        names = draw(_names)
+        return kind, f"reduction({op}: {', '.join(names)})", {
+            "op": op, "names": names}
+    if kind == "schedule":
+        sched = draw(st.sampled_from(["static", "dynamic", "guided"]))
+        chunk = draw(st.one_of(st.none(), st.integers(1, 64)))
+        text = f"schedule({sched}, {chunk})" if chunk else f"schedule({sched})"
+        return kind, text, {"sched": sched, "chunk": chunk}
+    return kind, "nowait", {}
+
+
+@settings(max_examples=120)
+@given(
+    directive=st.sampled_from(
+        ["parallel for", "target teams distribute parallel for",
+         "teams distribute parallel for", "for"]),
+    clauses=st.lists(_clause(), min_size=0, max_size=4),
+)
+def test_property_clause_combinations_parse_and_survive(directive, clauses):
+    seen_kinds = set()
+    parts = []
+    specs = []
+    for kind, text, spec in clauses:
+        # duplicate singleton clauses are a validation error, not a parse
+        # error; keep the generator on the parseable side
+        if kind in ("num_teams", "num_threads", "collapse", "schedule",
+                    "nowait") and kind in seen_kinds:
+            continue
+        seen_kinds.add(kind)
+        parts.append(text)
+        specs.append((kind, spec))
+    pragma = f"omp {directive} " + " ".join(parts)
+    d = parse_omp_pragma(pragma)
+    assert d.name == directive
+    for kind, spec in specs:
+        if kind == "map":
+            maps = [c for c in d.clauses_of(MapClause)
+                    if c.map_type == spec["map_type"]
+                    and [i.name for i in c.items] == spec["names"]]
+            assert maps, f"map clause lost: {spec}"
+        elif kind in ("num_teams", "num_threads", "collapse"):
+            clause = d.first(ExprClause, kind)
+            assert clause is not None and clause.expr.value == spec["value"]
+        elif kind in ("private", "firstprivate"):
+            hits = [c for c in d.clauses_of(DataSharingClause)
+                    if c.kind == kind and c.names == spec["names"]]
+            assert hits
+        elif kind == "reduction":
+            hits = [c for c in d.clauses_of(ReductionClause)
+                    if c.op == spec["op"] and c.names == spec["names"]]
+            assert hits
+        elif kind == "schedule":
+            clause = d.first(ScheduleClause)
+            assert clause.schedule == spec["sched"]
+            if spec["chunk"]:
+                assert clause.chunk.value == spec["chunk"]
+            else:
+                assert clause.chunk is None
+        elif kind == "nowait":
+            assert d.has(NowaitClause)
+
+
+@settings(max_examples=60)
+@given(
+    lower=st.integers(min_value=0, max_value=10**6),
+    length=st.integers(min_value=1, max_value=10**6),
+)
+def test_property_array_section_bounds_roundtrip(lower, length):
+    d = parse_omp_pragma(f"omp target map(to: buf[{lower}:{length}])")
+    (m,) = d.clauses_of(MapClause)
+    lo, ln = m.items[0].sections[0]
+    assert lo.value == lower and ln.value == length

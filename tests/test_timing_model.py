@@ -1,0 +1,137 @@
+"""Tests for the virtual clock, event log and the Maxwell timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.device import JETSON_NANO_GPU, JETSON_TX2_GPU
+from repro.cuda.sim.engine import KernelStats
+from repro.timing import calibration as C
+from repro.timing.clock import VirtualClock
+from repro.timing.gpumodel import GpuTimingModel
+from repro.timing.hostmodel import HostModel
+from repro.timing.stats import EventLog
+
+
+def make_stats(**kw) -> KernelStats:
+    stats = KernelStats(grid=(16, 1, 1), block=(256, 1, 1),
+                        registers_per_thread=24)
+    for key, value in kw.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def test_clock_advances_and_rejects_negative():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now() == 2.0
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    clock.reset()
+    assert clock.now() == 0.0
+
+
+def test_event_log_totals():
+    log = EventLog()
+    log.add("kernel", 1.0, kernel="k")
+    log.add("memcpy_h2d", 0.25, nbytes=100)
+    log.add("jit", 0.1)
+    log.add("host", 5.0)
+    assert log.kernel_time == 1.0
+    assert log.memory_time == 0.25
+    assert log.measured_time == pytest.approx(1.35)
+    assert log.total() == pytest.approx(6.35)
+    assert log.count("kernel") == 1
+
+
+def test_compute_bound_scales_with_instructions():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    t1 = model.kernel_time(make_stats(instructions=1_000_000)).total_s
+    t2 = model.kernel_time(make_stats(instructions=2_000_000)).total_s
+    assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+
+def test_bandwidth_bound_matches_sustained_rate():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    # 1 GB of DRAM traffic at 14.4 GB/s ~ 69 ms
+    segments = (1 << 30) // 32
+    b = model.kernel_time(make_stats(global_transactions=segments))
+    assert b.bound == "bandwidth"
+    assert b.total_s == pytest.approx((1 << 30) / 14.4e9, rel=0.01)
+
+
+def test_latency_bound_depends_on_occupancy():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    lean = make_stats(global_mem_instructions=1_000_000,
+                      registers_per_thread=24)
+    fat = make_stats(global_mem_instructions=1_000_000,
+                     registers_per_thread=128)
+    t_lean = model.kernel_time(lean)
+    t_fat = model.kernel_time(fat)
+    assert t_fat.occupancy_warps < t_lean.occupancy_warps
+    assert t_fat.latency_s > t_lean.latency_s
+
+
+def test_f64_is_heavily_penalised():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    f32 = make_stats(instructions=1_000_000, alu_f32=32_000_000)
+    f64 = make_stats(instructions=1_000_000, alu_f64=32_000_000)
+    assert model.kernel_time(f64).compute_s > 10 * model.kernel_time(f32).compute_s
+
+
+def test_occupancy_limited_by_threads_registers_smem():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    assert model.resident_blocks(256, 24, 0) == 8          # thread limit
+    assert model.resident_blocks(256, 128, 0) == 2         # register limit
+    assert model.resident_blocks(256, 24, 24 * 1024) == 2  # smem limit
+    assert model.resident_blocks(1024, 24, 0) == 2
+
+
+def test_occupancy_capped_by_grid():
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    small_grid = make_stats()
+    small_grid.grid = (1, 1, 1)
+    warps, resident = model.occupancy_warps(small_grid)
+    assert resident == 1 and warps == 8.0
+
+
+def test_faster_device_is_faster():
+    nano = GpuTimingModel(JETSON_NANO_GPU)
+    tx2 = GpuTimingModel(JETSON_TX2_GPU)
+    stats = make_stats(instructions=10_000_000,
+                       global_transactions=1_000_000)
+    assert tx2.kernel_time(stats).total_s < nano.kernel_time(stats).total_s
+
+
+def test_host_memcpy_time_linear_in_bytes():
+    host = HostModel()
+    t1 = host.memcpy_time(1 << 20)
+    t2 = host.memcpy_time(2 << 20)
+    assert t2 - t1 == pytest.approx((1 << 20) / (C.MEMCPY_BANDWIDTH_GBPS * 1e9))
+    assert host.memcpy_time(0) == C.MEMCPY_LATENCY_S
+
+
+@settings(max_examples=50)
+@given(
+    instructions=st.integers(min_value=0, max_value=10**9),
+    transactions=st.integers(min_value=0, max_value=10**8),
+    mem_instr=st.integers(min_value=0, max_value=10**8),
+    barriers=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_kernel_time_nonnegative_and_monotone(
+        instructions, transactions, mem_instr, barriers):
+    model = GpuTimingModel(JETSON_NANO_GPU)
+    stats = make_stats(instructions=instructions,
+                       global_transactions=transactions,
+                       global_mem_instructions=mem_instr,
+                       barriers=barriers)
+    t = model.kernel_time(stats).total_s
+    assert t >= 0.0
+    bigger = make_stats(instructions=instructions * 2 + 1,
+                        global_transactions=transactions,
+                        global_mem_instructions=mem_instr,
+                        barriers=barriers)
+    assert model.kernel_time(bigger).total_s >= t

@@ -1,0 +1,193 @@
+"""Deeper SIMT-engine semantics: divergence nesting, barrier edge cases,
+early return, scheduler fairness under spin loops."""
+
+import numpy as np
+import pytest
+
+from repro.cfront.parser import parse_translation_unit
+from repro.cuda.device import JETSON_NANO_GPU, Dim3
+from repro.cuda.ptx.lower import lower_translation_unit
+from repro.cuda.sim.engine import FunctionalEngine, LaunchError
+from repro.devrt import INTRINSIC_SIGS, build_intrinsics
+from repro.mem import LinearMemory
+
+GMEM_BASE = 0x2_0000_0000
+
+
+def run_kernel(src, kernel, grid, block, arrays, scalars=()):
+    unit = parse_translation_unit(src, "t.cu")
+    module = lower_translation_unit(unit, INTRINSIC_SIGS, "t")
+    gmem = LinearMemory(8 << 20, base=GMEM_BASE, name="gmem")
+    addrs, shapes = [], []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        addr = gmem.alloc(max(arr.nbytes, 1))
+        gmem.view(addr, arr.size, arr.dtype)[:] = arr.reshape(-1)
+        addrs.append(addr)
+        shapes.append(arr)
+    engine = FunctionalEngine(JETSON_NANO_GPU, gmem, build_intrinsics(), {})
+    params = [np.uint64(a) for a in addrs] + list(scalars)
+    stats = engine.launch(module.kernels[kernel], Dim3.of(grid), Dim3.of(block),
+                          params)
+    outs = [gmem.view(a, arr.size, arr.dtype).reshape(arr.shape)
+            for a, arr in zip(addrs, shapes)]
+    return outs, stats, engine
+
+
+def test_deeply_nested_divergence():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x, v = 0;
+        if (t < 16) {
+            if (t < 8) {
+                if (t < 4) v = 1; else v = 2;
+            } else {
+                if (t < 12) v = 3; else v = 4;
+            }
+        } else {
+            if (t % 2) v = 5; else v = 6;
+        }
+        out[t] = v;
+    }
+    """
+    def scalar(t):
+        if t < 16:
+            if t < 8:
+                return 1 if t < 4 else 2
+            return 3 if t < 12 else 4
+        return 5 if t % 2 else 6
+    out, stats, _ = run_kernel(src, "k", 1, 32, [np.zeros(32, dtype=np.int32)])
+    assert list(out[0]) == [scalar(t) for t in range(32)]
+    assert stats.divergent_branches >= 3
+
+
+def test_early_return_deactivates_lanes():
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x;
+        if (t >= 10)
+            return;
+        out[t] = 1;
+        if (t >= 5)
+            return;
+        out[t] = 2;
+    }
+    """
+    out, _, _ = run_kernel(src, "k", 1, 32, [np.zeros(32, dtype=np.int32)])
+    assert list(out[0][:5]) == [2] * 5
+    assert list(out[0][5:10]) == [1] * 5
+    assert out[0][10:].sum() == 0
+
+
+def test_syncthreads_with_fully_returned_warp():
+    """A warp whose lanes all returned must not block __syncthreads for
+    the remaining warps (CUDA 'skips threads that did not call')."""
+    src = """
+    __global__ void k(int *out)
+    {
+        int t = threadIdx.x;
+        if (t < 32)
+            return;            /* whole warp 0 exits */
+        out[t] = 1;
+        __syncthreads();
+        out[t] = 2;
+    }
+    """
+    out, _, _ = run_kernel(src, "k", 1, 64, [np.zeros(64, dtype=np.int32)])
+    assert (out[0][32:] == 2).all()
+
+
+def test_mismatched_named_barrier_counts_detected():
+    src = """
+    __global__ void k(void)
+    {
+        if (threadIdx.x < 32)
+            __bar_sync(1, 64);
+        else
+            __bar_sync(1, 96);
+    }
+    """
+    with pytest.raises(LaunchError):
+        run_kernel(src, "k", 1, 96, [np.zeros(1, dtype=np.int32)])
+
+
+def test_barrier_count_not_multiple_of_warp_rejected():
+    src = "__global__ void k(void) { __bar_sync(1, 40); }"
+    with pytest.raises(LaunchError):
+        run_kernel(src, "k", 1, 64, [np.zeros(1, dtype=np.int32)])
+
+
+def test_barrier_id_out_of_range_rejected():
+    src = "__global__ void k(void) { __bar_sync(16, 32); }"
+    with pytest.raises(LaunchError):
+        run_kernel(src, "k", 1, 32, [np.zeros(1, dtype=np.int32)])
+
+
+def test_deadlocked_barrier_detected():
+    src = """
+    __global__ void k(void)
+    {
+        if (threadIdx.x < 32)
+            __bar_sync(1, 96);   /* expects 3 warps; only 1 will arrive */
+    }
+    """
+    with pytest.raises(LaunchError, match="deadlock"):
+        run_kernel(src, "k", 1, 96, [np.zeros(1, dtype=np.int32)])
+
+
+def test_producer_consumer_across_warps_via_spin():
+    """Warp 1 spins on a flag that warp 0 sets: the scheduler must
+    interleave them (spin yields)."""
+    src = """
+    __global__ void k(int *flag, int *out)
+    {
+        int t = threadIdx.x;
+        if (t == 0) {
+            out[0] = 41;
+            atomicExch(flag, 1);
+        }
+        if (t == 32) {
+            while (atomicCAS(flag, 1, 1) == 0) { }
+            out[1] = out[0] + 1;
+        }
+    }
+    """
+    out, _, _ = run_kernel(src, "k", 1, 64,
+                           [np.zeros(1, dtype=np.int32),
+                            np.zeros(2, dtype=np.int32)])
+    assert out[1][1] == 42
+
+
+def test_grid_stride_loop():
+    src = """
+    __global__ void k(float *p, int n)
+    {
+        int i;
+        int stride = gridDim.x * blockDim.x;
+        for (i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i += stride)
+            p[i] = p[i] + 1.0f;
+    }
+    """
+    # grid-stride loops have a non-constant step: the combined-construct
+    # canonicaliser rejects them but raw CUDA supports them
+    n = 1000
+    out, _, _ = run_kernel(src, "k", 2, 64, [np.zeros(n, dtype=np.float32)],
+                           scalars=(np.int32(n),))
+    assert (out[0] == 1.0).all()
+
+
+def test_block_serialisation_single_sm():
+    """One SM: blocks run one at a time, so a global flag set by block 0
+    is visible to block 1 (this ordering is a property of the simulator,
+    matching the Nano's single SM)."""
+    src = """
+    __global__ void k(int *order)
+    {
+        if (threadIdx.x == 0)
+            order[blockIdx.x] = atomicAdd(&order[4], 1);
+    }
+    """
+    out, _, _ = run_kernel(src, "k", 4, 32, [np.zeros(5, dtype=np.int32)])
+    assert list(out[0][:4]) == [0, 1, 2, 3]
