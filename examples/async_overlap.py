@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Asynchronous offloading: ``target nowait`` + ``depend`` on the
+simulated Jetson Nano.
+
+Two independent vector kernels are offloaded with ``nowait`` and disjoint
+``depend`` sets, so the runtime places them on different CUDA streams:
+their host<->device copies (copy engine) overlap the other region's
+kernel (compute engine), and the modelled wall-clock comes out below the
+serialized sum.  A third region consumes both results through
+``depend(in: ...)`` clauses, so the task graph orders it after the
+producers.  ``taskwait`` joins everything before the host reads back.
+
+Run:  python3 examples/async_overlap.py
+"""
+
+import numpy as np
+
+from repro.ompi import OmpiCompiler
+
+N = 8192
+
+SOURCE = r'''
+double a[8192], b[8192], c[8192];
+
+int main(void)
+{
+    int i;
+    for (i = 0; i < 8192; i++) { a[i] = i; b[i] = 2.0 * i; c[i] = 0.0; }
+
+    /* two independent producers: disjoint depend sets -> different streams */
+    #pragma omp target teams distribute parallel for nowait depend(out: a) \
+            map(tofrom: a[0:8192])
+    for (i = 0; i < 8192; i++)
+        a[i] = a[i] * 3.0;
+
+    #pragma omp target teams distribute parallel for nowait depend(out: b) \
+            map(tofrom: b[0:8192])
+    for (i = 0; i < 8192; i++)
+        b[i] = b[i] + 1.0;
+
+    /* consumer: flow dependence on both producers orders it after them */
+    #pragma omp target teams distribute parallel for nowait \
+            depend(in: a) depend(in: b) depend(out: c) \
+            map(to: a[0:8192], b[0:8192]) map(from: c[0:8192])
+    for (i = 0; i < 8192; i++)
+        c[i] = a[i] + b[i];
+
+    #pragma omp taskwait
+    printf("c[1] = %.1f\n", (double) c[1]);
+    return 0;
+}
+'''
+
+
+def main() -> None:
+    program = OmpiCompiler().compile(SOURCE, "async_overlap")
+    run = program.run()
+    print("=== program output ===")
+    print(run.stdout)
+
+    c = run.machine.global_array("c")
+    idx = np.arange(N)
+    assert np.allclose(c, 3.0 * idx + (2.0 * idx + 1.0)), "result mismatch!"
+    print("result verified against numpy\n")
+
+    log = run.ort.cudadev.driver.log
+    print("=== simulated timeline (per stream) ===")
+    for event in log.events:
+        if event.kind in ("kernel", "memcpy_h2d", "memcpy_d2h"):
+            print(f"  stream {event.stream}  {event.kind:12s} "
+                  f"[{event.t_start * 1e6:9.1f} us .. {event.t_end * 1e6:9.1f} us]"
+                  f"  {event.kernel or ''}")
+
+    serial = log.measured_time
+    wall = log.overlapped_time()
+    print("\n=== overlap accounting ===")
+    print(f"  serialized sum of device ops : {serial * 1e3:8.3f} ms")
+    print(f"  overlapped wall-clock        : {wall * 1e3:8.3f} ms")
+    print(f"  overlap ratio                : {log.overlap_ratio:8.3f}x")
+    assert wall < serial, "expected copy/compute overlap to shorten the timeline"
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,13 @@ blocks execute functionally and their dynamic counts are extrapolated to
 the full grid for the timing model.  Sampling silently degrades to full
 execution for kernels with inter-warp communication (barriers, atomics,
 runtime calls) because their behaviour is not block-local.
+
+Transfers and launches take a ``stream`` argument routed through the
+:mod:`repro.rt_async.streams` table: work on a created stream lands on
+that stream's timeline (copy/compute engine queues, FIFO per stream) and
+the host clock only advances when the stream is synchronized; work on the
+default stream 0 remains host-synchronous, exactly as before streams
+existed.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from repro.cuda.ptx.ir import (
 from repro.cuda.ptx.jit import JitCache, jit_compile
 from repro.cuda.sim.engine import FunctionalEngine, KernelStats, LaunchError
 from repro.mem import LinearMemory
+from repro.rt_async.streams import DEFAULT_STREAM, StreamError, StreamTable
 from repro.timing import calibration as C
 from repro.timing.clock import VirtualClock
 from repro.timing.gpumodel import GpuTimingModel
@@ -85,6 +93,7 @@ class CudaDriver:
         self.gmem = LinearMemory(capacity, base=DEVICE_MEM_BASE, name="gmem")
         self.gpu_model = GpuTimingModel(device)
         self.host_model = HostModel()
+        self.streams = StreamTable(self.clock)
         self.log = EventLog()
         self.stdout: list[str] = []
         self._initialized = False
@@ -171,7 +180,117 @@ class CudaDriver:
 
     def cuCtxSynchronize(self) -> CUresult:
         self._check_init()
-        return CUresult.CUDA_SUCCESS  # execution is synchronous in the model
+        # join every stream's enqueued (asynchronous) work
+        self.clock.advance_to(self.streams.all_done_at())
+        return CUresult.CUDA_SUCCESS
+
+    # -- streams & events ----------------------------------------------------------
+    def _schedule(self, stream: int, kind: str, cost: float,
+                  detail: str = "", nbytes: int = 0,
+                  kernel: Optional[str] = None) -> tuple[float, float]:
+        """Place one operation on a stream timeline and log it.  Work on
+        the default stream is host-synchronous (the clock advances to its
+        completion, as before streams existed); work on a created stream
+        only moves the stream's timeline — the host observes it at a
+        synchronisation point."""
+        try:
+            start, end = self.streams.schedule(stream, kind, cost)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        self.log.add(kind, cost, detail, nbytes=nbytes, kernel=kernel,
+                     stream=stream, t_start=start, t_end=end)
+        if stream == DEFAULT_STREAM:
+            self.clock.advance_to(end)
+        return start, end
+
+    def cuStreamCreate(self, flags: int = 0) -> int:
+        self._check_init()
+        return self.streams.create(flags)
+
+    def cuStreamDestroy(self, stream: int) -> CUresult:
+        self._check_init()
+        try:
+            self.streams.destroy(stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        return CUresult.CUDA_SUCCESS
+
+    def cuStreamSynchronize(self, stream: int) -> float:
+        """Block the host until the stream drains; returns the new host
+        time (the simulated completion timestamp)."""
+        self._check_init()
+        try:
+            done_at = self.streams.completion_time(stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        return self.clock.advance_to(done_at)
+
+    def cuStreamQuery(self, stream: int) -> CUresult:
+        self._check_init()
+        try:
+            done_at = self.streams.completion_time(stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        if done_at > self.clock.now():
+            return CUresult.CUDA_ERROR_NOT_READY
+        return CUresult.CUDA_SUCCESS
+
+    def cuStreamWaitEvent(self, stream: int, event: int,
+                          flags: int = 0) -> CUresult:
+        self._check_init()
+        try:
+            self.streams.stream_wait_event(stream, event)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        return CUresult.CUDA_SUCCESS
+
+    def cuEventCreate(self) -> int:
+        self._check_init()
+        return self.streams.create_event()
+
+    def cuEventDestroy(self, event: int) -> CUresult:
+        self._check_init()
+        try:
+            self.streams.destroy_event(event)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        return CUresult.CUDA_SUCCESS
+
+    def cuEventRecord(self, event: int, stream: int = DEFAULT_STREAM) -> CUresult:
+        self._check_init()
+        try:
+            self.streams.record(event, stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        return CUresult.CUDA_SUCCESS
+
+    def cuEventQuery(self, event: int) -> CUresult:
+        self._check_init()
+        try:
+            ev = self.streams.get_event(event)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        if not ev.recorded or ev.timestamp > self.clock.now():
+            return CUresult.CUDA_ERROR_NOT_READY
+        return CUresult.CUDA_SUCCESS
+
+    def cuEventSynchronize(self, event: int) -> float:
+        self._check_init()
+        try:
+            ev = self.streams.get_event(event)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        if ev.recorded:
+            self.clock.advance_to(ev.timestamp)
+        return self.clock.now()
+
+    def cuEventElapsedTime(self, start: int, end: int) -> float:
+        """Milliseconds between two recorded events (cuEventElapsedTime)."""
+        self._check_init()
+        try:
+            return self.streams.elapsed_ms(start, end)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
 
     # -- modules ----------------------------------------------------------------
     def cuModuleLoadData(self, image: Union[bytes, PtxImage, CubinImage]) -> int:
@@ -187,9 +306,11 @@ class CudaDriver:
         if kind == "ptx":
             result = jit_compile(image, self.device_props, self.jit_cache,
                                  link_device_library=True)
+            t0 = self.clock.now()
             self.clock.advance(result.compile_time_s)
             self.log.add("jit", result.compile_time_s,
-                         "cache hit" if result.cached else "compiled")
+                         "cache hit" if result.cached else "compiled",
+                         t_start=t0, t_end=self.clock.now())
             cubin = result.image
         else:
             cubin = image
@@ -245,8 +366,10 @@ class CudaDriver:
         except Exception as exc:
             raise CudaError(CUresult.CUDA_ERROR_OUT_OF_MEMORY, str(exc)) from exc
         cost = self.host_model.alloc_time()
+        t0 = self.clock.now()
         self.clock.advance(cost)
-        self.log.add("alloc", cost, nbytes=size)
+        self.log.add("alloc", cost, nbytes=size, t_start=t0,
+                     t_end=self.clock.now())
         return addr
 
     def cuMemFree(self, dptr: int) -> CUresult:
@@ -259,6 +382,14 @@ class CudaDriver:
         return CUresult.CUDA_SUCCESS
 
     def cuMemcpyHtoD(self, dptr: int, src) -> CUresult:
+        return self.cuMemcpyHtoDAsync(dptr, src, DEFAULT_STREAM)
+
+    def cuMemcpyHtoDAsync(self, dptr: int, src,
+                          stream: int = DEFAULT_STREAM) -> CUresult:
+        """H2D copy on a stream.  The bytes move immediately (functional
+        execution follows program order); the *cost* lands on the stream's
+        copy-engine timeline.  On the default stream this is the old
+        synchronous cuMemcpyHtoD."""
         self._check_init()
         if isinstance(src, (bytes, bytearray)):
             data = np.frombuffer(bytes(src), dtype=np.uint8)
@@ -267,24 +398,26 @@ class CudaDriver:
             data = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
         self.gmem.copy_in(dptr, data)
         cost = self.host_model.memcpy_time(data.size)
-        self.clock.advance(cost)
-        self.log.add("memcpy_h2d", cost, nbytes=int(data.size))
+        self._schedule(stream, "memcpy_h2d", cost, nbytes=int(data.size))
         return CUresult.CUDA_SUCCESS
 
     def cuMemcpyDtoH(self, dptr: int, nbytes: int) -> bytes:
+        return self.cuMemcpyDtoHAsync(dptr, nbytes, DEFAULT_STREAM)
+
+    def cuMemcpyDtoHAsync(self, dptr: int, nbytes: int,
+                          stream: int = DEFAULT_STREAM) -> bytes:
         self._check_init()
         data = self.gmem.copy_out(dptr, nbytes)
         cost = self.host_model.memcpy_time(nbytes)
-        self.clock.advance(cost)
-        self.log.add("memcpy_d2h", cost, nbytes=nbytes)
+        self._schedule(stream, "memcpy_d2h", cost, nbytes=nbytes)
         return data
 
-    def cuMemsetD8(self, dptr: int, value: int, count: int) -> CUresult:
+    def cuMemsetD8(self, dptr: int, value: int, count: int,
+                   stream: int = DEFAULT_STREAM) -> CUresult:
         self._check_init()
         self.gmem.view(dptr, count, np.uint8)[:] = value & 0xFF
         cost = self.host_model.memcpy_time(count) / 2
-        self.clock.advance(cost)
-        self.log.add("memcpy_h2d", cost, "memset", nbytes=count)
+        self._schedule(stream, "memcpy_h2d", cost, "memset", nbytes=count)
         return CUresult.CUDA_SUCCESS
 
     # -- kernel launch -------------------------------------------------------------
@@ -411,6 +544,12 @@ class CudaDriver:
         kernel_params: Optional[list] = None,
     ) -> KernelStats:
         self._check_init()
+        # validate the stream up front: an unknown id is a loud error, not
+        # a silently ignored argument
+        try:
+            self.streams.get(stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
         loaded = self._modules.get(fn.module_handle)
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, "module unloaded")
@@ -457,11 +596,9 @@ class CudaDriver:
         stats.registers_per_thread = resources.get("registers", 32)
         breakdown = self.gpu_model.kernel_time(stats)
         overhead = C.LAUNCH_LATENCY_S + C.PARAM_PREP_S * len(params)
-        self.clock.advance(overhead)
-        self.log.add("launch_overhead", overhead, kernel=fn.name)
-        self.clock.advance(breakdown.total_s)
-        self.log.add(
-            "kernel", breakdown.total_s,
+        self._schedule(stream, "launch_overhead", overhead, kernel=fn.name)
+        self._schedule(
+            stream, "kernel", breakdown.total_s,
             detail=f"bound={breakdown.bound} warps={breakdown.occupancy_warps:.0f}",
             kernel=fn.name,
         )

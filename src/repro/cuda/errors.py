@@ -17,7 +17,9 @@ class CUresult(enum.IntEnum):
     CUDA_ERROR_INVALID_DEVICE = 101
     CUDA_ERROR_INVALID_IMAGE = 200
     CUDA_ERROR_INVALID_CONTEXT = 201
+    CUDA_ERROR_INVALID_HANDLE = 400
     CUDA_ERROR_NOT_FOUND = 500
+    CUDA_ERROR_NOT_READY = 600
     CUDA_ERROR_LAUNCH_FAILED = 719
     CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES = 701
     CUDA_ERROR_UNKNOWN = 999

@@ -50,6 +50,10 @@ class CudadevModule(DeviceModule):
         self._loaded: dict[str, CUfunction] = {}
         self.attributes: dict[str, int] = {}
         self.stdout: list[str] = []
+        #: stream all module operations route through while a deferred
+        #: (``target nowait``) task body is executing; None = default
+        #: stream, i.e. the host-synchronous path
+        self.current_stream: Optional[int] = None
 
     # -- lifecycle ----------------------------------------------------------------
     def initialize(self) -> None:
@@ -109,10 +113,19 @@ class CudadevModule(DeviceModule):
 
     def write(self, dev_addr: int, host_addr: int, size: int) -> None:
         self._ensure_init()
-        self.driver.cuMemcpyHtoD(dev_addr, self.host_mem.copy_out(host_addr, size))
+        data = self.host_mem.copy_out(host_addr, size)
+        if self.current_stream is not None:
+            self.driver.cuMemcpyHtoDAsync(dev_addr, data, self.current_stream)
+        else:
+            self.driver.cuMemcpyHtoD(dev_addr, data)
 
     def read(self, host_addr: int, dev_addr: int, size: int) -> None:
-        self.host_mem.copy_in(host_addr, self.driver.cuMemcpyDtoH(dev_addr, size))
+        if self.current_stream is not None:
+            data = self.driver.cuMemcpyDtoHAsync(dev_addr, size,
+                                                 self.current_stream)
+        else:
+            data = self.driver.cuMemcpyDtoH(dev_addr, size)
+        self.host_mem.copy_in(host_addr, data)
 
     # -- kernels -------------------------------------------------------------------
     def register_kernel_image(self, kernel_name: str, image) -> None:
@@ -140,9 +153,11 @@ class CudadevModule(DeviceModule):
                                                         # by the data env)
         gx, gy, gz = teams
         bx, by, bz = threads                            # phase 3
+        stream = (self.current_stream if self.current_stream is not None
+                  else 0)
         self.driver.cuLaunchKernel(
             fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
-            kernel_params=params,
+            stream=stream, kernel_params=params,
         )
         if self.driver.stdout:
             self.stdout.extend(self.driver.stdout)

@@ -26,6 +26,9 @@ from repro.hostrt.devices import HostDevice
 from repro.hostrt.icv import ICVs
 from repro.hostrt.mapping import DataEnv, MappingError
 from repro.hostrt.team import HostTeamError, TeamStack
+from repro.rt_async.taskgraph import (
+    DEP_IN, DEP_INOUT, DEP_OUT, StreamPoolScheduler,
+)
 from repro.timing.clock import VirtualClock
 
 
@@ -51,6 +54,13 @@ class Ort:
         self.teams = TeamStack(self.icvs.nthreads_var)
         self._pending_kargs: list = []
         self._pending_pargs: list = []
+        # -- asynchronous offload (target nowait + depend) ---------------
+        self._pending_deps: list[tuple[int, int]] = []
+        #: innermost deferred task whose body is executing (None entries
+        #: mark host-device tasks, which run synchronously)
+        self._task_stack: list = []
+        self._scheduler: Optional[StreamPoolScheduler] = None
+        self._task_count = 0
         machine.natives.update(self._natives())
         machine.register_space(self.cudadev.driver.gmem)
 
@@ -85,6 +95,11 @@ class Ort:
             "ort_arg_ptr": self._ort_arg_ptr,
             "ort_arg_val": self._ort_arg_val,
             "ort_offload": self._ort_offload,
+            # deferred offload tasks (target nowait / depend)
+            "ort_task_dep": self._ort_task_dep,
+            "ort_task_begin": self._ort_task_begin,
+            "ort_task_end": self._ort_task_end,
+            "ort_taskwait": self._ort_taskwait,
             # host parallel
             "ort_parg": self._ort_parg,
             "ort_execute_parallel": self._ort_execute_parallel,
@@ -205,6 +220,68 @@ class Ort:
             module.stdout.clear()
         return 0
 
+    # -- deferred offload tasks (target nowait / depend) -------------------------
+    @property
+    def scheduler(self) -> StreamPoolScheduler:
+        """The stream-pool task scheduler, created on first deferred task."""
+        if self._scheduler is None:
+            self.cudadev.initialize()
+            self._scheduler = StreamPoolScheduler(self.cudadev.driver)
+        return self._scheduler
+
+    def _ort_task_dep(self, machine, args, loc):
+        _dev, ptr, code = args
+        code = int(code)
+        if code not in (DEP_IN, DEP_OUT, DEP_INOUT):
+            raise InterpError(f"unknown dependence type code {code}", loc)
+        addr = ptr.addr if isinstance(ptr, Ptr) else int(ptr)
+        self._pending_deps.append((code, addr))
+        return 0
+
+    def _ort_task_begin(self, machine, args, loc):
+        dev = self._resolve_device(int(args[0]))
+        deps = self._pending_deps
+        self._pending_deps = []
+        if dev >= self.initial_device:
+            # host-device fallback: the "task" runs synchronously inline
+            self._task_stack.append(None)
+            return 0
+        self._task_count += 1
+        task = self.scheduler.begin_task(f"offload_task{self._task_count}",
+                                         deps)
+        self._task_stack.append(task)
+        self.cudadev.current_stream = task.stream
+        return 0
+
+    def _ort_task_end(self, machine, args, loc):
+        _dev, blocking = args
+        if not self._task_stack:
+            raise InterpError("ort_task_end without a matching ort_task_begin",
+                              loc)
+        task = self._task_stack.pop()
+        if task is None:
+            return 0
+        self.cudadev.current_stream = (
+            self._task_stack[-1].stream
+            if self._task_stack and self._task_stack[-1] is not None else None
+        )
+        self.scheduler.end_task(task)
+        if int(blocking):
+            # depend() without nowait: an undeferred task — the host blocks
+            # on this task's completion but the graph edges still held
+            self.scheduler.sync_task(task)
+        return 0
+
+    def _ort_taskwait(self, machine, args, loc):
+        self.taskwait()
+        return 0
+
+    def taskwait(self) -> None:
+        """Join the offload task graph (``taskwait``, barriers, and the
+        implicit join at program exit)."""
+        if self._scheduler is not None:
+            self._scheduler.taskwait()
+
     # -- host parallel natives ----------------------------------------------------
     def _ort_parg(self, machine, args, loc):
         self._pending_pargs.append(args[0])
@@ -231,6 +308,8 @@ class Ort:
                 "barrier inside a host parallel region is not supported by "
                 "the sequential host-team simulation (see hostrt.team)"
             )
+        # a barrier is an implicit taskwait: deferred offloads must complete
+        self.taskwait()
         return 0
 
     # -- declare target globals ---------------------------------------------------

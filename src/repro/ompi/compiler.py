@@ -117,6 +117,7 @@ class CompiledProgram:
                 ort.bind_declare_target(gname, binding.addr,
                                         gtype.sizeof(), owner)
         exit_code = machine.run() if main else 0
+        ort.taskwait()  # implicit join of outstanding nowait tasks at exit
         return ProgramRun(machine, ort, exit_code)
 
 
@@ -219,6 +220,9 @@ class OmpiCompiler:
             if d.name == "barrier":
                 from repro.ompi.astutil import callstmt
                 return callstmt("ort_host_barrier")
+            if d.name == "taskwait":
+                from repro.ompi.astutil import callstmt
+                return callstmt("ort_taskwait")
             if d.name in ("for", "single", "master", "critical", "atomic",
                           "sections", "section"):
                 # orphaned worksharing outside any parallel region: a team

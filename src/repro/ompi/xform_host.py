@@ -17,9 +17,10 @@ from repro.cfront.ctypes_ import (
 )
 from repro.cfront.errors import CFrontError
 from repro.openmp.clauses import (
-    DataSharingClause, DeviceClause, ExprClause, IfClause, MapClause,
-    MotionClause, NowaitClause, ReductionClause, ScheduleClause,
+    DataSharingClause, DependClause, DeviceClause, ExprClause, IfClause,
+    MapClause, MotionClause, NowaitClause, ReductionClause, ScheduleClause,
 )
+from repro.rt_async.taskgraph import DEP_CODES
 from repro.openmp.directives import Directive
 from repro.ompi.astutil import (
     addr_of, assign, binop, block, call, callstmt, cast, ceil_div, clone,
@@ -85,11 +86,48 @@ class HostRewriter:
     _hp_count: int = 0
 
     # -- target constructs ---------------------------------------------------
+    def _task_dep_stmts(self, directive: Directive,
+                        scope: dict[str, CType]) -> list[A.Stmt]:
+        """``ort_task_dep`` registrations for every depend() list item.
+
+        Dependences are keyed on the item's host *base address* (the whole
+        object, conservatively, even when a section is written)."""
+        stmts: list[A.Stmt] = []
+        for clause in directive.clauses_of(DependClause):
+            code = DEP_CODES[clause.dep_type]   # validator checked the type
+            for item in clause.items:
+                if item.name not in scope:
+                    raise HostXformError(
+                        f"unknown variable {item.name!r} in depend clause")
+                ctype = scope[item.name]
+                addr: A.Expr = (ident(item.name)
+                                if isinstance(ctype, (PointerType, ArrayType))
+                                else addr_of(ident(item.name)))
+                stmts.append(callstmt("ort_task_dep", ident("__dev"), addr,
+                                      intlit(code)))
+        return stmts
+
+    @staticmethod
+    def _wrap_task(directive: Directive, dep_stmts: list[A.Stmt],
+                   body_stmts: list[A.Stmt]) -> list[A.Stmt]:
+        """Wrap an offload sequence into a deferred task when the construct
+        carries nowait and/or depend clauses.  depend without nowait is an
+        *undeferred* task: it still orders through the graph but the host
+        blocks on its completion (ort_task_end's flag)."""
+        nowait = directive.first(NowaitClause) is not None
+        if not nowait and not dep_stmts:
+            return body_stmts
+        return (dep_stmts
+                + [callstmt("ort_task_begin", ident("__dev"))]
+                + body_stmts
+                + [callstmt("ort_task_end", ident("__dev"),
+                            intlit(0 if nowait else 1))])
+
     def launch_block(self, plan: KernelPlan, directive: Directive,
                      scope: dict[str, CType]) -> A.Stmt:
         dev_clause = directive.first(DeviceClause)
         dev_expr: A.Expr = clone(dev_clause.expr) if dev_clause else intlit(-1)
-        stmts: list[A.Stmt] = [decl("__dev", INT, dev_expr)]
+        stmts: list[A.Stmt] = []
         # mapping phase (by-value scalars bypass the data environment)
         for cv in plan.params:
             if cv.by_value:
@@ -119,7 +157,11 @@ class HostRewriter:
             _base, mapped, _size = map_ptr_and_size(cv)
             stmts.append(callstmt("ort_unmap", ident("__dev"), mapped,
                                   intlit(MAP_CODE[cv.map_type if cv.map_type != "private" else "release"])))
-        launch = A.Compound(stmts)
+        launch = A.Compound(
+            [decl("__dev", INT, dev_expr)]
+            + self._wrap_task(directive, self._task_dep_stmts(directive, scope),
+                              stmts)
+        )
         if_clause = directive.first(IfClause)
         if if_clause is not None:
             fallback = self.fallback_call(plan)
@@ -278,7 +320,7 @@ class HostRewriter:
                              scope: dict[str, CType]) -> A.Stmt:
         dev_clause = directive.first(DeviceClause)
         dev_expr: A.Expr = clone(dev_clause.expr) if dev_clause else intlit(-1)
-        stmts: list[A.Stmt] = [decl("__dev", INT, dev_expr)]
+        stmts: list[A.Stmt] = []
         if directive.name == "target update":
             for clause in directive.clauses_of(MotionClause):
                 fn = "ort_update_to" if clause.direction == "to" else "ort_update_from"
@@ -288,8 +330,7 @@ class HostRewriter:
                     _b, mapped, size = map_ptr_and_size(cv)
                     stmts.append(callstmt(fn, ident("__dev"), mapped,
                                           cast(LONG, size)))
-            return A.Compound(stmts)
-        if directive.name == "target enter data":
+        elif directive.name == "target enter data":
             for clause in directive.clauses_of(MapClause):
                 for item in clause.items:
                     cv = CapturedVar(item.name, scope[item.name],
@@ -299,8 +340,7 @@ class HostRewriter:
                     stmts.append(callstmt("ort_map", ident("__dev"), mapped,
                                           cast(LONG, size),
                                           intlit(MAP_CODE[clause.map_type])))
-            return A.Compound(stmts)
-        if directive.name == "target exit data":
+        elif directive.name == "target exit data":
             for clause in directive.clauses_of(MapClause):
                 for item in clause.items:
                     cv = CapturedVar(item.name, scope[item.name],
@@ -309,8 +349,14 @@ class HostRewriter:
                     _b, mapped, _size = map_ptr_and_size(cv)
                     stmts.append(callstmt("ort_unmap", ident("__dev"), mapped,
                                           intlit(MAP_CODE[clause.map_type])))
-            return A.Compound(stmts)
-        raise HostXformError(f"unexpected standalone directive {directive.name}")
+        else:
+            raise HostXformError(
+                f"unexpected standalone directive {directive.name}")
+        return A.Compound(
+            [decl("__dev", INT, dev_expr)]
+            + self._wrap_task(directive, self._task_dep_stmts(directive, scope),
+                              stmts)
+        )
 
     # -- host parallel regions ----------------------------------------------------
     def outline_host_parallel(self, stmt: A.PragmaStmt, d: Directive,

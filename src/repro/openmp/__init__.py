@@ -8,18 +8,19 @@ the same cfront expression parser as the surrounding program.
 """
 
 from repro.openmp.clauses import (
-    Clause, DataSharingClause, DefaultClause, DeviceClause, ExprClause,
-    IfClause, MapClause, MapItem, MotionClause, NameClause, NowaitClause,
-    ReductionClause, ScheduleClause,
+    Clause, DataSharingClause, DefaultClause, DependClause, DeviceClause,
+    ExprClause, IfClause, MapClause, MapItem, MotionClause, NameClause,
+    NowaitClause, ReductionClause, ScheduleClause,
 )
 from repro.openmp.directives import Directive, DIRECTIVE_NAMES
 from repro.openmp.pragma_parser import OmpParseError, parse_omp_pragma
 from repro.openmp.validator import OmpValidationError, validate_directive, validate_unit
 
 __all__ = [
-    "Clause", "DataSharingClause", "DefaultClause", "DeviceClause",
-    "Directive", "DIRECTIVE_NAMES", "ExprClause", "IfClause", "MapClause",
-    "MapItem", "MotionClause", "NameClause", "NowaitClause", "OmpParseError",
-    "OmpValidationError", "ReductionClause", "ScheduleClause",
-    "parse_omp_pragma", "validate_directive", "validate_unit",
+    "Clause", "DataSharingClause", "DefaultClause", "DependClause",
+    "DeviceClause", "Directive", "DIRECTIVE_NAMES", "ExprClause", "IfClause",
+    "MapClause", "MapItem", "MotionClause", "NameClause", "NowaitClause",
+    "OmpParseError", "OmpValidationError", "ReductionClause",
+    "ScheduleClause", "parse_omp_pragma", "validate_directive",
+    "validate_unit",
 ]

@@ -116,6 +116,24 @@ class NowaitClause(Clause):
     kind: str = "nowait"
 
 
+#: dependence types accepted on depend() (OpenMP 4.5 task dependences)
+DEPEND_TYPES = ("in", "out", "inout")
+
+
+@dataclass
+class DependClause(Clause):
+    """``depend(in|out|inout: list)`` on deferrable constructs.
+
+    ``dep_type`` is kept as written so the validator can reject unknown
+    dependence types with a diagnostic naming the offender; items reuse
+    :class:`MapItem` so array-sectioned dependences (``depend(out:
+    A[0:n])``) parse like map list items."""
+
+    dep_type: str = "inout"
+    items: list[MapItem] = field(default_factory=list)
+    kind: str = "depend"
+
+
 @dataclass
 class NameClause(Clause):
     """The optional name of a ``critical`` region."""

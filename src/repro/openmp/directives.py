@@ -37,6 +37,7 @@ DIRECTIVE_NAMES = (
     "sections",
     "parallel",
     "critical",
+    "taskwait",
     "barrier",
     "section",
     "target",
@@ -50,7 +51,8 @@ DIRECTIVE_NAMES = (
 
 #: Directives that stand alone (no associated statement).
 STANDALONE_DIRECTIVES = frozenset(
-    {"barrier", "target update", "target enter data", "target exit data"}
+    {"barrier", "taskwait", "target update", "target enter data",
+     "target exit data"}
 )
 
 #: Directives that are declarative (file scope).

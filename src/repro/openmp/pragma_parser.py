@@ -16,9 +16,10 @@ from repro.cfront.lexer import Lexer, Token
 from repro.cfront.parser import Parser
 from repro.cfront.tokens import TokenKind
 from repro.openmp.clauses import (
-    DataSharingClause, DefaultClause, DeviceClause, DistScheduleClause,
-    ExprClause, IfClause, MAP_TYPES, MapClause, MapItem, MotionClause,
-    NameClause, NowaitClause, ProcBindClause, ReductionClause, ScheduleClause,
+    DataSharingClause, DefaultClause, DependClause, DeviceClause,
+    DistScheduleClause, ExprClause, IfClause, MAP_TYPES, MapClause, MapItem,
+    MotionClause, NameClause, NowaitClause, ProcBindClause, ReductionClause,
+    ScheduleClause,
 )
 from repro.openmp.directives import DIRECTIVE_NAMES, Directive
 
@@ -178,6 +179,21 @@ class _PragmaParser:
         if word == "nowait":
             self._next()
             return NowaitClause()
+        if word == "depend":
+            self._next()
+            self._expect("(")
+            dep_tok = self._next()
+            if dep_tok.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise OmpParseError(
+                    f"expected a dependence type before ':' in depend(), "
+                    f"found {dep_tok.text!r}", dep_tok.loc
+                )
+            self._expect(":")
+            items = self._parse_item_list()
+            self._expect(")")
+            # the dependence type is validated (not parsed away) so the
+            # validator can name unknown types in its diagnostic
+            return DependClause(dep_tok.text, items)
         if word == "map":
             self._next()
             self._expect("(")

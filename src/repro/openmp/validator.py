@@ -9,9 +9,10 @@ from __future__ import annotations
 from repro.cfront import astnodes as A
 from repro.cfront.errors import CFrontError
 from repro.openmp.clauses import (
-    DataSharingClause, DefaultClause, DeviceClause, DistScheduleClause,
-    ExprClause, IfClause, MapClause, MotionClause, NameClause, NowaitClause,
-    ProcBindClause, ReductionClause, ScheduleClause,
+    DEPEND_TYPES, DataSharingClause, DefaultClause, DependClause,
+    DeviceClause, DistScheduleClause, ExprClause, IfClause, MapClause,
+    MotionClause, NameClause, NowaitClause, ProcBindClause, ReductionClause,
+    ScheduleClause,
 )
 from repro.openmp.directives import Directive
 from repro.openmp.pragma_parser import parse_omp_pragma
@@ -24,12 +25,15 @@ class OmpValidationError(CFrontError):
 #: clause kinds legal on each leaf construct; combined constructs accept the
 #: union of their parts.
 _LEGAL: dict[str, frozenset[str]] = {
-    "target": frozenset({"map", "device", "if", "nowait", "is_device_ptr",
-                         "firstprivate", "private"}),
+    "target": frozenset({"map", "device", "if", "nowait", "depend",
+                         "is_device_ptr", "firstprivate", "private"}),
     "target data": frozenset({"map", "device", "if", "use_device_ptr"}),
-    "target enter data": frozenset({"map", "device", "if", "nowait"}),
-    "target exit data": frozenset({"map", "device", "if", "nowait"}),
-    "target update": frozenset({"motion", "device", "if", "nowait"}),
+    "target enter data": frozenset({"map", "device", "if", "nowait",
+                                    "depend"}),
+    "target exit data": frozenset({"map", "device", "if", "nowait",
+                                   "depend"}),
+    "target update": frozenset({"motion", "device", "if", "nowait",
+                                "depend"}),
     "teams": frozenset({"num_teams", "thread_limit", "private", "firstprivate",
                         "shared", "default", "reduction"}),
     "distribute": frozenset({"private", "firstprivate", "lastprivate",
@@ -47,6 +51,9 @@ _LEGAL: dict[str, frozenset[str]] = {
     "critical": frozenset({"name"}),
     "master": frozenset(),
     "barrier": frozenset(),
+    # OpenMP 5.0 allows depend() on taskwait; this implementation joins the
+    # whole task graph regardless (conservative over-synchronisation)
+    "taskwait": frozenset({"depend"}),
     "atomic": frozenset(),
     "declare target": frozenset(),
     "end declare target": frozenset(),
@@ -64,6 +71,7 @@ _CLAUSE_KIND: dict[type, str] = {
     NowaitClause: "nowait",
     NameClause: "name",
     ProcBindClause: "proc_bind",
+    DependClause: "depend",
 }
 
 
@@ -94,6 +102,17 @@ def _legal_kinds(directive: Directive) -> frozenset[str]:
 
 def validate_directive(directive: Directive, loc=None) -> None:
     """Check clause legality for one directive."""
+    for dep in directive.clauses_of(DependClause):
+        if dep.dep_type not in DEPEND_TYPES:
+            raise OmpValidationError(
+                f"unknown dependence type '{dep.dep_type}' in depend() on "
+                f"'#pragma omp {directive.name}': expected one of "
+                f"{', '.join(DEPEND_TYPES)}", loc
+            )
+        if not dep.items:
+            raise OmpValidationError(
+                f"depend({dep.dep_type}:) requires at least one list item", loc
+            )
     if directive.name in ("target update",):
         if not any(isinstance(c, MotionClause) for c in directive.clauses):
             raise OmpValidationError(

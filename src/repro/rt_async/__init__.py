@@ -1,0 +1,19 @@
+"""Asynchronous offload subsystem: simulated CUDA streams/events plus the
+depend-aware ``target nowait`` task graph (see DESIGN.md §"Asynchronous
+offloading")."""
+
+from repro.rt_async.streams import (
+    DEFAULT_STREAM, NON_BLOCKING, CudaEvent, CudaStream, StreamError,
+    StreamOp, StreamTable,
+)
+from repro.rt_async.taskgraph import (
+    DEP_CODES, DEP_IN, DEP_INOUT, DEP_NAMES, DEP_OUT, DependenceCycleError,
+    OffloadTask, StreamPoolScheduler, TaskGraph, TaskGraphError,
+)
+
+__all__ = [
+    "CudaEvent", "CudaStream", "DEFAULT_STREAM", "DEP_CODES", "DEP_IN",
+    "DEP_INOUT", "DEP_NAMES", "DEP_OUT", "DependenceCycleError",
+    "NON_BLOCKING", "OffloadTask", "StreamError", "StreamOp",
+    "StreamPoolScheduler", "StreamTable", "TaskGraph", "TaskGraphError",
+]

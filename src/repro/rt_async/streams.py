@@ -1,0 +1,193 @@
+"""Simulated CUDA streams and events (the ``cuStream*``/``cuEvent*`` API).
+
+A stream is a FIFO queue of device operations.  In this reproduction the
+*functional* side of every operation still executes immediately, in
+program order (the simulator is single-threaded and deterministic); what
+a stream queues is the operation's place on the **modelled timeline**.
+Each stream carries a ``ready_at`` timestamp — the simulated time at
+which everything enqueued on it so far has completed — and each device
+*engine* (one compute engine = the single Maxwell SM, one copy engine =
+the single DMA path, see :mod:`repro.timing.gpumodel`) carries its own
+availability time.  An operation issued at host time *t* therefore starts
+at
+
+    ``max(t, stream.ready_at, engine.ready_at)``
+
+which yields FIFO ordering within a stream, no ordering across streams,
+and serialization of same-engine work — i.e. copy/compute overlap but no
+concurrent kernels, matching the Jetson Nano's hardware.
+
+Default-stream semantics are *legacy* CUDA: work on stream 0 begins only
+after all prior work on every stream, and work on a blocking stream
+begins only after prior default-stream work.  Streams created with
+``NON_BLOCKING`` opt out (like ``CU_STREAM_NON_BLOCKING``).
+
+Events are timeline markers: ``record`` captures the completion time of
+the stream's currently enqueued work; ``stream_wait_event`` makes a
+stream's next operation start no earlier than that mark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.timing.clock import VirtualClock
+from repro.timing.gpumodel import ENGINES, engine_of
+
+#: stream creation flag: do not synchronise with the legacy default stream
+NON_BLOCKING = 0x1
+
+DEFAULT_STREAM = 0
+
+
+class StreamError(Exception):
+    """Unknown/destroyed stream or event handle, or misuse of the API."""
+
+
+@dataclass
+class StreamOp:
+    """One operation retired on a stream (bookkeeping for tests/reports)."""
+
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CudaStream:
+    handle: int
+    flags: int = 0
+    #: simulated time at which all work enqueued so far completes
+    ready_at: float = 0.0
+    #: retired operations in FIFO (enqueue) order
+    ops: list[StreamOp] = field(default_factory=list)
+
+    @property
+    def non_blocking(self) -> bool:
+        return bool(self.flags & NON_BLOCKING)
+
+
+@dataclass
+class CudaEvent:
+    handle: int
+    recorded: bool = False
+    #: completion time of the stream work the event marks
+    timestamp: float = 0.0
+
+
+class StreamTable:
+    """Per-driver stream/event state plus the device engine queues."""
+
+    def __init__(self, clock: VirtualClock):
+        self.clock = clock
+        self.streams: dict[int, CudaStream] = {
+            DEFAULT_STREAM: CudaStream(DEFAULT_STREAM)
+        }
+        self.events: dict[int, CudaEvent] = {}
+        self._stream_handles = itertools.count(1)
+        self._event_handles = itertools.count(1)
+        self._engine_ready: dict[str, float] = {e: 0.0 for e in ENGINES}
+
+    # -- streams ---------------------------------------------------------------
+    def create(self, flags: int = 0) -> int:
+        handle = next(self._stream_handles)
+        self.streams[handle] = CudaStream(handle, flags)
+        return handle
+
+    def destroy(self, handle: int) -> None:
+        if handle == DEFAULT_STREAM:
+            raise StreamError("the default stream cannot be destroyed")
+        if self.streams.pop(handle, None) is None:
+            raise StreamError(f"unknown stream handle {handle}")
+
+    def get(self, handle: int) -> CudaStream:
+        stream = self.streams.get(handle)
+        if stream is None:
+            raise StreamError(
+                f"unknown stream handle {handle} (create streams with "
+                "cuStreamCreate; the default stream is 0)"
+            )
+        return stream
+
+    def completion_time(self, handle: int) -> float:
+        return self.get(handle).ready_at
+
+    def all_done_at(self) -> float:
+        """Time at which every stream's enqueued work has completed."""
+        return max(s.ready_at for s in self.streams.values())
+
+    # -- scheduling ---------------------------------------------------------------
+    def schedule(self, handle: int, kind: str, cost: float) -> tuple[float, float]:
+        """Place one operation of the given event-log ``kind`` on a stream.
+
+        Returns the modelled ``(start, end)`` interval and advances the
+        stream's and the occupied engine's availability.  The host clock is
+        *not* advanced — completion is observed through the synchronisation
+        calls."""
+        if cost < 0:
+            raise StreamError(f"negative operation cost {cost}")
+        stream = self.get(handle)
+        start = max(self.clock.now(), stream.ready_at)
+        engine = engine_of(kind)
+        if engine is not None:
+            start = max(start, self._engine_ready[engine])
+        # legacy default-stream synchronisation
+        if handle == DEFAULT_STREAM:
+            start = max(start, self.all_done_at())
+        elif not stream.non_blocking:
+            start = max(start, self.streams[DEFAULT_STREAM].ready_at)
+        end = start + cost
+        stream.ready_at = end
+        if engine is not None:
+            self._engine_ready[engine] = end
+        stream.ops.append(StreamOp(kind, start, end))
+        return start, end
+
+    # -- events ---------------------------------------------------------------
+    def create_event(self) -> int:
+        handle = next(self._event_handles)
+        self.events[handle] = CudaEvent(handle)
+        return handle
+
+    def destroy_event(self, handle: int) -> None:
+        if self.events.pop(handle, None) is None:
+            raise StreamError(f"unknown event handle {handle}")
+
+    def get_event(self, handle: int) -> CudaEvent:
+        event = self.events.get(handle)
+        if event is None:
+            raise StreamError(f"unknown event handle {handle}")
+        return event
+
+    def record(self, event_handle: int, stream_handle: int) -> CudaEvent:
+        event = self.get_event(event_handle)
+        stream = self.get(stream_handle)
+        event.recorded = True
+        event.timestamp = (self.all_done_at()
+                           if stream_handle == DEFAULT_STREAM
+                           else stream.ready_at)
+        return event
+
+    def stream_wait_event(self, stream_handle: int, event_handle: int) -> None:
+        """All subsequent work on the stream starts no earlier than the
+        recorded mark (``cuStreamWaitEvent``: a device-side wait, the host
+        clock does not move)."""
+        event = self.get_event(event_handle)
+        stream = self.get(stream_handle)
+        if not event.recorded:
+            # CUDA treats waiting on an unrecorded event as a no-op
+            return
+        if event.timestamp > stream.ready_at:
+            stream.ready_at = event.timestamp
+
+    def elapsed_ms(self, start_handle: int, end_handle: int) -> float:
+        start = self.get_event(start_handle)
+        end = self.get_event(end_handle)
+        if not (start.recorded and end.recorded):
+            raise StreamError("cuEventElapsedTime on an unrecorded event")
+        return (end.timestamp - start.timestamp) * 1e3

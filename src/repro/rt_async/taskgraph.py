@@ -1,0 +1,255 @@
+"""Depend-aware offload task graph (OpenMP ``target nowait`` + ``depend``).
+
+OpenMP task dependences are keyed on *storage locations*: the list items
+of ``depend(in/out/inout: ...)`` clauses.  The host runtime registers each
+deferred target region as an :class:`OffloadTask` whose dependence
+addresses are the host base addresses of the listed variables, and the
+graph derives edges with the classic last-writer/readers bookkeeping:
+
+* ``in``     — the task reads the location: it depends on the last
+  ``out``/``inout`` task for that address (flow dependence);
+* ``out``/``inout`` — the task writes the location: it depends on the
+  last writer *and* every reader registered since (output and anti
+  dependences), and it becomes the new last writer.
+
+Submission order is program order, so automatically derived edges always
+point from an earlier task to a later one and the graph is acyclic by
+construction.  Explicit edges (:meth:`TaskGraph.add_edge`) are checked —
+a contradictory chain raises :class:`DependenceCycleError` naming the
+cycle.
+
+:class:`StreamPoolScheduler` maps tasks onto a small pool of CUDA streams
+(:mod:`repro.rt_async.streams` via the simulated driver): a task whose
+only unmet ordering constraint is the tail of some stream inherits that
+stream (FIFO order provides the dependence for free); otherwise it takes
+the next pool stream round-robin and the scheduler inserts
+``cuStreamWaitEvent`` edges for every cross-stream predecessor.
+``taskwait`` joins the whole graph: the host clock advances to the
+completion of every stream and the graph resets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: dependence-type codes (what the code generator passes to ort_task_dep)
+DEP_IN = 1
+DEP_OUT = 2
+DEP_INOUT = 3
+
+DEP_CODES = {"in": DEP_IN, "out": DEP_OUT, "inout": DEP_INOUT}
+DEP_NAMES = {v: k for k, v in DEP_CODES.items()}
+
+
+class TaskGraphError(Exception):
+    """Malformed dependence information."""
+
+
+class DependenceCycleError(TaskGraphError):
+    """A chain of dependences that contradicts itself (a cycle)."""
+
+
+@dataclass
+class OffloadTask:
+    tid: int
+    label: str
+    #: (dep code, host address) pairs as declared on the construct
+    deps: tuple[tuple[int, int], ...] = ()
+    preds: set[int] = field(default_factory=set)
+    succs: set[int] = field(default_factory=set)
+    #: filled in by the scheduler
+    stream: Optional[int] = None
+    done_event: Optional[int] = None
+    state: str = "created"          # created | issued | retired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        deps = ", ".join(f"{DEP_NAMES.get(c, c)}:{a:#x}" for c, a in self.deps)
+        return f"<task {self.tid} {self.label!r} [{deps}] {self.state}>"
+
+
+class TaskGraph:
+    """Dependence bookkeeping for one task region (one device)."""
+
+    def __init__(self):
+        self.tasks: dict[int, OffloadTask] = {}
+        self._tids = itertools.count(1)
+        #: address -> tid of the last out/inout task
+        self._last_writer: dict[int, int] = {}
+        #: address -> tids of in tasks since the last writer
+        self._readers_since: dict[int, set[int]] = {}
+
+    # -- construction ------------------------------------------------------------
+    def add_task(self, label: str,
+                 deps: list[tuple[int, int]] = ()) -> OffloadTask:
+        """Register a task; edges to earlier tasks are derived from its
+        dependence list."""
+        for code, _addr in deps:
+            if code not in (DEP_IN, DEP_OUT, DEP_INOUT):
+                raise TaskGraphError(f"unknown dependence type code {code}")
+        task = OffloadTask(next(self._tids), label, tuple(deps))
+        preds: set[int] = set()
+        for code, addr in deps:
+            writer = self._last_writer.get(addr)
+            if writer is not None:
+                preds.add(writer)
+            if code in (DEP_OUT, DEP_INOUT):
+                preds |= self._readers_since.get(addr, set())
+        preds.discard(task.tid)
+        task.preds = {p for p in preds if p in self.tasks}
+        self.tasks[task.tid] = task
+        for p in task.preds:
+            self.tasks[p].succs.add(task.tid)
+        # update the location tables *after* edge derivation
+        for code, addr in deps:
+            if code == DEP_IN:
+                self._readers_since.setdefault(addr, set()).add(task.tid)
+            else:
+                self._last_writer[addr] = task.tid
+                self._readers_since[addr] = set()
+        return task
+
+    def add_edge(self, pred_tid: int, succ_tid: int) -> None:
+        """Add an explicit ordering edge; rejects edges that would make the
+        dependence relation contradictory (cyclic)."""
+        if pred_tid not in self.tasks or succ_tid not in self.tasks:
+            raise TaskGraphError("edge endpoints must be registered tasks")
+        if pred_tid == succ_tid:
+            raise DependenceCycleError(
+                f"task {pred_tid} cannot depend on itself"
+            )
+        path = self._find_path(succ_tid, pred_tid)
+        if path is not None:
+            cycle = " -> ".join(str(t) for t in path + [succ_tid])
+            raise DependenceCycleError(
+                f"contradictory depend chain: adding {pred_tid} -> {succ_tid} "
+                f"closes the cycle {cycle}"
+            )
+        self.tasks[pred_tid].succs.add(succ_tid)
+        self.tasks[succ_tid].preds.add(pred_tid)
+
+    def _find_path(self, src: int, dst: int) -> Optional[list[int]]:
+        """DFS path src -> dst along succ edges, None if unreachable."""
+        stack: list[tuple[int, list[int]]] = [(src, [src])]
+        seen: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.tasks[node].succs:
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- state -------------------------------------------------------------------
+    def ready_tasks(self) -> list[OffloadTask]:
+        """Tasks whose predecessors have all been issued or retired."""
+        return [
+            t for t in self.tasks.values()
+            if t.state == "created" and all(
+                self.tasks[p].state in ("issued", "retired")
+                for p in t.preds if p in self.tasks
+            )
+        ]
+
+    def mark_issued(self, tid: int) -> None:
+        self.tasks[tid].state = "issued"
+
+    def retire_all(self) -> None:
+        for t in self.tasks.values():
+            t.state = "retired"
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for t in self.tasks.values() if t.state != "retired")
+
+    def reset(self) -> None:
+        """Forget retired tasks and location history (after a full join
+        every dependence is satisfied, so the tables restart empty)."""
+        self.tasks = {t.tid: t for t in self.tasks.values()
+                      if t.state != "retired"}
+        self._last_writer.clear()
+        self._readers_since.clear()
+
+
+class StreamPoolScheduler:
+    """Maps offload tasks onto a small pool of driver streams.
+
+    ``driver`` is duck-typed against :class:`repro.cuda.driver.CudaDriver`:
+    ``cuStreamCreate/cuStreamSynchronize``, ``cuEventCreate/cuEventRecord/
+    cuEventSynchronize`` and ``cuStreamWaitEvent`` are used.  Tasks execute
+    functionally at submission (program order); the scheduler's job is the
+    *timeline*: stream placement and cross-stream event waits.
+    """
+
+    DEFAULT_POOL_STREAMS = 4
+
+    def __init__(self, driver, pool_size: int = DEFAULT_POOL_STREAMS):
+        if pool_size < 1:
+            raise TaskGraphError("stream pool needs at least one stream")
+        self.driver = driver
+        self.graph = TaskGraph()
+        self.pool: list[int] = [driver.cuStreamCreate()
+                                for _ in range(pool_size)]
+        self._rr = 0
+        #: stream handle -> tid of the task most recently placed on it
+        self._stream_tail: dict[int, Optional[int]] = {h: None for h in self.pool}
+
+    # -- submission ------------------------------------------------------------
+    def begin_task(self, label: str,
+                   deps: list[tuple[int, int]] = ()) -> OffloadTask:
+        """Create the task, pick its stream and install its cross-stream
+        waits.  The caller then performs the task's work on
+        ``task.stream`` and calls :meth:`end_task`."""
+        task = self.graph.add_task(label, deps)
+        stream = None
+        for p in task.preds:
+            pstream = self.graph.tasks[p].stream
+            if pstream is not None and self._stream_tail.get(pstream) == p:
+                stream = pstream      # FIFO order covers this dependence
+                break
+        if stream is None:
+            stream = self.pool[self._rr % len(self.pool)]
+            self._rr += 1
+        for p in task.preds:
+            pred = self.graph.tasks[p]
+            if pred.stream != stream and pred.done_event is not None:
+                self.driver.cuStreamWaitEvent(stream, pred.done_event)
+        task.stream = stream
+        self._stream_tail[stream] = task.tid
+        return task
+
+    def end_task(self, task: OffloadTask) -> None:
+        """Record the task's completion event on its stream."""
+        event = self.driver.cuEventCreate()
+        self.driver.cuEventRecord(event, task.stream)
+        task.done_event = event
+        self.graph.mark_issued(task.tid)
+
+    def sync_task(self, task: OffloadTask) -> None:
+        """Block the host until this one task's work completes (a ``target
+        depend(...)`` *without* nowait: an undeferred task that still
+        orders against the graph)."""
+        if task.done_event is not None:
+            self.driver.cuEventSynchronize(task.done_event)
+        elif task.stream is not None:
+            self.driver.cuStreamSynchronize(task.stream)
+
+    # -- joins -------------------------------------------------------------------
+    def taskwait(self) -> float:
+        """Join every submitted task (``taskwait`` / implicit barrier):
+        advances the host clock to the completion of all pool streams and
+        resets the graph.  Returns the join time."""
+        t = 0.0
+        for handle in self.pool:
+            t = max(t, self.driver.cuStreamSynchronize(handle))
+        self.graph.retire_all()
+        self.graph.reset()
+        return t
+
+    @property
+    def pending(self) -> int:
+        return self.graph.pending

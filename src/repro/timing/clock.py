@@ -24,5 +24,13 @@ class VirtualClock:
         self._now += seconds
         return self._now
 
+    def advance_to(self, timestamp: float) -> float:
+        """Advance to an absolute time; a timestamp already in the past is a
+        no-op (used when joining asynchronous stream timelines that may have
+        completed before the host reached the synchronisation point)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
     def reset(self) -> None:
         self._now = 0.0

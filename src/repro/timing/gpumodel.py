@@ -34,6 +34,29 @@ from repro.cuda.device import DeviceProperties
 from repro.cuda.sim.engine import KernelStats
 from repro.timing import calibration as C
 
+#: Engines an operation can occupy on the simulated device.  The Jetson
+#: Nano exposes one compute engine (a single Maxwell SM, so concurrent
+#: kernels serialize) and one copy engine (a single DMA path through the
+#: shared LPDDR4), which is exactly the hardware concurrency the stream
+#: subsystem can exploit: copy/compute overlap, never compute/compute.
+ENGINE_COMPUTE = "compute"
+ENGINE_COPY = "copy"
+ENGINES = (ENGINE_COMPUTE, ENGINE_COPY)
+
+#: event-log kind -> device engine; kinds absent here (alloc/free/jit/
+#: module_load) are host-synchronous API work and occupy no engine.
+_ENGINE_OF_KIND = {
+    "kernel": ENGINE_COMPUTE,
+    "launch_overhead": ENGINE_COMPUTE,
+    "memcpy_h2d": ENGINE_COPY,
+    "memcpy_d2h": ENGINE_COPY,
+}
+
+
+def engine_of(kind: str) -> str | None:
+    """Device engine a driver operation occupies (None: host-side only)."""
+    return _ENGINE_OF_KIND.get(kind)
+
 
 @dataclass
 class KernelTimeBreakdown:

@@ -11,6 +11,7 @@ EXAMPLES = [
     "examples/masterworker_inspect.py",
     "examples/data_environments.py",
     "examples/compiler_pipeline.py",
+    "examples/async_overlap.py",
 ]
 
 

@@ -1,0 +1,412 @@
+"""Tests for the asynchronous offload subsystem: simulated CUDA streams,
+events, and the depend-aware ``target nowait`` task graph."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.driver import CudaDriver
+from repro.cuda.errors import CudaError, CUresult
+from repro.cuda.nvcc import compile_device
+from repro.ompi.compiler import OmpiCompiler
+from repro.openmp import (
+    DependClause, OmpParseError, OmpValidationError, parse_omp_pragma,
+    validate_directive,
+)
+from repro.rt_async import (
+    DEP_IN, DEP_OUT, DependenceCycleError, StreamError, StreamTable,
+    TaskGraph,
+)
+from repro.timing.clock import VirtualClock
+from repro.timing.stats import merge_interval_length
+
+SRC = """
+__global__ void scale(float *p, float a, int n)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) p[i] = a * p[i];
+}
+"""
+
+
+def make_driver(**kw):
+    drv = CudaDriver(**kw)
+    drv.cuInit(0)
+    dev = drv.cuDeviceGet(0)
+    ctx = drv.cuDevicePrimaryCtxRetain(dev)
+    drv.cuCtxSetCurrent(ctx)
+    return drv
+
+
+def loaded_kernel(drv):
+    handle = drv.cuModuleLoadData(compile_device(SRC, "m", mode="cubin"))
+    return drv.cuModuleGetFunction(handle, "scale")
+
+
+def kernel_spans(log, stream=None):
+    return [(e.t_start, e.t_end) for e in log.events
+            if e.kind == "kernel" and (stream is None or e.stream == stream)]
+
+
+# ---------------------------------------------------------------------------
+# Stream table semantics
+# ---------------------------------------------------------------------------
+
+def test_stream_fifo_ordering_within_stream():
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    n = 1024
+    ptr = drv.cuMemAlloc(4 * n)
+    drv.cuMemcpyHtoDAsync(ptr, np.ones(n, dtype=np.float32), stream=s)
+    drv.cuLaunchKernel(fn, 8, 1, 1, 128, 1, 1,
+                       kernel_params=[ptr, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    drv.cuMemcpyDtoHAsync(ptr, 4 * n, stream=s)
+    spans = [(e.t_start, e.t_end) for e in drv.log.events
+             if e.stream == s and e.has_span]
+    assert len(spans) >= 3
+    for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+        assert s0 <= e0 <= s1  # strict FIFO: next op starts after previous ends
+
+
+def test_no_ordering_across_streams():
+    """A copy on one stream overlaps a kernel on another: the copy engine
+    and the compute engine run concurrently."""
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s1 = drv.cuStreamCreate()
+    s2 = drv.cuStreamCreate()
+    n = 1 << 18
+    a = drv.cuMemAlloc(4 * n)
+    b = drv.cuMemAlloc(4 * n)
+    # long kernel on s1, long copy on s2: nothing orders them
+    drv.cuLaunchKernel(fn, 1024, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s1)
+    drv.cuMemcpyHtoDAsync(b, np.ones(n, dtype=np.float32), stream=s2)
+    (k_start, k_end), = kernel_spans(drv.log, stream=s1)
+    (c_start, c_end), = [(e.t_start, e.t_end) for e in drv.log.events
+                         if e.kind == "memcpy_h2d" and e.stream == s2]
+    assert c_start < k_end and k_start < c_end  # intervals overlap
+    wall = drv.cuCtxSynchronize() or drv.clock.now()
+    assert drv.clock.now() < (k_end - k_start) + (c_end - c_start) + k_start
+
+
+def test_kernels_serialize_on_single_sm():
+    """Jetson Nano has one SM: kernels never overlap even across streams."""
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s1 = drv.cuStreamCreate()
+    s2 = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    for s in (s1, s2):
+        drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                           kernel_params=[a, np.float32(2.0), np.int32(n)],
+                           stream=s)
+    (s0, e0), (s1_, _e1) = sorted(kernel_spans(drv.log))
+    assert s1_ >= e0
+
+
+def test_default_stream_is_synchronizing():
+    """Legacy default-stream semantics: stream-0 work waits for every other
+    stream, and the host clock advances with it."""
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    async_end = max(e for _s, e in kernel_spans(drv.log))
+    drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(32)])
+    spans = sorted(kernel_spans(drv.log))
+    assert spans[-1][0] >= async_end          # waited for the async stream
+    assert drv.clock.now() >= spans[-1][1]    # and the host clock advanced
+
+
+def test_stream_query_and_synchronize():
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    assert drv.cuStreamQuery(s) == CUresult.CUDA_SUCCESS
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    assert drv.cuStreamQuery(s) == CUresult.CUDA_ERROR_NOT_READY
+    drv.cuStreamSynchronize(s)
+    assert drv.cuStreamQuery(s) == CUresult.CUDA_SUCCESS
+
+
+def test_launch_on_unknown_stream_fails_loudly():
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    ptr = drv.cuMemAlloc(128)
+    with pytest.raises(CudaError) as err:
+        drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1,
+                           kernel_params=[ptr, np.float32(1.0), np.int32(4)],
+                           stream=99)
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_HANDLE
+    with pytest.raises(CudaError):
+        drv.cuMemcpyHtoDAsync(ptr, np.zeros(4, dtype=np.float32), stream=99)
+    destroyed = drv.cuStreamCreate()
+    drv.cuStreamDestroy(destroyed)
+    with pytest.raises(CudaError):
+        drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1,
+                           kernel_params=[ptr, np.float32(1.0), np.int32(4)],
+                           stream=destroyed)
+
+
+def test_default_stream_cannot_be_destroyed():
+    table = StreamTable(VirtualClock())
+    with pytest.raises(StreamError):
+        table.destroy(0)
+    with pytest.raises(StreamError):
+        table.get(1234)
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+def test_event_elapsed_ms_monotone():
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    start = drv.cuEventCreate()
+    mid = drv.cuEventCreate()
+    end = drv.cuEventCreate()
+    drv.cuEventRecord(start, s)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    drv.cuEventRecord(mid, s)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(0.5), np.int32(n)],
+                       stream=s)
+    drv.cuEventRecord(end, s)
+    first = drv.cuEventElapsedTime(start, mid)
+    total = drv.cuEventElapsedTime(start, end)
+    assert first > 0.0
+    assert total >= first  # monotone: later record, no smaller elapsed time
+    assert drv.cuEventElapsedTime(mid, mid) == 0.0
+
+
+def test_event_elapsed_requires_recorded_events():
+    drv = make_driver()
+    e1 = drv.cuEventCreate()
+    e2 = drv.cuEventCreate()
+    with pytest.raises(CudaError) as err:
+        drv.cuEventElapsedTime(e1, e2)
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_HANDLE
+
+
+def test_stream_wait_event_orders_across_streams():
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s1 = drv.cuStreamCreate()
+    s2 = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s1)
+    ev = drv.cuEventCreate()
+    drv.cuEventRecord(ev, s1)
+    drv.cuStreamWaitEvent(s2, ev)
+    drv.cuMemcpyDtoHAsync(a, 4 * n, stream=s2)
+    (k_start, k_end), = kernel_spans(drv.log, stream=s1)
+    (c_start, _c_end), = [(e.t_start, e.t_end) for e in drv.log.events
+                          if e.kind == "memcpy_d2h" and e.stream == s2]
+    assert c_start >= k_end
+
+
+# ---------------------------------------------------------------------------
+# Task graph
+# ---------------------------------------------------------------------------
+
+def test_taskgraph_depend_chain_edges():
+    g = TaskGraph()
+    producer = g.add_task("w", [(DEP_OUT, 0x100)])
+    consumer = g.add_task("r", [(DEP_IN, 0x100)])
+    unrelated = g.add_task("x", [(DEP_OUT, 0x200)])
+    assert producer.tid in consumer.preds
+    assert unrelated.preds == set()
+    writer2 = g.add_task("w2", [(DEP_OUT, 0x100)])
+    # anti-dependence: the new writer must wait for the reader
+    assert consumer.tid in writer2.preds
+
+
+def test_taskgraph_ready_and_retire():
+    g = TaskGraph()
+    t1 = g.add_task("a", [(DEP_OUT, 1)])
+    t2 = g.add_task("b", [(DEP_IN, 1)])
+    assert [t.tid for t in g.ready_tasks()] == [t1.tid]
+    g.mark_issued(t1.tid)
+    assert [t.tid for t in g.ready_tasks()] == [t2.tid]
+    g.mark_issued(t2.tid)
+    assert g.pending == 2
+    g.retire_all()
+    assert g.pending == 0
+
+
+def test_taskgraph_cycle_detection():
+    g = TaskGraph()
+    a = g.add_task("a", [])
+    b = g.add_task("b", [])
+    g.add_edge(a.tid, b.tid)
+    with pytest.raises(DependenceCycleError) as err:
+        g.add_edge(b.tid, a.tid)
+    assert "cycle" in str(err.value)
+    with pytest.raises(DependenceCycleError):
+        g.add_edge(a.tid, a.tid)
+
+
+# ---------------------------------------------------------------------------
+# depend() parsing + validation
+# ---------------------------------------------------------------------------
+
+def test_depend_clause_parses():
+    d = parse_omp_pragma("omp target nowait depend(out: a) depend(in: b,c)")
+    deps = list(d.clauses_of(DependClause))
+    assert [c.dep_type for c in deps] == ["out", "in"]
+    assert [i.name for i in deps[1].items] == ["b", "c"]
+
+
+def test_depend_bad_type_rejected():
+    d = parse_omp_pragma("omp target depend(sink: a)")
+    with pytest.raises(OmpValidationError) as err:
+        validate_directive(d)
+    msg = str(err.value)
+    assert "sink" in msg and "in, out, inout" in msg
+
+
+def test_depend_empty_list_rejected():
+    with pytest.raises(OmpParseError):
+        parse_omp_pragma("omp target depend(in:)")
+
+
+def test_depend_illegal_on_parallel():
+    d = parse_omp_pragma("omp parallel depend(in: a)")
+    with pytest.raises(OmpValidationError):
+        validate_directive(d)
+
+
+def test_taskwait_accepts_depend():
+    d = parse_omp_pragma("omp taskwait depend(in: a)")
+    validate_directive(d)
+    assert d.is_standalone
+
+
+# ---------------------------------------------------------------------------
+# Interval accounting
+# ---------------------------------------------------------------------------
+
+def test_merge_interval_length():
+    assert merge_interval_length([]) == 0.0
+    assert merge_interval_length([(0.0, 1.0), (2.0, 3.0)]) == 2.0
+    assert merge_interval_length([(0.0, 2.0), (1.0, 3.0)]) == 3.0
+    assert merge_interval_length([(0.0, 5.0), (1.0, 2.0)]) == 5.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: target nowait + depend through the OMPi pipeline
+# ---------------------------------------------------------------------------
+
+NOWAIT_OVERLAP = r"""
+int main(void) {
+    double a[4096], b[4096];
+    int i;
+    for (i = 0; i < 4096; i = i + 1) { a[i] = 1.0; b[i] = 2.0; }
+    #pragma omp target teams distribute parallel for nowait depend(out: a) \
+            map(tofrom: a[0:4096])
+    for (i = 0; i < 4096; i = i + 1)
+        a[i] = a[i] * 2.0;
+    #pragma omp target teams distribute parallel for nowait depend(out: b) \
+            map(tofrom: b[0:4096])
+    for (i = 0; i < 4096; i = i + 1)
+        b[i] = b[i] * 3.0;
+    #pragma omp taskwait
+    return 0;
+}
+"""
+
+
+def test_nowait_disjoint_regions_overlap():
+    """Acceptance: two independent ``target nowait`` regions finish in
+    strictly less simulated wall-clock than the sum of their serial times."""
+    run = OmpiCompiler().compile(NOWAIT_OVERLAP, name="overlap").run()
+    assert run.exit_code == 0
+    log = run.ort.cudadev.driver.log
+    serial_sum = log.measured_time
+    wall = log.overlapped_time()
+    assert wall < serial_sum
+    assert log.overlap_ratio > 1.0
+    # work was spread over more than one stream
+    assert len({e.stream for e in log.events if e.kind == "kernel"}) > 1
+    # functional result unaffected by the reordering
+    binding = run.machine.global_binding  # noqa: F841 (host arrays are locals)
+
+
+DEP_CHAIN = r"""
+int main(void) {
+    double a[2048];
+    int i;
+    for (i = 0; i < 2048; i = i + 1) a[i] = 1.0;
+    #pragma omp target teams distribute parallel for nowait depend(out: a) \
+            map(tofrom: a[0:2048])
+    for (i = 0; i < 2048; i = i + 1)
+        a[i] = a[i] + 1.0;
+    #pragma omp target teams distribute parallel for nowait depend(inout: a) \
+            map(tofrom: a[0:2048])
+    for (i = 0; i < 2048; i = i + 1)
+        a[i] = a[i] * 10.0;
+    #pragma omp taskwait
+    return 0;
+}
+"""
+
+
+def test_depend_chain_preserves_order():
+    """Acceptance: a depend(out)->depend(in) chain executes in program
+    order on the simulated timeline."""
+    run = OmpiCompiler().compile(DEP_CHAIN, name="chain").run()
+    assert run.exit_code == 0
+    log = run.ort.cudadev.driver.log
+    spans = kernel_spans(log)
+    assert len(spans) == 2
+    (p_start, p_end), (c_start, _c_end) = spans
+    assert c_start >= p_end  # consumer starts after producer finished
+
+
+def test_nowait_without_taskwait_drains_at_exit():
+    src = NOWAIT_OVERLAP.replace("#pragma omp taskwait\n", "")
+    run = OmpiCompiler().compile(src, name="drain").run()
+    assert run.exit_code == 0
+    assert run.ort._scheduler is not None
+    assert run.ort._scheduler.pending == 0
+
+
+def test_barrier_joins_nowait_tasks():
+    src = NOWAIT_OVERLAP.replace("#pragma omp taskwait", "#pragma omp barrier")
+    run = OmpiCompiler().compile(src, name="barrier_join").run()
+    assert run.exit_code == 0
+    assert run.ort._scheduler.pending == 0
+
+
+def test_depend_without_nowait_is_blocking():
+    """depend() without nowait is an undeferred task: the host clock has
+    already advanced past the kernel when the directive completes."""
+    src = DEP_CHAIN.replace(" nowait", "")
+    run = OmpiCompiler().compile(src, name="undeferred").run()
+    assert run.exit_code == 0
+    log = run.ort.cudadev.driver.log
+    spans = kernel_spans(log)
+    (p_start, p_end), (c_start, _c_end) = spans
+    assert c_start >= p_end
