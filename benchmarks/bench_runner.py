@@ -1,0 +1,127 @@
+"""Fast-path benchmark runner.
+
+Times the simulated-kernel benchmarks under ``kernel_fastpath='off'``
+(tree-walk reference) and ``'on'`` (closure-compiled warp execution) and
+writes ``BENCH_kernel_fastpath.json`` with per-benchmark wall-clock,
+speedup and a functional-equivalence verdict (output arrays and the
+paper-metric simulated time must match bitwise between modes).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_runner.py
+    PYTHONPATH=src python benchmarks/bench_runner.py --check   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_runner.py --points gemm:128
+
+``--check`` runs a single small point and exits non-zero if the fast
+path is slower than the reference or produces different results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import get_app
+from repro.bench.harness import run_ompi
+
+#: the paper's kernel-heavy applications used for the headline numbers
+DEFAULT_POINTS = (("gemm", 256), ("mvt", 2048), ("atax", 2048))
+CHECK_POINTS = (("gemm", 128),)
+
+
+def run_point(app_name: str, n: int) -> dict:
+    app = get_app(app_name)
+    entry: dict = {"benchmark": app_name, "size": n, "modes": {}}
+    outputs: dict = {}
+    for mode in ("off", "on"):
+        t0 = time.perf_counter()
+        res, machine = run_ompi(app, n, launch_mode="sample", fastpath=mode)
+        wall = time.perf_counter() - t0
+        entry["modes"][mode] = {
+            "wall_s": round(wall, 4),
+            "simulated_s": res.measured_s,
+        }
+        outputs[mode] = {
+            name: np.asarray(machine.global_array(name)).copy()
+            for name in app.outputs
+        }
+    entry["identical_output"] = bool(all(
+        np.array_equal(outputs["off"][name], outputs["on"][name])
+        for name in app.outputs
+    ))
+    entry["identical_simulated_time"] = (
+        entry["modes"]["off"]["simulated_s"]
+        == entry["modes"]["on"]["simulated_s"]
+    )
+    entry["speedup"] = round(
+        entry["modes"]["off"]["wall_s"] / entry["modes"]["on"]["wall_s"], 2)
+    return entry
+
+
+def parse_points(specs: list[str]) -> list[tuple[str, int]]:
+    points = []
+    for spec in specs:
+        name, _, size = spec.partition(":")
+        points.append((name, int(size or 256)))
+    return points
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: one small point; fail if the fast path "
+                         "is slower or diverges")
+    ap.add_argument("--points", nargs="*", metavar="APP:SIZE",
+                    help="benchmark points to run (default: gemm:256 "
+                         "mvt:2048 atax:2048)")
+    ap.add_argument("--output", default=None,
+                    help="output JSON path (default: BENCH_kernel_fastpath"
+                         ".json next to the repo root)")
+    args = ap.parse_args(argv)
+
+    if args.points:
+        points = parse_points(args.points)
+    else:
+        points = list(CHECK_POINTS if args.check else DEFAULT_POINTS)
+
+    results = []
+    for name, n in points:
+        print(f"[bench] {name} n={n} ...", flush=True)
+        entry = run_point(name, n)
+        off, on = entry["modes"]["off"]["wall_s"], entry["modes"]["on"]["wall_s"]
+        print(f"[bench]   off {off:.2f}s  on {on:.2f}s  "
+              f"speedup {entry['speedup']}x  "
+              f"identical={entry['identical_output']}")
+        results.append(entry)
+
+    out = {
+        "metric": "wall-clock of the OMPi pipeline per kernel_fastpath mode",
+        "launch_mode": "sample",
+        "results": results,
+    }
+    out_path = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_kernel_fastpath.json")
+    out_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+    failures = []
+    for entry in results:
+        label = f"{entry['benchmark']}:{entry['size']}"
+        if not entry["identical_output"]:
+            failures.append(f"{label}: outputs diverged between modes")
+        if not entry["identical_simulated_time"]:
+            failures.append(f"{label}: simulated time diverged between modes")
+        if args.check and entry["speedup"] < 1.0:
+            failures.append(f"{label}: fast path slower than reference "
+                            f"({entry['speedup']}x)")
+    for msg in failures:
+        print(f"[bench] FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,8 +78,10 @@ def _prog_name(app: AppSpec, n: int) -> str:
 
 def run_ompi(app: AppSpec, n: int, launch_mode: str = "sample",
              device: DeviceProperties = JETSON_NANO_GPU,
-             binary_mode: str = "cubin") -> tuple[BenchResult, Machine]:
-    config = OmpiConfig(block_shape=app.block_shape, binary_mode=binary_mode)
+             binary_mode: str = "cubin",
+             fastpath: Optional[str] = None) -> tuple[BenchResult, Machine]:
+    config = OmpiConfig(block_shape=app.block_shape, binary_mode=binary_mode,
+                        kernel_fastpath=fastpath)
     prog = OmpiCompiler(config).compile(app.omp_source(n), _prog_name(app, n))
     run = prog.run(device=device, launch_mode=launch_mode,
                    seed_arrays=app.seed(n),
@@ -89,10 +91,11 @@ def run_ompi(app: AppSpec, n: int, launch_mode: str = "sample",
 
 def run_cuda(app: AppSpec, n: int, launch_mode: str = "sample",
              device: DeviceProperties = JETSON_NANO_GPU,
-             binary_mode: str = "cubin") -> tuple[BenchResult, Machine]:
+             binary_mode: str = "cubin",
+             fastpath: Optional[str] = None) -> tuple[BenchResult, Machine]:
     unit = parse_translation_unit(app.cuda_source(n), f"{app.name}_{n}.cu")
     machine = Machine(unit, heap_capacity=_heap_capacity(app, n))
-    driver = CudaDriver(device, launch_mode=launch_mode)
+    driver = CudaDriver(device, launch_mode=launch_mode, fastpath=fastpath)
     CudaRuntime(machine, driver, unit, mode=binary_mode)
     for name, values in app.seed(n).items():
         if name in machine.globals:

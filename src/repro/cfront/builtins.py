@@ -146,6 +146,14 @@ def _math2(fn):
 
 
 def default_natives() -> dict:
+    """Native function table for a fresh Machine.
+
+    The table is built once and copied per call — the closures are
+    stateless, and every interpreter start was paying to rebuild it.
+    """
+    cached = _NATIVES_CACHE.get("natives")
+    if cached is not None:
+        return dict(cached)
     natives = {
         "printf": _printf,
         "fprintf": _fprintf,
@@ -172,4 +180,8 @@ def default_natives() -> dict:
                      ("fmax", max), ("fmin", min)]:
         natives[name] = _math2(fn)
         natives[name + "f"] = _math2(fn)
-    return natives
+    _NATIVES_CACHE["natives"] = natives
+    return dict(natives)
+
+
+_NATIVES_CACHE: dict = {}

@@ -11,6 +11,7 @@ builtin struct.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -72,6 +73,14 @@ _DTYPES = {
 }
 
 
+@lru_cache(maxsize=None)
+def _cached_dtype(kind: str, signed: bool) -> np.dtype:
+    return np.dtype(_DTYPES[(kind, signed)])
+
+
+_U64 = np.dtype(np.uint64)
+
+
 @dataclass(frozen=True)
 class BasicType(CType):
     kind: str                  # void/char/short/int/long/float/double
@@ -85,7 +94,7 @@ class BasicType(CType):
         return _SIZES[self.kind]
 
     def dtype(self) -> np.dtype:
-        return np.dtype(_DTYPES[(self.kind, self.signed or self.is_floating)])
+        return _cached_dtype(self.kind, self.signed or self.is_floating)
 
     def __str__(self) -> str:
         prefix = "" if self.signed or self.kind in ("float", "double", "void") else "unsigned "
@@ -100,7 +109,7 @@ class PointerType(CType):
         return 8  # LP64
 
     def dtype(self) -> np.dtype:
-        return np.dtype(np.uint64)
+        return _U64
 
     def __str__(self) -> str:
         return f"{self.pointee} *"

@@ -39,6 +39,7 @@ from repro.cuda.ptx.ir import (
     Atom, BarOp, CallOp, KernelIR, ModuleIR, np_dtype, walk_ops,
 )
 from repro.cuda.ptx.jit import JitCache, jit_compile
+from repro.cuda.sim.compile import CompiledKernelCache
 from repro.cuda.sim.engine import FunctionalEngine, KernelStats, LaunchError
 from repro.mem import LinearMemory
 from repro.rt_async.streams import DEFAULT_STREAM, StreamError, StreamTable
@@ -81,9 +82,17 @@ class CudaDriver:
         launch_mode: str = "auto",
         sample_threshold_threads: int = 1 << 15,
         intrinsics: Optional[dict] = None,
+        fastpath: Optional[str] = None,
     ):
         if launch_mode not in ("full", "sample", "auto"):
             raise ValueError(f"bad launch_mode {launch_mode!r}")
+        if fastpath is None:
+            import os
+            fastpath = os.environ.get("REPRO_KERNEL_FASTPATH", "on")
+        if fastpath not in ("on", "off", "verify"):
+            raise ValueError(f"bad fastpath mode {fastpath!r}")
+        self.fastpath = fastpath
+        self.kernel_cache = CompiledKernelCache()
         self.device_props = device
         self.clock = clock or VirtualClock()
         self.jit_cache = jit_cache
@@ -564,7 +573,9 @@ class CudaDriver:
         block = Dim3(block_x, block_y, block_z)
         params = self._prepare_params(kernel, kernel_params or [])
         engine = FunctionalEngine(self.device_props, self.gmem,
-                                  self.intrinsics, loaded.global_addrs)
+                                  self.intrinsics, loaded.global_addrs,
+                                  fastpath=self.fastpath,
+                                  compile_cache=self.kernel_cache)
         total_blocks = grid.count
         warps_per_block = (block.count + 31) // 32
         total_warps = total_blocks * warps_per_block

@@ -21,6 +21,9 @@ from repro.cuda.device import DeviceProperties, Dim3
 from repro.cuda.ptx.ir import Atom, BarOp, CallOp, KernelIR, LoopOp, walk_ops
 from repro.cuda.ptx.lower import LOCAL_WINDOW_BASE, SHARED_WINDOW_BASE
 from repro.cuda.sim.coalesce import transactions
+from repro.cuda.sim.compile import (
+    CompiledKernelCache, CompiledWarpExec, compile_kernel,
+)
 from repro.cuda.sim.warp import WARP_SIZE, WarpExec
 from repro.mem import LinearMemory
 
@@ -124,11 +127,18 @@ class FunctionalEngine:
         gmem: LinearMemory,
         intrinsics: Optional[dict[str, Callable]] = None,
         module_globals: Optional[dict[str, int]] = None,
+        fastpath: str = "off",
+        compile_cache: Optional[CompiledKernelCache] = None,
     ):
+        if fastpath not in ("on", "off", "verify"):
+            raise ValueError(f"bad fastpath mode {fastpath!r}")
         self.device = device
         self.gmem = gmem
         self.intrinsics = intrinsics or {}
         self.module_globals = module_globals or {}
+        self.fastpath = fastpath
+        self.compile_cache = compile_cache
+        self._local_compiled: dict[int, tuple] = {}
         self.stdout: list[str] = []
         self.stats = KernelStats()
         self._loop_block_cache: dict[int, bool] = {}
@@ -208,6 +218,74 @@ class FunctionalEngine:
         only_warps: Optional[set[int]] = None,
         fresh_stats: bool = True,
     ) -> KernelStats:
+        compiled = None
+        if self.fastpath != "off":
+            compiled = self._compiled_for(kernel)
+        if compiled is not None and self.fastpath == "verify" and fresh_stats:
+            return self._launch_verified(kernel, grid, block, params,
+                                         only_blocks, only_warps, compiled)
+        return self._launch(kernel, grid, block, params, only_blocks,
+                            only_warps, fresh_stats, compiled)
+
+    def _compiled_for(self, kernel: KernelIR):
+        if self.compile_cache is not None:
+            return self.compile_cache.get(kernel)
+        entry = self._local_compiled.get(id(kernel))
+        if entry is None:
+            try:
+                entry = (kernel, compile_kernel(kernel))
+            except Exception:
+                entry = (kernel, None)
+            self._local_compiled[id(kernel)] = entry
+        return entry[1]
+
+    def _launch_verified(self, kernel, grid, block, params, only_blocks,
+                         only_warps, compiled) -> KernelStats:
+        """Differential execution: run the compiled fast path, roll global
+        memory back, run the tree-walker, and require bit-identical global
+        memory, stdout and ``KernelStats``."""
+        import dataclasses
+
+        buf_snap = self.gmem.buf.copy()
+        free_snap = list(self.gmem._free)
+        alloc_snap = dict(self.gmem._allocated)
+        out_mark = len(self.stdout)
+        fast = self._launch(kernel, grid, block, params, only_blocks,
+                            only_warps, True, compiled)
+        fast_buf = self.gmem.buf.copy()
+        fast_out = self.stdout[out_mark:]
+        self.gmem.buf[:] = buf_snap
+        self.gmem._free = free_snap
+        self.gmem._allocated = alloc_snap
+        del self.stdout[out_mark:]
+        ref = self._launch(kernel, grid, block, params, only_blocks,
+                           only_warps, True, None)
+        problems = []
+        if not np.array_equal(self.gmem.buf, fast_buf):
+            problems.append("global memory")
+        if self.stdout[out_mark:] != fast_out:
+            problems.append("stdout")
+        for fld in dataclasses.fields(KernelStats):
+            if getattr(fast, fld.name) != getattr(ref, fld.name):
+                problems.append(f"stats.{fld.name}")
+        if problems:
+            raise LaunchError(
+                f"fast path diverged from tree-walk on kernel "
+                f"{kernel.name!r}: {', '.join(problems)}"
+            )
+        return ref
+
+    def _launch(
+        self,
+        kernel: KernelIR,
+        grid,
+        block,
+        params: list,
+        only_blocks: Optional[Iterable[tuple[int, int, int]]] = None,
+        only_warps: Optional[set[int]] = None,
+        fresh_stats: bool = True,
+        compiled=None,
+    ) -> KernelStats:
         grid = Dim3.of(grid)
         block = Dim3.of(block)
         self._validate_launch(kernel, grid, block)
@@ -245,8 +323,13 @@ class FunctionalEngine:
                 lane_linear = np.arange(w * WARP_SIZE, (w + 1) * WARP_SIZE,
                                         dtype=np.int64)
                 valid = lane_linear < nthreads
-                warps.append(WarpExec(self, ctx, w, lane_linear, valid,
-                                      kernel, params))
+                if compiled is not None:
+                    warps.append(CompiledWarpExec(compiled, self, ctx, w,
+                                                  lane_linear, valid,
+                                                  kernel, params))
+                else:
+                    warps.append(WarpExec(self, ctx, w, lane_linear, valid,
+                                          kernel, params))
             self._run_block(warps)
             stats.blocks_launched += 1
             stats.warps_launched += len(warps)

@@ -38,10 +38,11 @@ class CudadevModule(DeviceModule):
         clock=None,
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
+        fastpath: Optional[str] = None,
     ):
         self.host_mem = host_mem
         self.driver = CudaDriver(device, clock=clock, jit_cache=jit_cache,
-                                 launch_mode=launch_mode)
+                                 launch_mode=launch_mode, fastpath=fastpath)
         self._initialized = False
         #: kernel name -> image (bytes/PtxImage/CubinImage), the "kernel
         #: files" OMPi locates at runtime

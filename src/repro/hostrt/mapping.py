@@ -13,6 +13,7 @@ sections and whole-array references interoperate.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,6 +42,9 @@ class MapEntry:
     refcount: int = 1
     #: whether any mapping in the stack requested copy-back
     copy_back: bool = False
+    #: insertion sequence number — interior lookups resolve overlapping
+    #: ranges to the earliest-mapped entry, like the original linear scan
+    seq: int = 0
 
 
 class DataEnv:
@@ -50,16 +54,36 @@ class DataEnv:
     def __init__(self, device_module):
         self.device = device_module
         self.entries: dict[int, MapEntry] = {}
+        #: sorted start addresses of all live entries (an address-interval
+        #: index: lookups bisect here instead of scanning every entry)
+        self._starts: list[int] = []
+        #: high-water mark of entry sizes — an upper bound that lets the
+        #: leftward walk in find() stop as soon as no remaining entry could
+        #: reach the queried address
+        self._max_size = 0
+        self._next_seq = 0
 
     # -- lookup ---------------------------------------------------------------
     def find(self, host_addr: int) -> Optional[MapEntry]:
         entry = self.entries.get(host_addr)
         if entry is not None:
             return entry
-        for e in self.entries.values():
-            if e.host_addr <= host_addr < e.host_addr + e.size:
-                return e
-        return None
+        # interior address: candidates are entries starting in
+        # (host_addr - max_size, host_addr]; among overlapping matches the
+        # earliest-mapped one wins (insertion order, as the scan had it)
+        i = bisect.bisect_right(self._starts, host_addr) - 1
+        lo = host_addr - self._max_size
+        best: Optional[MapEntry] = None
+        while i >= 0:
+            start = self._starts[i]
+            if start <= lo:
+                break
+            e = self.entries[start]
+            if start + e.size > host_addr and (
+                    best is None or e.seq < best.seq):
+                best = e
+            i -= 1
+        return best
 
     def translate(self, host_addr: int) -> int:
         """Host address -> device address (must be mapped)."""
@@ -92,7 +116,12 @@ class DataEnv:
         if map_type in (MAP_TO, MAP_TOFROM):
             self.device.write(dev_addr, host_addr, size)
         entry.copy_back = map_type in (MAP_FROM, MAP_TOFROM)
+        entry.seq = self._next_seq
+        self._next_seq += 1
         self.entries[host_addr] = entry
+        bisect.insort(self._starts, host_addr)
+        if size > self._max_size:
+            self._max_size = size
         return entry
 
     def map_exit(self, host_addr: int, map_type: int) -> None:
@@ -114,6 +143,7 @@ class DataEnv:
             self.device.read(entry.host_addr, entry.dev_addr, entry.size)
         self.device.mem_free(entry.dev_addr)
         del self.entries[entry.host_addr]
+        del self._starts[bisect.bisect_left(self._starts, entry.host_addr)]
 
     # -- target update ----------------------------------------------------------
     def update_to(self, host_addr: int, size: int) -> None:

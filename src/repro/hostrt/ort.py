@@ -40,13 +40,15 @@ class Ort:
         clock: Optional[VirtualClock] = None,
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
+        fastpath: Optional[str] = None,
     ):
         self.machine = machine
         self.clock = clock or VirtualClock()
         self.icvs = ICVs(default_device_var=0)
         self.cudadev = CudadevModule(machine.heap, device, clock=self.clock,
                                      jit_cache=jit_cache,
-                                     launch_mode=launch_mode)
+                                     launch_mode=launch_mode,
+                                     fastpath=fastpath)
         self.host_device = HostDevice(machine)
         #: offload devices (0..n-1); the initial device is id n
         self.devices = [self.cudadev]

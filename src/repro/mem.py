@@ -23,6 +23,20 @@ class MemoryError_(Exception):
     """Out-of-memory or invalid access in a simulated memory space."""
 
 
+def _strides(n: int, step: int) -> np.ndarray:
+    """Cached ``arange(n) * step`` used by the vector access paths."""
+    key = (n, step)
+    arr = _STRIDE_CACHE.get(key)
+    if arr is None:
+        arr = np.arange(n, dtype=np.int64) * step
+        arr.flags.writeable = False
+        _STRIDE_CACHE[key] = arr
+    return arr
+
+
+_STRIDE_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
 @dataclass
 class _Block:
     addr: int
@@ -134,7 +148,22 @@ class LinearMemory:
         """Vector load at per-lane byte addresses (SIMT warp loads)."""
         dt = np.dtype(dtype)
         offs = addrs.astype(np.int64) - self.base
-        if offs.size and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
+        n = offs.size
+        if n > 1:
+            start = int(offs[0])
+            step = int(offs[1]) - start
+            if (step > 0 and step % dt.itemsize == 0
+                    and int(offs[-1]) - start == (n - 1) * step
+                    and (offs - start == _strides(n, step)).all()):
+                # constant-stride warp load: one strided view (copied, so
+                # the register value cannot alias the backing buffer).
+                # step > 0 makes offs[0]/offs[-1] the exact min/max, so the
+                # range check needs no reductions.
+                end = start + (n - 1) * step + dt.itemsize
+                if start < 0 or end > self.capacity:
+                    raise MemoryError_(f"{self.name}: vector load out of range")
+                return self.buf[start:end].view(dt)[::step // dt.itemsize].copy()
+        if n and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
             raise MemoryError_(f"{self.name}: vector load out of range")
         idx = offs[:, None] + np.arange(dt.itemsize, dtype=np.int64)[None, :]
         raw = self.buf[idx.reshape(-1)]
@@ -149,7 +178,21 @@ class LinearMemory:
         """
         dt = np.dtype(dtype)
         offs = addrs.astype(np.int64) - self.base
-        if offs.size and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
+        n = offs.size
+        if n > 1:
+            start = int(offs[0])
+            step = int(offs[1]) - start
+            if (step > 0 and step % dt.itemsize == 0
+                    and int(offs[-1]) - start == (n - 1) * step
+                    and (offs - start == _strides(n, step)).all()):
+                # constant-stride warp store: addresses are distinct, so
+                # the lane-order conflict rule cannot trigger
+                end = start + (n - 1) * step + dt.itemsize
+                if start < 0 or end > self.capacity:
+                    raise MemoryError_(f"{self.name}: vector store out of range")
+                self.buf[start:end].view(dt)[::step // dt.itemsize] = values
+                return
+        if n and (offs.min() < 0 or offs.max() + dt.itemsize > self.capacity):
             raise MemoryError_(f"{self.name}: vector store out of range")
         raw = np.ascontiguousarray(values, dtype=dt).view(np.uint8).reshape(-1, dt.itemsize)
         idx = offs[:, None] + np.arange(dt.itemsize, dtype=np.int64)[None, :]

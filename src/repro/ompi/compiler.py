@@ -90,7 +90,8 @@ class CompiledProgram:
     ) -> ProgramRun:
         machine = Machine(self.host_unit, heap_capacity=heap_capacity)
         ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
-                  launch_mode=launch_mode)
+                  launch_mode=launch_mode,
+                  fastpath=self.config.kernel_fastpath)
         for kernel_name, image in self.images.items():
             ort.cudadev.register_kernel_image(kernel_name, image)
         for plan in self.plans:

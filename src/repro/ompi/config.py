@@ -25,6 +25,11 @@ class OmpiConfig:
     block_shape: Optional[tuple[int, int, int]] = None
     #: emit the generated sources into this dict for inspection (--keep)
     keep_generated: bool = True
+    #: closure-compiled kernel execution ('on'/'off'/'verify'); None defers
+    #: to the REPRO_KERNEL_FASTPATH environment variable, defaulting to 'on'.
+    #: 'verify' runs both the compiled fast path and the tree-walk reference
+    #: on every launch and fails if memory, stdout or stats diverge.
+    kernel_fastpath: Optional[str] = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

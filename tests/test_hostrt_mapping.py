@@ -156,3 +156,61 @@ def test_is_present(env):
     assert env.is_present(0x100)
     assert env.is_present(0x13F)
     assert not env.is_present(0x140)
+
+
+# -- interval-index lookups ---------------------------------------------------
+
+def test_interior_lookup_between_entries(env):
+    env.map_enter(0x100, 64, MAP_ALLOC)
+    env.map_enter(0x1000, 256, MAP_ALLOC)
+    env.map_enter(0x5000, 16, MAP_ALLOC)
+    mid = env.find(0x1000 + 200)
+    assert mid is not None and mid.host_addr == 0x1000
+    # gaps between entries resolve to nothing
+    assert env.find(0x100 + 64) is None
+    assert env.find(0xFFF) is None
+    assert env.find(0x5000 + 16) is None
+    assert env.find(0x50) is None
+
+
+def test_overlapping_ranges_resolve_to_earliest_mapped(env):
+    # a wider range mapped after a narrower one overlaps it: interior
+    # addresses of the narrow entry must keep resolving to it (the
+    # original linear scan returned the first inserted match)
+    env.map_enter(0x200, 0x100, MAP_ALLOC)        # [0x200, 0x300)
+    env.map_enter(0x100, 0x400, MAP_ALLOC)        # [0x100, 0x500)
+    inner = env.find(0x280)
+    assert inner is not None and inner.host_addr == 0x200
+    outer = env.find(0x180)
+    assert outer is not None and outer.host_addr == 0x100
+    assert env.find(0x480).host_addr == 0x100
+    # exact starts short-circuit to their own entry
+    assert env.find(0x200).host_addr == 0x200
+    assert env.find(0x100).host_addr == 0x100
+
+
+def test_contained_range_lookup_after_unmap(env):
+    env.map_enter(0x200, 0x100, MAP_ALLOC)
+    env.map_enter(0x100, 0x400, MAP_ALLOC)
+    env.map_exit(0x200, MAP_RELEASE)
+    # with the contained entry gone, the wide one takes over
+    assert env.find(0x280).host_addr == 0x100
+    env.map_exit(0x100, MAP_RELEASE)
+    assert env.find(0x280) is None
+    assert env.live_entries == 0
+
+
+def test_max_size_high_water_spans_far_lookups(env):
+    # many short entries sit between the queried address and the start of
+    # a huge enclosing entry: the lookup has to walk leftward past all of
+    # them (none reaches the query) and still find the huge one
+    for i in range(16):
+        env.map_enter(0x2_0000 + i * 0x100, 0x10, MAP_ALLOC)
+    env.map_enter(0x1_0000, 0x10_0000, MAP_ALLOC)  # 1 MiB, contains them
+    query = 0x2_0000 + 15 * 0x100 + 0x80          # in a gap between shorts
+    hit = env.find(query)
+    assert hit is not None and hit.host_addr == 0x1_0000
+    # an address inside one of the short entries still prefers the entry
+    # mapped first (the short one)
+    assert env.find(0x2_0008).host_addr == 0x2_0000
+    assert env.translate(0x1_0000 + 0x1234) == hit.dev_addr + 0x1234
