@@ -10,9 +10,13 @@ Usage:
     PYTHONPATH=src python benchmarks/bench_runner.py
     PYTHONPATH=src python benchmarks/bench_runner.py --check   # CI smoke
     PYTHONPATH=src python benchmarks/bench_runner.py --points gemm:128
+    PYTHONPATH=src python benchmarks/bench_runner.py --profile-overhead
 
 ``--check`` runs a single small point and exits non-zero if the fast
 path is slower than the reference or produces different results.
+``--profile-overhead`` times the gemm smoke case with activity profiling
+off vs on (best of 3) and exits non-zero if enabling the profiler costs
+more than 10% wall-clock.
 """
 
 from __future__ import annotations
@@ -62,6 +66,42 @@ def run_point(app_name: str, n: int) -> dict:
     return entry
 
 
+#: permitted wall-clock cost of enabling the activity recorder
+PROFILE_OVERHEAD_LIMIT = 0.10
+
+
+def profile_overhead(app_name: str = "gemm", n: int = 128,
+                     repeats: int = 3) -> dict:
+    """Best-of-N wall-clock with profiling disabled vs enabled."""
+    app = get_app(app_name)
+    walls: dict[str, float] = {}
+    records = 0
+    for profile in (None, True):
+        key = "on" if profile else "off"
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res, _machine = run_ompi(app, n, launch_mode="sample",
+                                     profile=profile)
+            best = min(best, time.perf_counter() - t0)
+        walls[key] = best
+        if profile:
+            # count through a fresh recorder so the number is exact
+            from repro.prof.activity import ActivityRecorder
+            rec = ActivityRecorder()
+            run_ompi(app, n, launch_mode="sample", profile=rec)
+            records = rec.emitted
+    overhead = walls["on"] / walls["off"] - 1.0
+    return {
+        "benchmark": app_name, "size": n, "repeats": repeats,
+        "wall_s_off": round(walls["off"], 4),
+        "wall_s_on": round(walls["on"], 4),
+        "records": records,
+        "overhead": round(overhead, 4),
+        "limit": PROFILE_OVERHEAD_LIMIT,
+    }
+
+
 def parse_points(specs: list[str]) -> list[tuple[str, int]]:
     points = []
     for spec in specs:
@@ -81,7 +121,31 @@ def main(argv=None) -> int:
     ap.add_argument("--output", default=None,
                     help="output JSON path (default: BENCH_kernel_fastpath"
                          ".json next to the repo root)")
+    ap.add_argument("--profile-overhead", action="store_true",
+                    help="measure activity-profiler overhead on the gemm "
+                         "smoke case; fail if enabled-vs-disabled wall-clock "
+                         "exceeds 10%%")
     args = ap.parse_args(argv)
+
+    if args.profile_overhead:
+        print("[bench] profiler overhead (gemm:128, best of 3) ...",
+              flush=True)
+        entry = profile_overhead()
+        print(f"[bench]   off {entry['wall_s_off']:.2f}s  "
+              f"on {entry['wall_s_on']:.2f}s  "
+              f"overhead {entry['overhead'] * 100:+.1f}%  "
+              f"({entry['records']} records)")
+        out_path = Path(args.output) if args.output else (
+            Path(__file__).resolve().parent.parent
+            / "BENCH_profile_overhead.json")
+        out_path.write_text(json.dumps(entry, indent=2) + "\n")
+        print(f"[bench] wrote {out_path}")
+        if entry["overhead"] > PROFILE_OVERHEAD_LIMIT:
+            print(f"[bench] FAIL profiler overhead "
+                  f"{entry['overhead'] * 100:.1f}% exceeds "
+                  f"{PROFILE_OVERHEAD_LIMIT * 100:.0f}%", file=sys.stderr)
+            return 1
+        return 0
 
     if args.points:
         points = parse_points(args.points)

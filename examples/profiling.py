@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Profiling an offloaded gemm with the repro.prof subsystem.
+
+A ``#pragma omp target`` gemm runs on the simulated Jetson Nano with
+activity recording enabled (``OmpiConfig(profile=...)`` — the same
+machinery behind ``ompicc --profile`` and ``REPRO_PROFILE``).  The
+recorder captures CUPTI-style typed records for every kernel launch,
+transfer, module load and memory operation; this script then prints the
+per-kernel metrics table (occupancy, coalescing, divergence, barriers),
+the text summary, and writes a ``chrome://tracing`` JSON trace you can
+open in a Chromium browser or Perfetto.
+
+Run:  python3 examples/profiling.py [trace.json]
+"""
+
+import sys
+
+from repro.bench.harness import run_ompi
+from repro.bench.suite import get_app
+from repro.prof.activity import ActivityRecorder
+from repro.prof.chrome import write_chrome_trace
+from repro.prof.metrics import format_metrics_table, kernel_metrics
+from repro.prof.report import summary
+
+N = 96
+
+
+def main() -> None:
+    trace_path = sys.argv[1] if len(sys.argv) > 1 else "gemm_trace.json"
+    recorder = ActivityRecorder()
+    print(f"profiling gemm (n={N}) on the simulated Jetson Nano ...\n")
+    result, _machine = run_ompi(get_app("gemm"), N, profile=recorder)
+
+    print("=== per-kernel metrics ===")
+    print(format_metrics_table(kernel_metrics(recorder)))
+    print()
+    print(summary(recorder))
+    print()
+
+    kernels = recorder.records("kernel")
+    modelled = sum(k.modelled_s for k in kernels)
+    assert modelled == result.log.kernel_time, \
+        "profiler kernel time must equal the event-log total"
+    print(f"profiler kernel total ({modelled * 1e3:.3f} ms) matches the "
+          f"timing/stats event log")
+
+    path = write_chrome_trace(recorder, trace_path)
+    print(f"chrome trace written to {path} "
+          f"(open chrome://tracing or https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

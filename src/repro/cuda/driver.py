@@ -22,11 +22,19 @@ that stream's timeline (copy/compute engine queues, FIFO per stream) and
 the host clock only advances when the stream is synchronized; work on the
 default stream 0 remains host-synchronous, exactly as before streams
 existed.
+
+When profiling is enabled (``profile=`` argument or the ``REPRO_PROFILE``
+environment variable) every driver action additionally emits a typed
+:mod:`repro.prof.activity` record — kernels with their occupancy and
+dynamic counters, transfers with bytes and bandwidth, module loads/JIT,
+synchronisations and the device-memory watermark.  Disabled profiling is
+a ``None`` recorder: the hooks cost one identity check.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -42,6 +50,10 @@ from repro.cuda.ptx.jit import JitCache, jit_compile
 from repro.cuda.sim.compile import CompiledKernelCache
 from repro.cuda.sim.engine import FunctionalEngine, KernelStats, LaunchError
 from repro.mem import LinearMemory
+from repro.prof.activity import (
+    EventActivity, KernelActivity, MemcpyActivity, MemoryActivity,
+    ModuleActivity, SyncActivity, resolve_profile,
+)
 from repro.rt_async.streams import DEFAULT_STREAM, StreamError, StreamTable
 from repro.timing import calibration as C
 from repro.timing.clock import VirtualClock
@@ -83,6 +95,7 @@ class CudaDriver:
         sample_threshold_threads: int = 1 << 15,
         intrinsics: Optional[dict] = None,
         fastpath: Optional[str] = None,
+        profile=None,
     ):
         if launch_mode not in ("full", "sample", "auto"):
             raise ValueError(f"bad launch_mode {launch_mode!r}")
@@ -102,7 +115,14 @@ class CudaDriver:
         self.gmem = LinearMemory(capacity, base=DEVICE_MEM_BASE, name="gmem")
         self.gpu_model = GpuTimingModel(device)
         self.host_model = HostModel()
-        self.streams = StreamTable(self.clock)
+        #: activity recorder (None: profiling disabled, hooks cost one
+        #: identity check) and the Chrome-trace path requested, if any
+        self.prof, self.prof_path = resolve_profile(profile)
+        self.streams = StreamTable(self.clock, recorder=self.prof)
+        #: high-water mark of device bytes allocated (the profiler's
+        #: memory track; also maintained with profiling disabled — it is
+        #: a single max() per allocation)
+        self.mem_peak = 0
         self.log = EventLog()
         self.stdout: list[str] = []
         self._initialized = False
@@ -190,7 +210,12 @@ class CudaDriver:
     def cuCtxSynchronize(self) -> CUresult:
         self._check_init()
         # join every stream's enqueued (asynchronous) work
+        t0 = self.clock.now()
         self.clock.advance_to(self.streams.all_done_at())
+        if self.prof is not None:
+            self.prof.emit(SyncActivity(op="ctx_sync", t_start=t0,
+                                        t_end=self.clock.now(),
+                                        waited_s=self.clock.now() - t0))
         return CUresult.CUDA_SUCCESS
 
     # -- streams & events ----------------------------------------------------------
@@ -232,7 +257,13 @@ class CudaDriver:
             done_at = self.streams.completion_time(stream)
         except StreamError as exc:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
-        return self.clock.advance_to(done_at)
+        t0 = self.clock.now()
+        now = self.clock.advance_to(done_at)
+        if self.prof is not None:
+            self.prof.emit(SyncActivity(op="stream_sync", handle=stream,
+                                        stream=stream, t_start=t0, t_end=now,
+                                        waited_s=now - t0))
+        return now
 
     def cuStreamQuery(self, stream: int) -> CUresult:
         self._check_init()
@@ -268,9 +299,14 @@ class CudaDriver:
     def cuEventRecord(self, event: int, stream: int = DEFAULT_STREAM) -> CUresult:
         self._check_init()
         try:
-            self.streams.record(event, stream)
+            ev = self.streams.record(event, stream)
         except StreamError as exc:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        if self.prof is not None:
+            now = self.clock.now()
+            self.prof.emit(EventActivity(op="record", handle=event,
+                                         stream=stream, t_start=now,
+                                         t_end=now, timestamp=ev.timestamp))
         return CUresult.CUDA_SUCCESS
 
     def cuEventQuery(self, event: int) -> CUresult:
@@ -289,9 +325,15 @@ class CudaDriver:
             ev = self.streams.get_event(event)
         except StreamError as exc:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        t0 = self.clock.now()
         if ev.recorded:
             self.clock.advance_to(ev.timestamp)
-        return self.clock.now()
+        now = self.clock.now()
+        if self.prof is not None:
+            self.prof.emit(SyncActivity(op="event_sync", handle=event,
+                                        t_start=t0, t_end=now,
+                                        waited_s=now - t0))
+        return now
 
     def cuEventElapsedTime(self, start: int, end: int) -> float:
         """Milliseconds between two recorded events (cuEventElapsedTime)."""
@@ -312,6 +354,8 @@ class CudaDriver:
             kind = identify_image(image)
             image = (PtxImage.from_bytes(image) if kind == "ptx"
                      else CubinImage.from_bytes(image))
+        jit_cached = False
+        jit_s = 0.0
         if kind == "ptx":
             result = jit_compile(image, self.device_props, self.jit_cache,
                                  link_device_library=True)
@@ -320,6 +364,8 @@ class CudaDriver:
             self.log.add("jit", result.compile_time_s,
                          "cache hit" if result.cached else "compiled",
                          t_start=t0, t_end=self.clock.now())
+            jit_cached = result.cached
+            jit_s = result.compile_time_s
             cubin = result.image
         else:
             cubin = image
@@ -335,8 +381,15 @@ class CudaDriver:
             addr = self.gmem.alloc(max(size, 1), align=8)
             self.gmem.view(addr, max(size, 1), np.uint8)[:] = 0
             loaded.global_addrs[name] = addr
+            self._note_mem_usage("module_global", max(size, 1), addr)
         self._modules[handle] = loaded
         self.log.add("module_load", 0.0, f"{kind}:{cubin.module.name}")
+        if self.prof is not None:
+            now = self.clock.now()
+            self.prof.emit(ModuleActivity(
+                name=cubin.module.name, image_kind=kind, jit_cached=jit_cached,
+                jit_s=jit_s, t_start=now - jit_s, t_end=now,
+            ))
         return handle
 
     def cuModuleUnload(self, handle: int) -> CUresult:
@@ -345,7 +398,9 @@ class CudaDriver:
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, f"module {handle}")
         for addr in loaded.global_addrs.values():
+            size = self.gmem.allocated_size(addr) or 0
             self.gmem.free(addr)
+            self._note_mem_usage("free", size, addr)
         return CUresult.CUDA_SUCCESS
 
     def cuModuleGetFunction(self, handle: int, name: str) -> CUfunction:
@@ -366,6 +421,29 @@ class CudaDriver:
         return loaded.global_addrs[name], loaded.module.globals_[name]
 
     # -- memory ------------------------------------------------------------------
+    def _note_mem_usage(self, op: str, nbytes: int, addr: int,
+                        t_start: float = 0.0, t_end: float = 0.0) -> None:
+        """Update the peak-usage watermark and emit the memory-track
+        activity.  Called after every allocation/free on device DRAM."""
+        in_use = self.gmem.bytes_in_use
+        if in_use > self.mem_peak:
+            self.mem_peak = in_use
+        if self.prof is not None:
+            if t_end == 0.0:
+                t_start = t_end = self.clock.now()
+            self.prof.emit(MemoryActivity(op=op, nbytes=nbytes, addr=addr,
+                                          in_use=in_use, peak=self.mem_peak,
+                                          t_start=t_start, t_end=t_end))
+
+    def cuMemGetInfo(self) -> tuple[int, int]:
+        """``(free, total)`` device memory in bytes — ``total`` is the
+        board's physical DRAM and ``free`` what a ``cuMemAlloc`` can still
+        draw from (capacity minus the OS/display reservation and current
+        allocations), mirroring the real API's semantics on the Nano."""
+        self._check_init()
+        return self.gmem.capacity - self.gmem.bytes_in_use, \
+            self.device_props.total_global_mem
+
     def cuMemAlloc(self, size: int) -> int:
         self._check_init()
         if size <= 0:
@@ -379,15 +457,18 @@ class CudaDriver:
         self.clock.advance(cost)
         self.log.add("alloc", cost, nbytes=size, t_start=t0,
                      t_end=self.clock.now())
+        self._note_mem_usage("alloc", size, addr, t0, self.clock.now())
         return addr
 
     def cuMemFree(self, dptr: int) -> CUresult:
         self._check_init()
+        size = self.gmem.allocated_size(dptr) or 0
         try:
             self.gmem.free(dptr)
         except Exception as exc:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, str(exc)) from exc
         self.log.add("free", 0.0)
+        self._note_mem_usage("free", size, dptr)
         return CUresult.CUDA_SUCCESS
 
     def cuMemcpyHtoD(self, dptr: int, src) -> CUresult:
@@ -400,6 +481,7 @@ class CudaDriver:
         copy-engine timeline.  On the default stream this is the old
         synchronous cuMemcpyHtoD."""
         self._check_init()
+        self._check_stream(stream)
         if isinstance(src, (bytes, bytearray)):
             data = np.frombuffer(bytes(src), dtype=np.uint8)
         else:
@@ -407,7 +489,9 @@ class CudaDriver:
             data = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
         self.gmem.copy_in(dptr, data)
         cost = self.host_model.memcpy_time(data.size)
-        self._schedule(stream, "memcpy_h2d", cost, nbytes=int(data.size))
+        start, end = self._schedule(stream, "memcpy_h2d", cost,
+                                    nbytes=int(data.size))
+        self._note_memcpy("h2d", int(data.size), start, end, stream)
         return CUresult.CUDA_SUCCESS
 
     def cuMemcpyDtoH(self, dptr: int, nbytes: int) -> bytes:
@@ -416,18 +500,42 @@ class CudaDriver:
     def cuMemcpyDtoHAsync(self, dptr: int, nbytes: int,
                           stream: int = DEFAULT_STREAM) -> bytes:
         self._check_init()
+        self._check_stream(stream)
         data = self.gmem.copy_out(dptr, nbytes)
         cost = self.host_model.memcpy_time(nbytes)
-        self._schedule(stream, "memcpy_d2h", cost, nbytes=nbytes)
+        start, end = self._schedule(stream, "memcpy_d2h", cost, nbytes=nbytes)
+        self._note_memcpy("d2h", nbytes, start, end, stream)
         return data
 
     def cuMemsetD8(self, dptr: int, value: int, count: int,
                    stream: int = DEFAULT_STREAM) -> CUresult:
         self._check_init()
+        self._check_stream(stream)
         self.gmem.view(dptr, count, np.uint8)[:] = value & 0xFF
         cost = self.host_model.memcpy_time(count) / 2
-        self._schedule(stream, "memcpy_h2d", cost, "memset", nbytes=count)
+        start, end = self._schedule(stream, "memcpy_h2d", cost, "memset",
+                                    nbytes=count)
+        self._note_memcpy("h2d", count, start, end, stream, detail="memset")
         return CUresult.CUDA_SUCCESS
+
+    def _check_stream(self, stream: int) -> None:
+        """Validate a stream handle *before* any functional side effect,
+        so a bad handle is a clean CUDA_ERROR_INVALID_HANDLE instead of a
+        copy that already mutated memory."""
+        try:
+            self.streams.get(stream)
+        except StreamError as exc:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+
+    def _note_memcpy(self, direction: str, nbytes: int, start: float,
+                     end: float, stream: int, detail: str = "") -> None:
+        if self.prof is None:
+            return
+        secs = end - start
+        bw = (nbytes / secs / 1e9) if secs > 0 else 0.0
+        self.prof.emit(MemcpyActivity(direction=direction, nbytes=nbytes,
+                                      bandwidth_gbps=bw, detail=detail,
+                                      stream=stream, t_start=start, t_end=end))
 
     # -- kernel launch -------------------------------------------------------------
     def _kernel_communicates(self, kernel: KernelIR) -> bool:
@@ -555,10 +663,7 @@ class CudaDriver:
         self._check_init()
         # validate the stream up front: an unknown id is a loud error, not
         # a silently ignored argument
-        try:
-            self.streams.get(stream)
-        except StreamError as exc:
-            raise CudaError(CUresult.CUDA_ERROR_INVALID_HANDLE, str(exc)) from exc
+        self._check_stream(stream)
         loaded = self._modules.get(fn.module_handle)
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, "module unloaded")
@@ -575,7 +680,8 @@ class CudaDriver:
         engine = FunctionalEngine(self.device_props, self.gmem,
                                   self.intrinsics, loaded.global_addrs,
                                   fastpath=self.fastpath,
-                                  compile_cache=self.kernel_cache)
+                                  compile_cache=self.kernel_cache,
+                                  recorder=self.prof)
         total_blocks = grid.count
         warps_per_block = (block.count + 31) // 32
         total_warps = total_blocks * warps_per_block
@@ -593,6 +699,7 @@ class CudaDriver:
         # master/worker kernels (one block of 128 threads) never are.
         if self.launch_mode == "auto" and communicates:
             sample = False
+        wall0 = time.perf_counter()
         try:
             if sample:
                 stats = self._sampled_launch(engine, kernel, fn, grid, block,
@@ -602,17 +709,36 @@ class CudaDriver:
                 stats = engine.launch(kernel, grid, block, params)
         except LaunchError as exc:
             raise CudaError(CUresult.CUDA_ERROR_LAUNCH_FAILED, str(exc)) from exc
+        wall_s = time.perf_counter() - wall0
         self.stdout.extend(engine.stdout)
         resources = loaded.resources.get(fn.name, {})
         stats.registers_per_thread = resources.get("registers", 32)
         breakdown = self.gpu_model.kernel_time(stats)
         overhead = C.LAUNCH_LATENCY_S + C.PARAM_PREP_S * len(params)
         self._schedule(stream, "launch_overhead", overhead, kernel=fn.name)
-        self._schedule(
+        k_start, k_end = self._schedule(
             stream, "kernel", breakdown.total_s,
             detail=f"bound={breakdown.bound} warps={breakdown.occupancy_warps:.0f}",
             kernel=fn.name,
         )
+        if self.prof is not None:
+            self.prof.emit(KernelActivity(
+                name=fn.name, grid=tuple(grid), block=tuple(block),
+                stream=stream, t_start=k_start, t_end=k_end,
+                modelled_s=breakdown.total_s, overhead_s=overhead,
+                wall_s=wall_s, bound=breakdown.bound,
+                occupancy_warps=breakdown.occupancy_warps,
+                resident_blocks=breakdown.resident_blocks,
+                registers_per_thread=stats.registers_per_thread,
+                smem_per_block=stats.smem_per_block,
+                instructions=stats.instructions,
+                global_mem_instructions=stats.global_mem_instructions,
+                global_transactions=stats.global_transactions,
+                divergent_branches=stats.divergent_branches,
+                barriers=stats.barriers, atomics=stats.atomics,
+                shared_accesses=stats.shared_accesses,
+                local_accesses=stats.local_accesses,
+            ))
         self.last_kernel_stats = stats
         return stats
 

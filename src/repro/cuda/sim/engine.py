@@ -26,6 +26,7 @@ from repro.cuda.sim.compile import (
 )
 from repro.cuda.sim.warp import WARP_SIZE, WarpExec
 from repro.mem import LinearMemory
+from repro.prof.activity import KernelExecActivity
 
 
 class LaunchError(Exception):
@@ -129,6 +130,7 @@ class FunctionalEngine:
         module_globals: Optional[dict[str, int]] = None,
         fastpath: str = "off",
         compile_cache: Optional[CompiledKernelCache] = None,
+        recorder=None,
     ):
         if fastpath not in ("on", "off", "verify"):
             raise ValueError(f"bad fastpath mode {fastpath!r}")
@@ -138,6 +140,12 @@ class FunctionalEngine:
         self.module_globals = module_globals or {}
         self.fastpath = fastpath
         self.compile_cache = compile_cache
+        #: optional repro.prof.activity.ActivityRecorder: every functional
+        #: execution emits one kernel_exec record with the dynamic counters
+        #: of what actually ran.  The record is produced here — above the
+        #: tree-walk/compiled split — so both execution paths emit
+        #: byte-identical records (asserted by tests/test_prof.py).
+        self.recorder = recorder
         self._local_compiled: dict[int, tuple] = {}
         self.stdout: list[str] = []
         self.stats = KernelStats()
@@ -222,10 +230,25 @@ class FunctionalEngine:
         if self.fastpath != "off":
             compiled = self._compiled_for(kernel)
         if compiled is not None and self.fastpath == "verify" and fresh_stats:
-            return self._launch_verified(kernel, grid, block, params,
-                                         only_blocks, only_warps, compiled)
-        return self._launch(kernel, grid, block, params, only_blocks,
-                            only_warps, fresh_stats, compiled)
+            stats = self._launch_verified(kernel, grid, block, params,
+                                          only_blocks, only_warps, compiled)
+        else:
+            stats = self._launch(kernel, grid, block, params, only_blocks,
+                                 only_warps, fresh_stats, compiled)
+        if self.recorder is not None:
+            self.recorder.emit(KernelExecActivity(
+                name=kernel.name, grid=stats.grid, block=stats.block,
+                blocks_run=stats.blocks_launched,
+                warps_run=stats.warps_launched,
+                instructions=stats.instructions,
+                global_transactions=stats.global_transactions,
+                divergent_branches=stats.divergent_branches,
+                barriers=stats.barriers,
+                shared_accesses=stats.shared_accesses,
+                local_accesses=stats.local_accesses,
+                spins=stats.spins,
+            ))
+        return stats
 
     def _compiled_for(self, kernel: KernelIR):
         if self.compile_cache is not None:

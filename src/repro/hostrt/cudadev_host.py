@@ -26,6 +26,7 @@ from repro.cuda.errors import CudaError
 from repro.cuda.ptx.jit import JitCache
 from repro.hostrt.devices import DeviceModule
 from repro.mem import LinearMemory
+from repro.prof.ompt import OmptRegistry
 
 
 class CudadevModule(DeviceModule):
@@ -39,10 +40,15 @@ class CudadevModule(DeviceModule):
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
         fastpath: Optional[str] = None,
+        profile=None,
     ):
         self.host_mem = host_mem
         self.driver = CudaDriver(device, clock=clock, jit_cache=jit_cache,
-                                 launch_mode=launch_mode, fastpath=fastpath)
+                                 launch_mode=launch_mode, fastpath=fastpath,
+                                 profile=profile)
+        #: OMPT-style tool callbacks (target-begin/end, data-op, submit);
+        #: shared with the owning Ort so tools can hook either layer
+        self.ompt = OmptRegistry()
         self._initialized = False
         #: kernel name -> image (bytes/PtxImage/CubinImage), the "kernel
         #: files" OMPi locates at runtime
@@ -114,6 +120,9 @@ class CudadevModule(DeviceModule):
 
     def write(self, dev_addr: int, host_addr: int, size: int) -> None:
         self._ensure_init()
+        if self.ompt.active:
+            self.ompt.dispatch("data_op", optype="transfer_to", device=0,
+                               addr=host_addr, nbytes=size)
         data = self.host_mem.copy_out(host_addr, size)
         if self.current_stream is not None:
             self.driver.cuMemcpyHtoDAsync(dev_addr, data, self.current_stream)
@@ -121,6 +130,9 @@ class CudadevModule(DeviceModule):
             self.driver.cuMemcpyHtoD(dev_addr, data)
 
     def read(self, host_addr: int, dev_addr: int, size: int) -> None:
+        if self.ompt.active:
+            self.ompt.dispatch("data_op", optype="transfer_from", device=0,
+                               addr=host_addr, nbytes=size)
         if self.current_stream is not None:
             data = self.driver.cuMemcpyDtoHAsync(dev_addr, size,
                                                  self.current_stream)
@@ -156,6 +168,9 @@ class CudadevModule(DeviceModule):
         bx, by, bz = threads                            # phase 3
         stream = (self.current_stream if self.current_stream is not None
                   else 0)
+        if self.ompt.active:
+            self.ompt.dispatch("submit", kernel=kernel_name, teams=teams,
+                               threads=threads, stream=stream)
         self.driver.cuLaunchKernel(
             fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
             stream=stream, kernel_params=params,

@@ -41,6 +41,7 @@ class Ort:
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
         fastpath: Optional[str] = None,
+        profile=None,
     ):
         self.machine = machine
         self.clock = clock or VirtualClock()
@@ -48,7 +49,11 @@ class Ort:
         self.cudadev = CudadevModule(machine.heap, device, clock=self.clock,
                                      jit_cache=jit_cache,
                                      launch_mode=launch_mode,
-                                     fastpath=fastpath)
+                                     fastpath=fastpath,
+                                     profile=profile)
+        #: OMPT-style tool callback registry, shared with the device module
+        #: so callbacks see both runtime-level and module-level events
+        self.ompt = self.cudadev.ompt
         self.host_device = HostDevice(machine)
         #: offload devices (0..n-1); the initial device is id n
         self.devices = [self.cudadev]
@@ -134,10 +139,14 @@ class Ort:
         if dev >= self.initial_device:
             return 0  # host device: identity mapping, nothing to do
         env = self.dataenvs[dev]
+        addr = self._addr_of(ptr, loc)
         try:
-            env.map_enter(self._addr_of(ptr, loc), int(size), int(map_type))
+            env.map_enter(addr, int(size), int(map_type))
         except MappingError as exc:
             raise InterpError(str(exc), loc) from exc
+        if self.ompt.active:
+            self.ompt.dispatch("data_op", optype="alloc", device=dev,
+                               addr=addr, nbytes=int(size))
         return 0
 
     def _ort_unmap(self, machine, args, loc):
@@ -146,10 +155,14 @@ class Ort:
         if dev >= self.initial_device:
             return 0
         env = self.dataenvs[dev]
+        addr = self._addr_of(ptr, loc)
         try:
-            env.map_exit(self._addr_of(ptr, loc), int(map_type))
+            env.map_exit(addr, int(map_type))
         except MappingError as exc:
             raise InterpError(str(exc), loc) from exc
+        if self.ompt.active:
+            self.ompt.dispatch("data_op", optype="delete", device=dev,
+                               addr=addr, nbytes=0)
         return 0
 
     def _ort_update_to(self, machine, args, loc):
@@ -216,7 +229,13 @@ class Ort:
             self.host_device.offload(name, kargs, teams, threads)
             return 0
         module = self.devices[dev]
+        if self.ompt.active:
+            self.ompt.dispatch("target_begin", device=dev, kernel=name,
+                               teams=teams, threads=threads)
         module.offload(name, kargs, teams, threads)
+        if self.ompt.active:
+            self.ompt.dispatch("target_end", device=dev, kernel=name,
+                               teams=teams, threads=threads)
         if isinstance(module, CudadevModule) and module.stdout:
             machine.stdout.extend(module.stdout)
             module.stdout.clear()

@@ -60,6 +60,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="JIT compilation cache directory (ptx mode)")
     parser.add_argument("--time", action="store_true",
                         help="print the modelled event breakdown after the run")
+    parser.add_argument("--profile", nargs="?", const=True, default=None,
+                        metavar="TRACE.json",
+                        help="record device activity; with an argument, also "
+                             "write a chrome://tracing JSON trace there "
+                             "(see also REPRO_PROFILE)")
     parser.add_argument("--block-shape", default=None, metavar="X,Y,Z",
                         help="force thread-block shape for combined constructs")
     return parser
@@ -79,7 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         parts = [int(v) for v in args.block_shape.split(",")]
         shape = tuple(parts + [1] * (3 - len(parts)))[:3]
     config = OmpiConfig(binary_mode="ptx" if args.ptx else "cubin",
-                        arch=args.arch, block_shape=shape)
+                        arch=args.arch, block_shape=shape,
+                        profile=args.profile)
     try:
         program = OmpiCompiler(config).compile(source, name)
     except Exception as exc:
@@ -115,6 +121,12 @@ def main(argv: list[str] | None = None) -> int:
                   f"{event.kernel or ''} {event.detail}", file=sys.stderr)
         print(f"  measured (kernel + memory ops): "
               f"{run.measured_time * 1e3:.3f} ms", file=sys.stderr)
+    if run.profile is not None:
+        from repro.prof.report import summary
+        print(summary(run.profile), file=sys.stderr)
+        if isinstance(args.profile, str):
+            print(f"ompicc: chrome trace written to {args.profile}",
+                  file=sys.stderr)
     return run.exit_code
 
 

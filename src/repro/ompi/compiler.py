@@ -63,6 +63,12 @@ class ProgramRun:
         """Kernel time + required memory operations (the paper's metric)."""
         return self.ort.log.measured_time
 
+    @property
+    def profile(self):
+        """The run's :class:`repro.prof.activity.ActivityRecorder`
+        (None when profiling was disabled)."""
+        return self.ort.cudadev.driver.prof
+
 
 @dataclass
 class CompiledProgram:
@@ -87,11 +93,18 @@ class CompiledProgram:
         seed_arrays: Optional[dict] = None,
         heap_capacity: int = 1 << 30,
         main: bool = True,
+        profile=None,
+        ompt: Optional[dict] = None,
     ) -> ProgramRun:
         machine = Machine(self.host_unit, heap_capacity=heap_capacity)
         ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
                   launch_mode=launch_mode,
-                  fastpath=self.config.kernel_fastpath)
+                  fastpath=self.config.kernel_fastpath,
+                  profile=profile if profile is not None
+                  else self.config.profile)
+        if ompt:
+            for event, fn in ompt.items():
+                ort.ompt.set_callback(event, fn)
         for kernel_name, image in self.images.items():
             ort.cudadev.register_kernel_image(kernel_name, image)
         for plan in self.plans:
@@ -119,6 +132,10 @@ class CompiledProgram:
                                         gtype.sizeof(), owner)
         exit_code = machine.run() if main else 0
         ort.taskwait()  # implicit join of outstanding nowait tasks at exit
+        driver = ort.cudadev.driver
+        if driver.prof is not None and driver.prof_path:
+            from repro.prof.chrome import write_chrome_trace
+            write_chrome_trace(driver.prof, driver.prof_path)
         return ProgramRun(machine, ort, exit_code)
 
 

@@ -30,6 +30,12 @@ class OmpiConfig:
     #: 'verify' runs both the compiled fast path and the tree-walk reference
     #: on every launch and fails if memory, stdout or stats diverge.
     kernel_fastpath: Optional[str] = None
+    #: activity profiling (repro.prof): None defers to REPRO_PROFILE;
+    #: True/'on' enables recording; a string enables recording *and* names
+    #: the Chrome-trace JSON written when the program finishes; an int sets
+    #: the ring-buffer capacity; an ActivityRecorder instance is used as-is
+    #: (lets callers inspect records directly); False/'off' disables.
+    profile: object = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

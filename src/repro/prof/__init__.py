@@ -1,0 +1,38 @@
+"""``repro.prof`` — CUPTI/OMPT-style observability for the simulated stack.
+
+Three layers (DESIGN.md §8):
+
+* **activity tracing** (:mod:`repro.prof.activity`) — the driver, stream
+  table, task scheduler and sim engine emit typed activity records into a
+  bounded :class:`ActivityRecorder`; zero overhead when disabled (the
+  recorder is simply ``None``);
+* **tool callbacks** (:mod:`repro.prof.ompt`) — an OMPT-style registry the
+  host runtime dispatches target-begin/end, data-op and submit events to;
+* **analysis/export** (:mod:`repro.prof.chrome`, :mod:`repro.prof.metrics`,
+  :mod:`repro.prof.report`) — ``chrome://tracing`` JSON, a per-kernel
+  metrics table, a text summary.
+
+Enable with ``OmpiConfig(profile=...)``, the ``REPRO_PROFILE`` environment
+variable, or ``ompicc --profile[=trace.json]``.
+"""
+
+from repro.prof.activity import (
+    ActivityRecord, ActivityRecorder, EventActivity, KernelActivity,
+    KernelExecActivity, MemcpyActivity, MemoryActivity, ModuleActivity,
+    SyncActivity, TaskActivity, WaitActivity, resolve_profile,
+)
+from repro.prof.chrome import chrome_trace, trace_events, write_chrome_trace
+from repro.prof.metrics import (
+    KernelMetrics, format_metrics_table, kernel_metrics,
+)
+from repro.prof.ompt import OMPT_EVENTS, OmptError, OmptRegistry
+from repro.prof.report import summary
+
+__all__ = [
+    "ActivityRecord", "ActivityRecorder", "EventActivity", "KernelActivity",
+    "KernelExecActivity", "KernelMetrics", "MemcpyActivity", "MemoryActivity",
+    "ModuleActivity", "OMPT_EVENTS", "OmptError", "OmptRegistry",
+    "SyncActivity", "TaskActivity", "WaitActivity", "chrome_trace",
+    "format_metrics_table", "kernel_metrics", "resolve_profile", "summary",
+    "trace_events", "write_chrome_trace",
+]

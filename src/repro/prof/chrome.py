@@ -1,0 +1,162 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of a profile.
+
+Emits the Trace Event Format's JSON object form: ``{"traceEvents": [...],
+"displayTimeUnit": "ms"}``.  Track layout:
+
+* **pid 1 "device streams"** — one track (tid = stream handle) per CUDA
+  stream; kernels, transfers, event records and stream waits appear on
+  the stream that carried them.
+* **pid 2 "device engines"** — one track per hardware engine (the Nano's
+  single compute engine and single copy engine); the same kernel/memcpy
+  spans re-plotted by the engine they occupied, which makes copy/compute
+  overlap (and the absence of compute/compute overlap) directly visible.
+* **pid 3 "host"** — host-blocking synchronisations, module load / JIT
+  spans, nowait-task lifecycle instants, and a ``device memory`` counter
+  series fed by the alloc/free records (the memory track).
+
+All timestamps are the simulated clock in microseconds, so the exported
+trace is deterministic for a given program.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.prof.activity import ActivityRecorder
+
+PID_STREAMS = 1
+PID_ENGINES = 2
+PID_HOST = 3
+
+TID_ENGINE_COMPUTE = 0
+TID_ENGINE_COPY = 1
+TID_HOST = 0
+
+#: record kinds that occupy the compute / copy engine
+_COMPUTE_KINDS = {"kernel"}
+_COPY_KINDS = {"memcpy"}
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def _meta(pid: int, name: str, tid: int = None, tname: str = None) -> list[dict]:
+    events = [{"ph": "M", "pid": pid, "name": "process_name",
+               "args": {"name": name}}]
+    if tid is not None:
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": tname}})
+    return events
+
+
+def trace_events(recorder: ActivityRecorder) -> list[dict]:
+    """The ``traceEvents`` array for the recorded activities."""
+    events: list[dict] = []
+    events += _meta(PID_STREAMS, "device streams")
+    events += _meta(PID_ENGINES, "device engines",
+                    TID_ENGINE_COMPUTE, "engine:compute")
+    events += _meta(PID_ENGINES, "device engines",
+                    TID_ENGINE_COPY, "engine:copy")[1:]
+    events += _meta(PID_HOST, "host", TID_HOST, "host runtime")
+    named_streams: set[int] = set()
+
+    def stream_tid(stream) -> int:
+        tid = int(stream or 0)
+        if tid not in named_streams:
+            named_streams.add(tid)
+            events.append({"ph": "M", "pid": PID_STREAMS, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"stream {tid}"}})
+        return tid
+
+    def span(pid: int, tid: int, name: str, record, args: dict) -> dict:
+        return {
+            "ph": "X", "pid": pid, "tid": tid, "name": name,
+            "cat": record.kind,
+            "ts": _us(record.t_start),
+            "dur": max(_us(record.duration), 0.0),
+            "args": args,
+        }
+
+    def instant(pid: int, tid: int, name: str, ts_s: float, args: dict) -> dict:
+        return {"ph": "i", "pid": pid, "tid": tid, "name": name, "s": "t",
+                "ts": _us(ts_s), "args": args}
+
+    for r in recorder:
+        if r.kind == "kernel":
+            args = {
+                "grid": list(r.grid), "block": list(r.block),
+                "bound": r.bound,
+                "occupancy_warps": r.occupancy_warps,
+                "registers_per_thread": r.registers_per_thread,
+                "instructions": r.instructions,
+                "global_transactions": r.global_transactions,
+                "modelled_ms": r.modelled_s * 1e3,
+                "wall_ms": r.wall_s * 1e3,
+            }
+            events.append(span(PID_STREAMS, stream_tid(r.stream), r.name,
+                               r, args))
+            events.append(span(PID_ENGINES, TID_ENGINE_COMPUTE, r.name,
+                               r, args))
+        elif r.kind == "memcpy":
+            name = (r.detail or f"memcpy_{r.direction}")
+            args = {"bytes": r.nbytes, "bandwidth_gbps": r.bandwidth_gbps}
+            events.append(span(PID_STREAMS, stream_tid(r.stream), name,
+                               r, args))
+            events.append(span(PID_ENGINES, TID_ENGINE_COPY, name, r, args))
+        elif r.kind == "stream_wait":
+            events.append(span(PID_STREAMS, stream_tid(r.stream),
+                               "wait_event", r, {"event": r.event}))
+        elif r.kind == "event":
+            events.append(instant(PID_STREAMS, stream_tid(r.stream),
+                                  f"event {r.handle}", r.t_start,
+                                  {"op": r.op, "timestamp": r.timestamp}))
+        elif r.kind == "sync":
+            events.append(span(PID_HOST, TID_HOST, r.op, r,
+                               {"handle": r.handle,
+                                "waited_ms": r.waited_s * 1e3}))
+        elif r.kind == "module":
+            name = f"jit {r.name}" if r.image_kind == "ptx" else \
+                f"module_load {r.name}"
+            events.append(span(PID_HOST, TID_HOST, name, r,
+                               {"image": r.image_kind,
+                                "jit_cached": r.jit_cached,
+                                "jit_ms": r.jit_s * 1e3}))
+        elif r.kind == "memory":
+            events.append({
+                "ph": "C", "pid": PID_HOST, "tid": TID_HOST,
+                "name": "device memory", "ts": _us(r.t_end),
+                "args": {"in_use": r.in_use},
+            })
+        elif r.kind == "task":
+            events.append(instant(PID_HOST, TID_HOST,
+                                  f"task:{r.op} {r.label}".rstrip(),
+                                  r.t_start,
+                                  {"tid": r.tid, "stream": r.stream,
+                                   "preds": list(r.preds)}))
+        # kernel_exec records carry no timeline (pure engine counters);
+        # they feed the metrics table, not the trace
+    return events
+
+
+def chrome_trace(recorder: ActivityRecorder) -> dict:
+    """The full Trace Event Format object."""
+    return {
+        "traceEvents": trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.prof",
+            "dropped_records": recorder.dropped,
+        },
+    }
+
+
+def write_chrome_trace(recorder: ActivityRecorder,
+                       path: Union[str, Path]) -> Path:
+    """Serialise the trace to ``path``; returns the written path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(recorder), indent=1) + "\n")
+    return path

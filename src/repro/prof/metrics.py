@@ -1,0 +1,131 @@
+"""Per-kernel metrics: the profiler's ``nvprof``-style summary table.
+
+Aggregates the driver-level :class:`~repro.prof.activity.KernelActivity`
+records (full-grid, possibly sampling-extrapolated counters — what the
+timing model priced) by kernel name and derives the efficiency metrics a
+GPU profiler reports:
+
+* **occupancy** — resident warps from the analytic model (threads,
+  registers and shared memory limited);
+* **coalescing** — DRAM transactions per global warp access, and the
+  efficiency against the fully-coalesced ideal of 4 x 32-byte segments
+  per 128-byte warp access (the float32 ideal; the paper's applications
+  are all float32);
+* **branch divergence** — divergent branches per warp instruction;
+* **barrier stalls / shared-memory traffic** — straight from the sim
+  engine's dynamic counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prof.activity import ActivityRecorder
+
+#: fully-coalesced 32-byte segments per warp access (32 lanes x 4B / 32B)
+IDEAL_SEGMENTS_PER_ACCESS = 4.0
+
+
+@dataclass
+class KernelMetrics:
+    name: str
+    launches: int = 0
+    modelled_s: float = 0.0
+    overhead_s: float = 0.0
+    wall_s: float = 0.0
+    bound: str = ""
+    occupancy_warps: float = 0.0
+    resident_blocks: int = 0
+    registers_per_thread: int = 0
+    smem_per_block: int = 0
+    instructions: int = 0
+    global_mem_instructions: int = 0
+    global_transactions: int = 0
+    divergent_branches: int = 0
+    barriers: int = 0
+    atomics: int = 0
+    shared_accesses: int = 0
+    local_accesses: int = 0
+    grids: list = field(default_factory=list)
+
+    @property
+    def transactions_per_access(self) -> float:
+        """DRAM transactions per global-memory warp instruction."""
+        if self.global_mem_instructions == 0:
+            return 0.0
+        return self.global_transactions / self.global_mem_instructions
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Fully-coalesced ideal over observed transactions (<= 1.0)."""
+        tpa = self.transactions_per_access
+        if tpa <= 0.0:
+            return 1.0
+        return min(1.0, IDEAL_SEGMENTS_PER_ACCESS / tpa)
+
+    @property
+    def divergence_ratio(self) -> float:
+        """Divergent branches per warp instruction dispatched."""
+        if self.instructions == 0:
+            return 0.0
+        return self.divergent_branches / self.instructions
+
+
+def kernel_metrics(recorder: ActivityRecorder) -> list[KernelMetrics]:
+    """Per-kernel aggregation of the recorded launches, in order of first
+    appearance."""
+    table: dict[str, KernelMetrics] = {}
+    for r in recorder.records("kernel"):
+        m = table.get(r.name)
+        if m is None:
+            m = table[r.name] = KernelMetrics(r.name)
+        m.launches += 1
+        m.modelled_s += r.modelled_s
+        m.overhead_s += r.overhead_s
+        m.wall_s += r.wall_s
+        m.bound = r.bound          # last launch wins; uniform in practice
+        m.occupancy_warps = r.occupancy_warps
+        m.resident_blocks = r.resident_blocks
+        m.registers_per_thread = r.registers_per_thread
+        m.smem_per_block = r.smem_per_block
+        m.instructions += r.instructions
+        m.global_mem_instructions += r.global_mem_instructions
+        m.global_transactions += r.global_transactions
+        m.divergent_branches += r.divergent_branches
+        m.barriers += r.barriers
+        m.atomics += r.atomics
+        m.shared_accesses += r.shared_accesses
+        m.local_accesses += r.local_accesses
+        if list(r.grid) not in m.grids:
+            m.grids.append(list(r.grid))
+    return list(table.values())
+
+
+def format_metrics_table(metrics: list[KernelMetrics]) -> str:
+    """Fixed-width text rendering of the per-kernel metrics."""
+    if not metrics:
+        return "(no kernel launches recorded)"
+    headers = ("kernel", "launches", "modelled ms", "occup.warps", "bound",
+               "txn/access", "coalesce", "diverg.", "barriers", "smem acc")
+    rows = []
+    for m in metrics:
+        rows.append((
+            m.name,
+            str(m.launches),
+            f"{m.modelled_s * 1e3:.3f}",
+            f"{m.occupancy_warps:.0f}",
+            m.bound,
+            f"{m.transactions_per_access:.2f}",
+            f"{m.coalescing_efficiency * 100.0:.0f}%",
+            f"{m.divergence_ratio:.4f}",
+            str(m.barriers),
+            str(m.shared_accesses),
+        ))
+    widths = [max(len(h), *(len(row[i]) for row in rows))
+              for i, h in enumerate(headers)]
+    def fmt(cells):
+        return "  ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""OMPT-style host-runtime callback registry.
+
+OpenMP 5.x defines OMPT: a first-party tool interface where a tool
+registers callbacks for runtime events (``ompt_callback_target``,
+``ompt_callback_target_data_op``, ``ompt_callback_target_submit``) and the
+runtime invokes them at the corresponding points.  This module is the
+reproduction's equivalent: the ort host runtime and the cudadev host
+module dispatch the four events below, so tools can observe offloading
+without patching the runtime.
+
+Events
+------
+
+``target_begin`` / ``target_end``
+    A target region starts/finishes on the host side (``ort_offload``).
+    Keywords: ``device`` (resolved device id), ``kernel`` (kernel name),
+    ``teams`` and ``threads`` (grid/block triples).
+
+``data_op``
+    A data-environment operation.  Keywords: ``optype`` (``map_enter`` |
+    ``map_exit`` | ``update_to`` | ``update_from`` | ``transfer_to`` |
+    ``transfer_from``), ``device``, ``addr``, ``nbytes`` (when known).
+
+``submit``
+    The kernel is submitted to the device (the cudadev module's 3-phase
+    launch, just before ``cuLaunchKernel``).  Keywords: ``kernel``,
+    ``teams``, ``threads``, ``stream``.
+
+Callbacks run synchronously on the (single) host thread, in registration
+order.  A callback raising propagates to the offloading program — tools
+are trusted, exactly like native OMPT tools living in the runtime's
+address space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: the dispatch points the host runtime exposes
+OMPT_EVENTS = ("target_begin", "target_end", "data_op", "submit")
+
+
+class OmptError(Exception):
+    """Registration against an unknown event name."""
+
+
+class OmptRegistry:
+    """Per-runtime callback table (one per cudadev host module)."""
+
+    def __init__(self):
+        self._callbacks: dict[str, list[Callable]] = {
+            event: [] for event in OMPT_EVENTS
+        }
+
+    def _check_event(self, event: str) -> None:
+        if event not in self._callbacks:
+            raise OmptError(
+                f"unknown OMPT event {event!r} (have: {', '.join(OMPT_EVENTS)})"
+            )
+
+    def set_callback(self, event: str, fn: Callable) -> Callable:
+        """Register ``fn`` for ``event``; returns ``fn`` (decorator-friendly)."""
+        self._check_event(event)
+        self._callbacks[event].append(fn)
+        return fn
+
+    def remove_callback(self, event: str, fn: Callable) -> None:
+        self._check_event(event)
+        try:
+            self._callbacks[event].remove(fn)
+        except ValueError:
+            raise OmptError(
+                f"callback not registered for event {event!r}") from None
+
+    def callbacks(self, event: str) -> tuple[Callable, ...]:
+        self._check_event(event)
+        return tuple(self._callbacks[event])
+
+    @property
+    def active(self) -> bool:
+        """True when any callback is registered (dispatch sites may use
+        this to skip argument marshalling entirely)."""
+        return any(self._callbacks.values())
+
+    def dispatch(self, event: str, **kw) -> None:
+        """Invoke every callback registered for ``event`` in order."""
+        cbs = self._callbacks.get(event)
+        if cbs is None:
+            raise OmptError(f"unknown OMPT event {event!r}")
+        if not cbs:
+            return
+        for fn in tuple(cbs):
+            fn(event=event, **kw)
+
+    def clear(self) -> None:
+        for cbs in self._callbacks.values():
+            cbs.clear()

@@ -1,0 +1,78 @@
+"""Text summary report of a recorded profile (the ``--profile`` output)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.prof.activity import ActivityRecorder
+from repro.prof.metrics import format_metrics_table, kernel_metrics
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def summary(recorder: ActivityRecorder) -> str:
+    """Human-readable profile summary: activity counts, device-time
+    totals, transfer volumes/bandwidth, memory peak, per-kernel table."""
+    lines = ["=== repro.prof summary ==="]
+    if not len(recorder):
+        return lines[0] + "\n(no activity recorded)"
+    counts = Counter(r.kind for r in recorder)
+    lines.append("activities: " + ", ".join(
+        f"{kind}={n}" for kind, n in sorted(counts.items())))
+    if recorder.dropped:
+        lines.append(f"ring buffer dropped {recorder.dropped} oldest records "
+                     f"(capacity {recorder.capacity})")
+
+    kernels = recorder.records("kernel")
+    if kernels:
+        modelled = sum(r.modelled_s for r in kernels)
+        wall = sum(r.wall_s for r in kernels)
+        lines.append(f"kernel time (modelled): {modelled * 1e3:.3f} ms over "
+                     f"{len(kernels)} launch(es)")
+        if wall > 0.0:
+            lines.append(f"kernel time (host wall): {wall * 1e3:.1f} ms "
+                         f"simulating the launches")
+
+    for direction, label in (("h2d", "HtoD"), ("d2h", "DtoH")):
+        xs = [r for r in recorder.records("memcpy") if r.direction == direction]
+        if xs:
+            nbytes = sum(r.nbytes for r in xs)
+            secs = sum(r.duration for r in xs)
+            bw = (nbytes / secs / 1e9) if secs > 0 else 0.0
+            lines.append(f"{label}: {len(xs)} transfer(s), "
+                         f"{_fmt_bytes(nbytes)}, {secs * 1e3:.3f} ms, "
+                         f"{bw:.2f} GB/s")
+
+    mods = recorder.records("module")
+    jit_s = sum(r.jit_s for r in mods)
+    if mods:
+        cached = sum(1 for r in mods if r.jit_cached)
+        lines.append(f"modules: {len(mods)} load(s), JIT {jit_s * 1e3:.3f} ms "
+                     f"({cached} cache hit(s))")
+
+    mems = recorder.records("memory")
+    if mems:
+        peak = max(r.peak for r in mems)
+        lines.append(f"device memory peak: {_fmt_bytes(peak)}")
+
+    tasks = recorder.records("task")
+    if tasks:
+        begun = sum(1 for r in tasks if r.op == "begin")
+        waits = sum(1 for r in tasks if r.op == "taskwait")
+        lines.append(f"nowait tasks: {begun} submitted, {waits} taskwait join(s)")
+
+    syncs = recorder.records("sync")
+    if syncs:
+        waited = sum(r.waited_s for r in syncs)
+        lines.append(f"host synchronisations: {len(syncs)}, "
+                     f"blocked {waited * 1e3:.3f} ms (modelled)")
+
+    lines.append("")
+    lines.append(format_metrics_table(kernel_metrics(recorder)))
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.prof.activity import WaitActivity
 from repro.timing.clock import VirtualClock
 from repro.timing.gpumodel import ENGINES, engine_of
 
@@ -81,10 +82,17 @@ class CudaEvent:
 
 
 class StreamTable:
-    """Per-driver stream/event state plus the device engine queues."""
+    """Per-driver stream/event state plus the device engine queues.
 
-    def __init__(self, clock: VirtualClock):
+    ``recorder`` is an optional :class:`repro.prof.activity
+    .ActivityRecorder`: when set, cross-stream waits that actually delay a
+    stream emit a ``stream_wait`` activity spanning the induced stall —
+    information invisible at the driver-call level, where a wait is
+    instantaneous."""
+
+    def __init__(self, clock: VirtualClock, recorder=None):
         self.clock = clock
+        self.recorder = recorder
         self.streams: dict[int, CudaStream] = {
             DEFAULT_STREAM: CudaStream(DEFAULT_STREAM)
         }
@@ -183,6 +191,11 @@ class StreamTable:
             # CUDA treats waiting on an unrecorded event as a no-op
             return
         if event.timestamp > stream.ready_at:
+            if self.recorder is not None:
+                self.recorder.emit(WaitActivity(
+                    event=event_handle, stream=stream_handle,
+                    t_start=stream.ready_at, t_end=event.timestamp,
+                ))
             stream.ready_at = event.timestamp
 
     def elapsed_ms(self, start_handle: int, end_handle: int) -> float:

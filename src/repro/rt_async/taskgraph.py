@@ -34,6 +34,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.prof.activity import TaskActivity
+
 #: dependence-type codes (what the code generator passes to ort_task_dep)
 DEP_IN = 1
 DEP_OUT = 2
@@ -191,6 +193,9 @@ class StreamPoolScheduler:
         if pool_size < 1:
             raise TaskGraphError("stream pool needs at least one stream")
         self.driver = driver
+        #: the driver's activity recorder (None: profiling disabled) —
+        #: task lifecycle records land in the same buffer as driver work
+        self.prof = getattr(driver, "prof", None)
         self.graph = TaskGraph()
         self.pool: list[int] = [driver.cuStreamCreate()
                                 for _ in range(pool_size)]
@@ -220,6 +225,7 @@ class StreamPoolScheduler:
                 self.driver.cuStreamWaitEvent(stream, pred.done_event)
         task.stream = stream
         self._stream_tail[stream] = task.tid
+        self._note(task, "begin")
         return task
 
     def end_task(self, task: OffloadTask) -> None:
@@ -228,6 +234,7 @@ class StreamPoolScheduler:
         self.driver.cuEventRecord(event, task.stream)
         task.done_event = event
         self.graph.mark_issued(task.tid)
+        self._note(task, "end")
 
     def sync_task(self, task: OffloadTask) -> None:
         """Block the host until this one task's work completes (a ``target
@@ -237,6 +244,21 @@ class StreamPoolScheduler:
             self.driver.cuEventSynchronize(task.done_event)
         elif task.stream is not None:
             self.driver.cuStreamSynchronize(task.stream)
+        self._note(task, "sync")
+
+    def _note(self, task: Optional[OffloadTask], op: str) -> None:
+        """Emit one task-lifecycle activity (no-op when profiling is off)."""
+        if self.prof is None:
+            return
+        now = self.driver.clock.now()
+        self.prof.emit(TaskActivity(
+            op=op, tid=task.tid if task else 0,
+            label=task.label if task else "",
+            deps=tuple(task.deps) if task else (),
+            preds=tuple(sorted(task.preds)) if task else (),
+            stream=task.stream if task else None,
+            t_start=now, t_end=now,
+        ))
 
     # -- joins -------------------------------------------------------------------
     def taskwait(self) -> float:
@@ -248,6 +270,7 @@ class StreamPoolScheduler:
             t = max(t, self.driver.cuStreamSynchronize(handle))
         self.graph.retire_all()
         self.graph.reset()
+        self._note(None, "taskwait")
         return t
 
     @property

@@ -198,3 +198,120 @@ def test_series_extrapolation_close_to_reality():
                                kernel_params=[ptr, np.int32(n), np.int32(k)])
         times[mode] = drv.log.kernel_time
     assert abs(times["sample"] - times["full"]) / times["full"] < 0.10
+
+
+# -- memory introspection (cuMemGetInfo + peak accounting) ----------------------
+
+def test_mem_get_info_tracks_allocations():
+    cap = 1 << 20
+    drv = make_driver(gmem_capacity=cap)
+    free0, total = drv.cuMemGetInfo()
+    assert total == drv.device_props.total_global_mem
+    assert free0 == cap
+    a = drv.cuMemAlloc(4096)
+    free1, _ = drv.cuMemGetInfo()
+    assert free1 == cap - 4096
+    drv.cuMemFree(a)
+    free2, _ = drv.cuMemGetInfo()
+    assert free2 == cap
+
+
+def test_mem_get_info_requires_init():
+    drv = CudaDriver()
+    with pytest.raises(CudaError) as err:
+        drv.cuMemGetInfo()
+    assert err.value.result == CUresult.CUDA_ERROR_NOT_INITIALIZED
+
+
+def test_peak_device_memory_accounting():
+    drv = make_driver(gmem_capacity=1 << 20)
+    a = drv.cuMemAlloc(1024)
+    b = drv.cuMemAlloc(2048)
+    drv.cuMemFree(a)
+    drv.cuMemFree(b)
+    # the high-water mark survives the frees
+    assert drv.mem_peak == 1024 + 2048
+    c = drv.cuMemAlloc(512)
+    assert drv.mem_peak == 1024 + 2048
+    drv.cuMemFree(c)
+
+
+def test_peak_includes_module_globals():
+    src = """
+    __device__ float cache[256];
+    __global__ void k(float *p) { p[0] = cache[0]; }
+    """
+    drv = make_driver()
+    handle = drv.cuModuleLoadData(compile_device(src, "m"))
+    assert drv.mem_peak >= 1024
+    drv.cuModuleUnload(handle)
+    assert drv.gmem.bytes_in_use == 0
+    assert drv.mem_peak >= 1024
+
+
+# -- invalid stream/event handles (CUDA_ERROR_INVALID_HANDLE) -------------------
+
+def _assert_invalid_handle(fn):
+    with pytest.raises(CudaError) as err:
+        fn()
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_HANDLE
+
+
+def test_destroyed_stream_rejected_everywhere():
+    drv = make_driver()
+    stream = drv.cuStreamCreate()
+    event = drv.cuEventCreate()
+    drv.cuStreamDestroy(stream)
+    _assert_invalid_handle(lambda: drv.cuStreamSynchronize(stream))
+    _assert_invalid_handle(lambda: drv.cuStreamQuery(stream))
+    _assert_invalid_handle(lambda: drv.cuStreamDestroy(stream))
+    _assert_invalid_handle(lambda: drv.cuStreamWaitEvent(stream, event))
+    _assert_invalid_handle(lambda: drv.cuEventRecord(event, stream))
+
+
+def test_destroyed_event_rejected_everywhere():
+    drv = make_driver()
+    stream = drv.cuStreamCreate()
+    event = drv.cuEventCreate()
+    drv.cuEventRecord(event, stream)
+    drv.cuEventDestroy(event)
+    _assert_invalid_handle(lambda: drv.cuEventRecord(event, stream))
+    _assert_invalid_handle(lambda: drv.cuEventQuery(event))
+    _assert_invalid_handle(lambda: drv.cuEventSynchronize(event))
+    _assert_invalid_handle(lambda: drv.cuEventDestroy(event))
+    _assert_invalid_handle(lambda: drv.cuStreamWaitEvent(stream, event))
+    other = drv.cuEventCreate()
+    drv.cuEventRecord(other, stream)
+    _assert_invalid_handle(lambda: drv.cuEventElapsedTime(event, other))
+    _assert_invalid_handle(lambda: drv.cuEventElapsedTime(other, event))
+
+
+def test_async_ops_on_bad_stream_rejected():
+    drv = make_driver()
+    ptr = drv.cuMemAlloc(64)
+    bad = 999
+    _assert_invalid_handle(
+        lambda: drv.cuMemcpyHtoDAsync(ptr, b"\x01" * 64, bad))
+    _assert_invalid_handle(lambda: drv.cuMemcpyDtoHAsync(ptr, 64, bad))
+    _assert_invalid_handle(lambda: drv.cuMemsetD8(ptr, 0xCC, 64, stream=bad))
+
+
+def test_failed_copy_on_bad_stream_leaves_memory_untouched():
+    """Handle validation must happen before any side effect."""
+    drv = make_driver()
+    ptr = drv.cuMemAlloc(64)
+    drv.cuMemsetD8(ptr, 0xAA, 64)
+    _assert_invalid_handle(
+        lambda: drv.cuMemcpyHtoDAsync(ptr, b"\x00" * 64, 999))
+    _assert_invalid_handle(lambda: drv.cuMemsetD8(ptr, 0x00, 64, stream=999))
+    assert drv.cuMemcpyDtoH(ptr, 64) == b"\xaa" * 64
+
+
+def test_launch_on_bad_stream_rejected():
+    drv = make_driver()
+    handle = drv.cuModuleLoadData(compile_device(SRC, "m"))
+    fn = drv.cuModuleGetFunction(handle, "scale")
+    ptr = drv.cuMemAlloc(16)
+    _assert_invalid_handle(lambda: drv.cuLaunchKernel(
+        fn, 1, 1, 1, 4, 1, 1, stream=999,
+        kernel_params=[ptr, np.float32(1.0), np.int32(4)]))

@@ -23,6 +23,16 @@ def test_example_runs(path, capsys, monkeypatch):
     assert out.strip()          # every example narrates what it did
 
 
+def test_profiling_example(capsys, monkeypatch, tmp_path):
+    trace = tmp_path / "trace.json"
+    monkeypatch.setattr(sys, "argv", ["examples/profiling.py", str(trace)])
+    runpy.run_path("examples/profiling.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "per-kernel metrics" in out
+    assert "matches the timing/stats event log" in out
+    assert trace.exists()
+
+
 def test_cuda_vs_openmp_example_small(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/cuda_vs_openmp.py", "96"])
     runpy.run_path("examples/cuda_vs_openmp.py", run_name="__main__")
