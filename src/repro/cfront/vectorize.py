@@ -157,6 +157,11 @@ def _base_key(index: A.Index):
     return None
 
 
+#: compound-assignment operators foldable as a sequential reduction
+_REDUCE_UFUNC = {"+": np.add, "-": np.subtract, "*": np.multiply,
+                 "/": np.divide}
+
+
 def _execute(machine: "Machine", plan, env: list[dict]) -> bool:
     var, cond, step, assigns = plan
     from repro.cfront.interp import VarBinding
@@ -169,12 +174,30 @@ def _execute(machine: "Machine", plan, env: list[dict]) -> bool:
     # Dry pass: compile every address/value vector without storing anything,
     # so an unsupported construct bails *before* memory is modified and the
     # scalar fallback sees pristine state.  Compilation is side-effect free:
-    # only gathers (reads) are performed.
+    # only gathers (reads) are performed.  Destinations that collapse onto
+    # fewer cells than iterations carry a dependence between iterations:
+    # the only such shape executed here is the single-cell reduction
+    # ``acc[inv] op= expr(i)`` (e.g. the gemm k-loop); everything else with
+    # duplicate destinations falls back to the tree-walker.
     for a in assigns:
-        _, _, ctype = ctx.addr_vec(a.target)
+        _, addrs, ctype = ctx.addr_vec(a.target)
         if not isinstance(ctype, BasicType):
             raise _Bail()
         ctx.value_vec(a.value)
+        uniq = np.unique(addrs).size
+        if uniq == addrs.size:
+            continue
+        reads_target = any(
+            isinstance(n, A.Index) and _base_key(n) == _base_key(a.target)
+            for n in a.value.walk())
+        if reads_target:
+            raise _Bail()       # stale gather of a multiply-written cell
+        if a.op is not None and (
+                uniq != 1 or len(assigns) != 1
+                or a.op not in _REDUCE_UFUNC or ctype.is_integer):
+            raise _Bail()
+        # plain assigns with duplicate destinations scatter in lane order,
+        # so the last iteration wins — same as the sequential loop
     # Real pass: re-evaluate in statement order (a statement may read what a
     # previous one just wrote, always at the same index) and scatter.
     for a in assigns:
@@ -182,11 +205,20 @@ def _execute(machine: "Machine", plan, env: list[dict]) -> bool:
         assert isinstance(ctype, BasicType)
         dtype = ctype.dtype()
         value = ctx.value_vec(a.value)
+        if np.isscalar(value) or getattr(value, "ndim", 1) == 0:
+            value = np.full(iv.shape, value)
+        if a.op is not None and addrs.size and np.unique(addrs).size == 1:
+            # single-cell reduction: left-fold in the target dtype so the
+            # per-iteration rounding matches the scalar loop exactly
+            old = mem.gather(addrs[:1], dtype)
+            seq = np.concatenate(
+                [old, np.asarray(value).astype(dtype, casting="unsafe")])
+            total = _REDUCE_UFUNC[a.op].accumulate(seq)[-1:]
+            mem.scatter(addrs[:1], dtype, total.astype(dtype))
+            continue
         if a.op is not None:
             old = mem.gather(addrs, dtype)
             value = _apply_np(a.op, old, value)
-        if np.isscalar(value) or getattr(value, "ndim", 1) == 0:
-            value = np.full(iv.shape, value)
         if ctype.is_integer:
             value = np.trunc(value) if np.asarray(value).dtype.kind == "f" else value
         mem.scatter(addrs, dtype, np.asarray(value).astype(dtype, casting="unsafe"))

@@ -49,6 +49,7 @@ from repro.cuda.ptx.ir import (
 from repro.cuda.ptx.jit import JitCache, jit_compile
 from repro.cuda.sim.compile import CompiledKernelCache
 from repro.cuda.sim.engine import FunctionalEngine, KernelStats, LaunchError
+from repro.faults.injector import FaultInjector, FaultLog
 from repro.mem import LinearMemory
 from repro.prof.activity import (
     EventActivity, KernelActivity, MemcpyActivity, MemoryActivity,
@@ -96,6 +97,7 @@ class CudaDriver:
         intrinsics: Optional[dict] = None,
         fastpath: Optional[str] = None,
         profile=None,
+        faults: Optional[FaultInjector] = None,
     ):
         if launch_mode not in ("full", "sample", "auto"):
             raise ValueError(f"bad launch_mode {launch_mode!r}")
@@ -118,6 +120,14 @@ class CudaDriver:
         #: activity recorder (None: profiling disabled, hooks cost one
         #: identity check) and the Chrome-trace path requested, if any
         self.prof, self.prof_path = resolve_profile(profile)
+        #: fault bookkeeping: the injector is optional (None: no injection;
+        #: the hook costs one identity check per call), the fault log is
+        #: always present — recovery layers report retries/fallbacks here
+        #: even when nothing is injected (e.g. a real OOM)
+        self.faultlog = FaultLog(clock=self.clock, recorder=self.prof)
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self.faultlog)
         self.streams = StreamTable(self.clock, recorder=self.prof)
         #: high-water mark of device bytes allocated (the profiler's
         #: memory track; also maintained with profiling disabled — it is
@@ -136,8 +146,17 @@ class CudaDriver:
         self.intrinsics = intrinsics
         self.last_kernel_stats: Optional[KernelStats] = None
 
+    # -- fault injection hook -----------------------------------------------------
+    def _fault(self, api: str, nbytes: int = 0) -> None:
+        """Give the fault injector a chance to fail this entry point.
+        Called *before* any functional side effect so a retry of the same
+        call is clean (the invariant transient-fault recovery rests on)."""
+        if self.faults is not None:
+            self.faults.check(api, nbytes=nbytes)
+
     # -- init / device discovery ------------------------------------------------
     def cuInit(self, flags: int = 0) -> CUresult:
+        self._fault("cuInit")
         if flags != 0:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, "flags must be 0")
         self._initialized = True
@@ -149,28 +168,34 @@ class CudaDriver:
 
     def cuDeviceGetCount(self) -> int:
         self._check_init()
+        self._fault("cuDeviceGetCount")
         return 1
 
     def cuDeviceGet(self, ordinal: int) -> int:
         self._check_init()
+        self._fault("cuDeviceGet")
         if ordinal != 0:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_DEVICE, str(ordinal))
         return 0
 
     def cuDeviceGetName(self, dev: int) -> str:
         self._check_init()
+        self._fault("cuDeviceGetName")
         return self.device_props.name
 
     def cuDeviceComputeCapability(self, dev: int) -> tuple[int, int]:
         self._check_init()
+        self._fault("cuDeviceComputeCapability")
         return self.device_props.compute_capability
 
     def cuDeviceTotalMem(self, dev: int) -> int:
         self._check_init()
+        self._fault("cuDeviceTotalMem")
         return self.device_props.total_global_mem
 
     def cuDeviceGetAttribute(self, attrib: str, dev: int) -> int:
         self._check_init()
+        self._fault("cuDeviceGetAttribute")
         props = self.device_props
         table = {
             "MAX_THREADS_PER_BLOCK": props.max_threads_per_block,
@@ -196,19 +221,40 @@ class CudaDriver:
     # -- contexts ----------------------------------------------------------------
     def cuDevicePrimaryCtxRetain(self, dev: int) -> int:
         self._check_init()
+        self._fault("cuDevicePrimaryCtxRetain")
         if dev != 0:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_DEVICE)
         self._ctx_count += 1
         return 1  # the primary context handle
 
+    def cuDevicePrimaryCtxReset(self, dev: int = 0) -> CUresult:
+        """Destroy the primary context's state: all modules (with their
+        globals) and all device allocations are gone, and a sticky
+        (poisoned) error state is cleared — the one sanctioned way back
+        from context poisoning on real CUDA."""
+        self._check_init()
+        self._fault("cuDevicePrimaryCtxReset")
+        if dev != 0:
+            raise CudaError(CUresult.CUDA_ERROR_INVALID_DEVICE)
+        for addr in list(self.gmem._allocated):
+            self.gmem.free(addr)
+        self._modules.clear()
+        self._ctx_count = 0
+        self._note_mem_usage("reset", 0, 0)
+        if self.faults is not None:
+            self.faults.reset_context()
+        return CUresult.CUDA_SUCCESS
+
     def cuCtxSetCurrent(self, ctx: int) -> CUresult:
         self._check_init()
+        self._fault("cuCtxSetCurrent")
         if ctx != 1:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_CONTEXT)
         return CUresult.CUDA_SUCCESS
 
     def cuCtxSynchronize(self) -> CUresult:
         self._check_init()
+        self._fault("cuCtxSynchronize")
         # join every stream's enqueued (asynchronous) work
         t0 = self.clock.now()
         self.clock.advance_to(self.streams.all_done_at())
@@ -239,10 +285,12 @@ class CudaDriver:
 
     def cuStreamCreate(self, flags: int = 0) -> int:
         self._check_init()
+        self._fault("cuStreamCreate")
         return self.streams.create(flags)
 
     def cuStreamDestroy(self, stream: int) -> CUresult:
         self._check_init()
+        self._fault("cuStreamDestroy")
         try:
             self.streams.destroy(stream)
         except StreamError as exc:
@@ -253,6 +301,7 @@ class CudaDriver:
         """Block the host until the stream drains; returns the new host
         time (the simulated completion timestamp)."""
         self._check_init()
+        self._fault("cuStreamSynchronize")
         try:
             done_at = self.streams.completion_time(stream)
         except StreamError as exc:
@@ -267,6 +316,7 @@ class CudaDriver:
 
     def cuStreamQuery(self, stream: int) -> CUresult:
         self._check_init()
+        self._fault("cuStreamQuery")
         try:
             done_at = self.streams.completion_time(stream)
         except StreamError as exc:
@@ -278,6 +328,7 @@ class CudaDriver:
     def cuStreamWaitEvent(self, stream: int, event: int,
                           flags: int = 0) -> CUresult:
         self._check_init()
+        self._fault("cuStreamWaitEvent")
         try:
             self.streams.stream_wait_event(stream, event)
         except StreamError as exc:
@@ -286,10 +337,12 @@ class CudaDriver:
 
     def cuEventCreate(self) -> int:
         self._check_init()
+        self._fault("cuEventCreate")
         return self.streams.create_event()
 
     def cuEventDestroy(self, event: int) -> CUresult:
         self._check_init()
+        self._fault("cuEventDestroy")
         try:
             self.streams.destroy_event(event)
         except StreamError as exc:
@@ -298,6 +351,7 @@ class CudaDriver:
 
     def cuEventRecord(self, event: int, stream: int = DEFAULT_STREAM) -> CUresult:
         self._check_init()
+        self._fault("cuEventRecord")
         try:
             ev = self.streams.record(event, stream)
         except StreamError as exc:
@@ -311,6 +365,7 @@ class CudaDriver:
 
     def cuEventQuery(self, event: int) -> CUresult:
         self._check_init()
+        self._fault("cuEventQuery")
         try:
             ev = self.streams.get_event(event)
         except StreamError as exc:
@@ -321,6 +376,7 @@ class CudaDriver:
 
     def cuEventSynchronize(self, event: int) -> float:
         self._check_init()
+        self._fault("cuEventSynchronize")
         try:
             ev = self.streams.get_event(event)
         except StreamError as exc:
@@ -338,6 +394,7 @@ class CudaDriver:
     def cuEventElapsedTime(self, start: int, end: int) -> float:
         """Milliseconds between two recorded events (cuEventElapsedTime)."""
         self._check_init()
+        self._fault("cuEventElapsedTime")
         try:
             return self.streams.elapsed_ms(start, end)
         except StreamError as exc:
@@ -346,6 +403,7 @@ class CudaDriver:
     # -- modules ----------------------------------------------------------------
     def cuModuleLoadData(self, image: Union[bytes, PtxImage, CubinImage]) -> int:
         self._check_init()
+        self._fault("cuModuleLoadData")
         if isinstance(image, PtxImage):
             kind = "ptx"
         elif isinstance(image, CubinImage):
@@ -394,6 +452,7 @@ class CudaDriver:
 
     def cuModuleUnload(self, handle: int) -> CUresult:
         self._check_init()
+        self._fault("cuModuleUnload")
         loaded = self._modules.pop(handle, None)
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, f"module {handle}")
@@ -405,6 +464,7 @@ class CudaDriver:
 
     def cuModuleGetFunction(self, handle: int, name: str) -> CUfunction:
         self._check_init()
+        self._fault("cuModuleGetFunction")
         loaded = self._modules.get(handle)
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, f"module {handle}")
@@ -415,6 +475,7 @@ class CudaDriver:
 
     def cuModuleGetGlobal(self, handle: int, name: str) -> tuple[int, int]:
         self._check_init()
+        self._fault("cuModuleGetGlobal")
         loaded = self._modules.get(handle)
         if loaded is None or name not in loaded.global_addrs:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, name)
@@ -441,6 +502,7 @@ class CudaDriver:
         draw from (capacity minus the OS/display reservation and current
         allocations), mirroring the real API's semantics on the Nano."""
         self._check_init()
+        self._fault("cuMemGetInfo")
         return self.gmem.capacity - self.gmem.bytes_in_use, \
             self.device_props.total_global_mem
 
@@ -448,6 +510,7 @@ class CudaDriver:
         self._check_init()
         if size <= 0:
             raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, "size must be > 0")
+        self._fault("cuMemAlloc", nbytes=size)
         try:
             addr = self.gmem.alloc(size, align=256)
         except Exception as exc:
@@ -462,11 +525,13 @@ class CudaDriver:
 
     def cuMemFree(self, dptr: int) -> CUresult:
         self._check_init()
-        size = self.gmem.allocated_size(dptr) or 0
-        try:
-            self.gmem.free(dptr)
-        except Exception as exc:
-            raise CudaError(CUresult.CUDA_ERROR_INVALID_VALUE, str(exc)) from exc
+        self._fault("cuMemFree")
+        size = self.gmem.allocated_size(dptr)
+        if size is None:
+            raise CudaError(
+                CUresult.CUDA_ERROR_INVALID_VALUE,
+                f"free of unknown or already-freed device pointer {dptr:#x}")
+        self.gmem.free(dptr)
         self.log.add("free", 0.0)
         self._note_mem_usage("free", size, dptr)
         return CUresult.CUDA_SUCCESS
@@ -487,6 +552,7 @@ class CudaDriver:
         else:
             # reinterpret the array's bytes (never value-convert)
             data = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
+        self._fault("cuMemcpyHtoDAsync", nbytes=int(data.size))
         self.gmem.copy_in(dptr, data)
         cost = self.host_model.memcpy_time(data.size)
         start, end = self._schedule(stream, "memcpy_h2d", cost,
@@ -501,6 +567,7 @@ class CudaDriver:
                           stream: int = DEFAULT_STREAM) -> bytes:
         self._check_init()
         self._check_stream(stream)
+        self._fault("cuMemcpyDtoHAsync", nbytes=nbytes)
         data = self.gmem.copy_out(dptr, nbytes)
         cost = self.host_model.memcpy_time(nbytes)
         start, end = self._schedule(stream, "memcpy_d2h", cost, nbytes=nbytes)
@@ -511,6 +578,7 @@ class CudaDriver:
                    stream: int = DEFAULT_STREAM) -> CUresult:
         self._check_init()
         self._check_stream(stream)
+        self._fault("cuMemsetD8", nbytes=count)
         self.gmem.view(dptr, count, np.uint8)[:] = value & 0xFF
         cost = self.host_model.memcpy_time(count) / 2
         start, end = self._schedule(stream, "memcpy_h2d", cost, "memset",
@@ -664,6 +732,7 @@ class CudaDriver:
         # validate the stream up front: an unknown id is a loud error, not
         # a silently ignored argument
         self._check_stream(stream)
+        self._fault("cuLaunchKernel")
         loaded = self._modules.get(fn.module_handle)
         if loaded is None:
             raise CudaError(CUresult.CUDA_ERROR_NOT_FOUND, "module unloaded")

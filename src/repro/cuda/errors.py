@@ -13,6 +13,7 @@ class CUresult(enum.IntEnum):
     CUDA_ERROR_OUT_OF_MEMORY = 2
     CUDA_ERROR_NOT_INITIALIZED = 3
     CUDA_ERROR_DEINITIALIZED = 4
+    CUDA_ERROR_DEVICE_UNAVAILABLE = 46
     CUDA_ERROR_NO_DEVICE = 100
     CUDA_ERROR_INVALID_DEVICE = 101
     CUDA_ERROR_INVALID_IMAGE = 200
@@ -22,14 +23,25 @@ class CUresult(enum.IntEnum):
     CUDA_ERROR_NOT_READY = 600
     CUDA_ERROR_LAUNCH_FAILED = 719
     CUDA_ERROR_LAUNCH_OUT_OF_RESOURCES = 701
+    CUDA_ERROR_LAUNCH_TIMEOUT = 702
     CUDA_ERROR_UNKNOWN = 999
 
 
 class CudaError(Exception):
-    """Raised by the simulated driver API on any non-success result."""
+    """Raised by the simulated driver API on any non-success result.
 
-    def __init__(self, result: CUresult, detail: str = ""):
+    ``sticky`` marks context-poisoning errors (real CUDA: the context is
+    unusable until a primary-context reset, and every call returns the
+    same result).  ``injected`` marks faults raised by the fault injector
+    rather than the driver's own validation — recovery treats both alike,
+    but logs and tests can tell them apart.
+    """
+
+    def __init__(self, result: CUresult, detail: str = "",
+                 sticky: bool = False, injected: bool = False):
         self.result = result
         self.detail = detail
+        self.sticky = sticky
+        self.injected = injected
         msg = result.name + (f": {detail}" if detail else "")
         super().__init__(msg)

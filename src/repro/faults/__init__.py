@@ -1,0 +1,28 @@
+"""Fault-injection subsystem and recovery policy (see DESIGN.md §"Fault
+model and recovery").
+
+* :mod:`repro.faults.plan` — fault rules/plans and the ``REPRO_FAULTS``
+  spec grammar (presets: ``transient``, ``devlost``, ``oom``);
+* :mod:`repro.faults.injector` — the seeded :class:`FaultInjector` wired
+  into every ``cu*`` driver entry point, plus the :class:`FaultLog` that
+  records injections *and* recovery actions;
+* :mod:`repro.faults.recovery` — the :class:`RecoveryPolicy` the host
+  runtime applies: bounded retry with backoff, OOM eviction, and
+  whole-region host fallback.
+"""
+
+from repro.faults.injector import FaultInjector, FaultLog, resolve_faults
+from repro.faults.plan import (
+    FAULT_RESULTS, FaultPlan, FaultRule, FaultSpecError, PRESETS,
+)
+from repro.faults.recovery import (
+    DeviceLost, LOST_RESULTS, OffloadFailure, RecoveryPolicy,
+    TRANSIENT_RESULTS, is_lost, is_transient, resolve_recovery,
+)
+
+__all__ = [
+    "DeviceLost", "FAULT_RESULTS", "FaultInjector", "FaultLog", "FaultPlan",
+    "FaultRule", "FaultSpecError", "LOST_RESULTS", "OffloadFailure",
+    "PRESETS", "RecoveryPolicy", "TRANSIENT_RESULTS", "is_lost",
+    "is_transient", "resolve_faults", "resolve_recovery",
+]

@@ -1,0 +1,206 @@
+"""Fault plans: *what* to inject, *where*, and *when*.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultRule` instances.
+Each rule targets a named driver API (``fnmatch`` glob over the ``cu*``
+entry-point name) and fires on a trigger:
+
+* ``count=N`` — exactly the N-th matching call (1-based, deterministic);
+* ``probability=p`` — each matching call with probability *p*, drawn from
+  the injector's seeded RNG (deterministic for a fixed call sequence);
+* ``min_bytes=B`` — additionally restrict to operations moving/allocating
+  at least *B* bytes (size-threshold faults, e.g. "only large copies").
+
+``times`` bounds how often a rule may fire (count rules default to once;
+probability rules default to unlimited).  ``sticky`` rules poison the
+context: every later driver call fails with the same result until
+``cuDevicePrimaryCtxReset`` — the behaviour of real CUDA "sticky" errors.
+
+The ``REPRO_FAULTS`` environment variable / ``OmpiConfig(faults=...)`` /
+``ompicc --faults`` all accept the same textual spec::
+
+    spec      := preset | rules
+    rules     := rule (';' rule)*
+    rule      := kind '@' api-glob [':' key '=' value (',' key '=' value)*]
+    preset    := ('transient' | 'devlost' | 'oom') [':' key=value ...]
+
+Examples::
+
+    transient:seed=42                 # seeded low-probability transient plan
+    devlost                           # device unavailable from the start
+    oom@cuMemAlloc:count=3            # third allocation fails with OOM
+    launch_failed@cuLaunchKernel:count=2;transfer@cuMemcpy*:probability=0.01
+    poison@cuLaunchKernel:count=5     # fifth launch poisons the context
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cuda.errors import CUresult
+
+#: fault kind -> the CUresult the injected CudaError carries
+FAULT_RESULTS = {
+    "oom": CUresult.CUDA_ERROR_OUT_OF_MEMORY,
+    "launch_failed": CUresult.CUDA_ERROR_LAUNCH_FAILED,
+    "launch_timeout": CUresult.CUDA_ERROR_LAUNCH_TIMEOUT,
+    "transfer": CUresult.CUDA_ERROR_UNKNOWN,
+    "device_unavailable": CUresult.CUDA_ERROR_DEVICE_UNAVAILABLE,
+    #: sticky context poisoning (real CUDA: a sticky launch failure makes
+    #: every subsequent call on the context return the same error)
+    "poison": CUresult.CUDA_ERROR_LAUNCH_FAILED,
+}
+
+
+class FaultSpecError(ValueError):
+    """Malformed fault-plan specification."""
+
+
+@dataclass
+class FaultRule:
+    """One injectable fault: a kind, a target API glob and a trigger."""
+
+    kind: str
+    api: str = "*"
+    count: Optional[int] = None          # fire on the N-th matching call
+    probability: float = 0.0             # ...or with this per-call chance
+    min_bytes: int = 0                   # only ops of at least this size
+    times: Optional[int] = None          # max firings (None: unlimited)
+    sticky: bool = False                 # poison the context on firing
+    # -- mutable firing state (owned by the injector) --------------------
+    matched: int = 0
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_RESULTS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(sorted(FAULT_RESULTS))})")
+        if self.kind == "poison":
+            self.sticky = True
+        if self.count is not None and self.count < 1:
+            raise FaultSpecError("count is 1-based: must be >= 1")
+        if not (0.0 <= self.probability <= 1.0):
+            raise FaultSpecError("probability must be in [0, 1]")
+        if self.count is None and self.probability == 0.0:
+            # a rule with no trigger fires on every matching call
+            self.probability = 1.0
+        if self.times is None and self.count is not None:
+            self.times = 1
+
+    @property
+    def result(self) -> CUresult:
+        return FAULT_RESULTS[self.kind]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault rules plus the RNG seed."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a textual fault spec (see module docstring)."""
+        spec = spec.strip()
+        if not spec or spec in ("off", "0", "none"):
+            return cls()
+        head = spec.split(";", 1)[0].split(":", 1)[0].strip()
+        if head in PRESETS and "@" not in spec.split(";", 1)[0]:
+            opts = _parse_opts(spec.split(":", 1)[1]) if ":" in spec else {}
+            return PRESETS[head](opts)
+        rules = []
+        seed = 0
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            rule, rule_seed = _parse_rule(part)
+            rules.append(rule)
+            if rule_seed is not None:
+                seed = rule_seed
+        return cls(rules, seed=seed)
+
+
+def _parse_opts(text: str) -> dict:
+    opts: dict = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise FaultSpecError(f"expected key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        opts[key.strip()] = value.strip()
+    return opts
+
+
+_RULE_KEYS = {
+    "count": int,
+    "probability": float, "p": float,
+    "min_bytes": int,
+    "times": int,
+    "seed": int,
+    "sticky": lambda v: v not in ("0", "off", "false"),
+}
+
+
+def _parse_rule(text: str) -> tuple[FaultRule, Optional[int]]:
+    head, _, tail = text.partition(":")
+    kind, _, api = head.partition("@")
+    kind = kind.strip()
+    api = api.strip() or "*"
+    kwargs: dict = {}
+    seed: Optional[int] = None
+    for key, value in _parse_opts(tail).items():
+        conv = _RULE_KEYS.get(key)
+        if conv is None:
+            raise FaultSpecError(f"unknown fault-rule option {key!r}")
+        if key == "seed":
+            seed = int(value)
+            continue
+        kwargs["probability" if key == "p" else key] = conv(value)
+    try:
+        return FaultRule(kind, api, **kwargs), seed
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise FaultSpecError(str(exc)) from exc
+
+
+# -- presets -----------------------------------------------------------------
+
+def _preset_transient(opts: dict) -> FaultPlan:
+    """Low-probability transient faults on transfers and launches — every
+    one recoverable by the host runtime's bounded retry."""
+    p = float(opts.get("p", opts.get("probability", 0.02)))
+    return FaultPlan([
+        FaultRule("transfer", "cuMemcpy*", probability=p),
+        FaultRule("transfer", "cuMemsetD8", probability=p),
+        FaultRule("launch_failed", "cuLaunchKernel", probability=p),
+    ], seed=int(opts.get("seed", 0)))
+
+
+def _preset_devlost(opts: dict) -> FaultPlan:
+    """The device never comes up: ``cuInit`` fails permanently, so every
+    ``target`` region must complete on the host-fallback path."""
+    return FaultPlan([
+        FaultRule("device_unavailable", "cuInit", probability=1.0),
+    ], seed=int(opts.get("seed", 0)))
+
+
+def _preset_oom(opts: dict) -> FaultPlan:
+    """Allocation pressure: the N-th allocation (default: first) of at
+    least ``min_bytes`` reports OOM once — recoverable by evict + retry."""
+    return FaultPlan([
+        FaultRule("oom", "cuMemAlloc",
+                  count=int(opts.get("count", 1)),
+                  min_bytes=int(opts.get("min_bytes", 0))),
+    ], seed=int(opts.get("seed", 0)))
+
+
+PRESETS = {
+    "transient": _preset_transient,
+    "devlost": _preset_devlost,
+    "device-lost": _preset_devlost,
+    "oom": _preset_oom,
+}

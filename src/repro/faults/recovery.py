@@ -1,0 +1,125 @@
+"""Recovery policy: how the host runtime survives driver failures.
+
+Mirrors what the LLVM/OpenMP offload runtime does in practice (and what
+OpenMP 5.x semantics require): when offload is unavailable the ``target``
+region executes on the initial (host) device; transient failures are
+retried a bounded number of times; allocation failures trigger eviction
+of cached state before the retry.
+
+Error classification:
+
+* **transient** — a replay of the same operation may succeed: transfer
+  failures, launch failures, launch timeouts.  Retried with exponential
+  backoff up to :attr:`RecoveryPolicy.max_retries` times (the backoff is
+  simulated time on the virtual clock, so chaos runs stay deterministic).
+* **lost** — the device is gone (unavailable at init, or a sticky/
+  poisoned context): never retried; the region — and every later region —
+  falls back to the host, matching ``omp_get_initial_device`` semantics.
+* **OOM** — allocation retried once after evicting cached kernel modules
+  and idle staging (arena) blocks from device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.errors import CudaError, CUresult
+
+#: results a bounded retry may cure
+TRANSIENT_RESULTS = frozenset({
+    CUresult.CUDA_ERROR_UNKNOWN,
+    CUresult.CUDA_ERROR_LAUNCH_FAILED,
+    CUresult.CUDA_ERROR_LAUNCH_TIMEOUT,
+})
+
+#: results that mean the device is gone for good
+LOST_RESULTS = frozenset({
+    CUresult.CUDA_ERROR_NO_DEVICE,
+    CUresult.CUDA_ERROR_DEVICE_UNAVAILABLE,
+    CUresult.CUDA_ERROR_NOT_INITIALIZED,
+})
+
+
+class DeviceLost(Exception):
+    """The offload device is permanently unavailable; ``target`` regions
+    must complete on the initial (host) device."""
+
+
+class OffloadFailure(Exception):
+    """A kernel offload failed beyond the module-level recovery budget.
+
+    ``device_lost`` distinguishes a dead device (transfers unusable, the
+    runtime must not touch device memory again) from a launch-only
+    failure on an otherwise healthy device (host fallback plus a device
+    resync keeps the data environment coherent).
+    """
+
+    def __init__(self, kernel: str, cause: Exception,
+                 device_lost: bool = False):
+        self.kernel = kernel
+        self.cause = cause
+        self.device_lost = device_lost
+        super().__init__(f"offload of {kernel!r} failed: {cause}")
+
+
+def is_transient(exc: CudaError) -> bool:
+    return (not getattr(exc, "sticky", False)
+            and exc.result in TRANSIENT_RESULTS)
+
+
+def is_lost(exc: CudaError) -> bool:
+    return getattr(exc, "sticky", False) or exc.result in LOST_RESULTS
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs of the host runtime's fault recovery."""
+
+    #: bounded retry budget for transient transfer/launch failures
+    max_retries: int = 3
+    #: first retry delay (simulated seconds on the virtual clock)
+    backoff_s: float = 50e-6
+    #: multiplier applied to the delay after each failed retry
+    backoff_factor: float = 2.0
+    #: evict cached modules / idle arena blocks and retry on OOM
+    oom_evict: bool = True
+    #: execute the target region's ``*_hostfn`` on the initial device when
+    #: the device is unavailable or a launch permanently fails
+    host_fallback: bool = True
+
+
+_BOOL_KEYS = {"evict": "oom_evict", "fallback": "host_fallback",
+              "oom_evict": "oom_evict", "host_fallback": "host_fallback"}
+_NUM_KEYS = {"retries": ("max_retries", int),
+             "max_retries": ("max_retries", int),
+             "backoff": ("backoff_s", float),
+             "backoff_s": ("backoff_s", float),
+             "backoff_factor": ("backoff_factor", float)}
+
+
+def resolve_recovery(spec) -> RecoveryPolicy:
+    """``None`` -> defaults; a policy passes through; a string like
+    ``"retries=5,backoff=1e-3,fallback=off"`` is parsed."""
+    if spec is None:
+        return RecoveryPolicy()
+    if isinstance(spec, RecoveryPolicy):
+        return spec
+    if isinstance(spec, str):
+        policy = RecoveryPolicy()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"expected key=value, got {item!r}")
+            key, value = (s.strip() for s in item.split("=", 1))
+            if key in _BOOL_KEYS:
+                setattr(policy, _BOOL_KEYS[key],
+                        value not in ("0", "off", "false", "no"))
+            elif key in _NUM_KEYS:
+                attr, conv = _NUM_KEYS[key]
+                setattr(policy, attr, conv(value))
+            else:
+                raise ValueError(f"unknown recovery option {key!r}")
+        return policy
+    raise ValueError(f"bad recovery spec {spec!r}")

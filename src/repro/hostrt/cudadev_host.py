@@ -14,6 +14,16 @@ Kernel launch is the paper's three phases:
    environment are host addresses already translated to device addresses,
    scalars pass by value; the module builds the final parameter set;
 3. **launch** — grid/block dimensions are set and ``cuLaunchKernel`` runs.
+
+The module is also where the runtime's **fault recovery** lives (see
+DESIGN.md §"Fault model and recovery"): every driver call the module
+issues runs under its :class:`~repro.faults.recovery.RecoveryPolicy` —
+transient transfer/launch failures retry with exponential backoff (on the
+virtual clock, so chaos runs stay deterministic), allocation failures
+evict cached modules and idle pool blocks before one more attempt, and a
+lost device (unavailable at init, or a sticky poisoned context) marks the
+module ``lost`` so the owning Ort reroutes every later operation to the
+initial (host) device.
 """
 
 from __future__ import annotations
@@ -22,8 +32,12 @@ from typing import Optional
 
 from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
 from repro.cuda.driver import CudaDriver, CUfunction
-from repro.cuda.errors import CudaError
+from repro.cuda.errors import CudaError, CUresult
 from repro.cuda.ptx.jit import JitCache
+from repro.faults.injector import resolve_faults
+from repro.faults.recovery import (
+    DeviceLost, OffloadFailure, is_lost, is_transient, resolve_recovery,
+)
 from repro.hostrt.devices import DeviceModule
 from repro.mem import LinearMemory
 from repro.prof.ompt import OmptRegistry
@@ -41,45 +55,73 @@ class CudadevModule(DeviceModule):
         launch_mode: str = "auto",
         fastpath: Optional[str] = None,
         profile=None,
+        faults=None,
+        recovery=None,
     ):
         self.host_mem = host_mem
+        self.recovery = resolve_recovery(recovery)
+        # The module — not the raw driver — resolves the fault spec (and
+        # the REPRO_FAULTS environment variable): faults model *hardware*
+        # misbehaving under a runtime that recovers, so they only make
+        # sense on driver calls that run under this module's policy.
         self.driver = CudaDriver(device, clock=clock, jit_cache=jit_cache,
                                  launch_mode=launch_mode, fastpath=fastpath,
-                                 profile=profile)
+                                 profile=profile,
+                                 faults=resolve_faults(faults))
         #: OMPT-style tool callbacks (target-begin/end, data-op, submit);
         #: shared with the owning Ort so tools can hook either layer
         self.ompt = OmptRegistry()
         self._initialized = False
+        #: permanent device loss: every later operation must go to the host
+        self.lost = False
+        self.lost_cause: Optional[Exception] = None
         #: kernel name -> image (bytes/PtxImage/CubinImage), the "kernel
         #: files" OMPi locates at runtime
         self._images: dict[str, object] = {}
         #: kernel name -> (module handle, CUfunction) after loading phase
         self._loaded: dict[str, CUfunction] = {}
+        #: module handles exempt from OOM eviction (declare-target globals
+        #: hold permanent device addresses into them)
+        self._pinned: set[int] = set()
         self.attributes: dict[str, int] = {}
         self.stdout: list[str] = []
         #: stream all module operations route through while a deferred
         #: (``target nowait``) task body is executing; None = default
         #: stream, i.e. the host-synchronous path
         self.current_stream: Optional[int] = None
+        # -- small-mapping pool state (see mem_alloc) --------------------
+        self._arena_free: list[int] = []
+        self._arena_live: set[int] = set()
+        self._arena_addrs: set[int] = set()
+        self._arena_blocks: list[int] = []
 
     # -- lifecycle ----------------------------------------------------------------
     def initialize(self) -> None:
         if self._initialized:
             return
+        if self.lost:
+            raise DeviceLost(str(self.lost_cause))
         drv = self.driver
-        drv.cuInit(0)
-        ndev = drv.cuDeviceGetCount()
-        if ndev < 1:
-            raise CudaError(2, "no CUDA device")  # pragma: no cover
-        dev = drv.cuDeviceGet(0)
-        # capture hardware characteristics into module data structures
-        for attr in ("MAX_THREADS_PER_BLOCK", "WARP_SIZE",
-                     "MULTIPROCESSOR_COUNT", "MAX_SHARED_MEMORY_PER_BLOCK",
-                     "CLOCK_RATE", "COMPUTE_CAPABILITY_MAJOR",
-                     "COMPUTE_CAPABILITY_MINOR"):
-            self.attributes[attr] = drv.cuDeviceGetAttribute(attr, dev)
-        ctx = drv.cuDevicePrimaryCtxRetain(dev)
-        drv.cuCtxSetCurrent(ctx)
+        try:
+            drv.cuInit(0)
+            ndev = drv.cuDeviceGetCount()
+            if ndev < 1:  # pragma: no cover - simulator always has one
+                raise CudaError(CUresult.CUDA_ERROR_NO_DEVICE,
+                                "no CUDA device")
+            dev = drv.cuDeviceGet(0)
+            # capture hardware characteristics into module data structures
+            for attr in ("MAX_THREADS_PER_BLOCK", "WARP_SIZE",
+                         "MULTIPROCESSOR_COUNT", "MAX_SHARED_MEMORY_PER_BLOCK",
+                         "CLOCK_RATE", "COMPUTE_CAPABILITY_MAJOR",
+                         "COMPUTE_CAPABILITY_MINOR"):
+                self.attributes[attr] = drv.cuDeviceGetAttribute(attr, dev)
+            ctx = drv.cuDevicePrimaryCtxRetain(dev)
+            drv.cuCtxSetCurrent(ctx)
+        except CudaError as exc:
+            if is_lost(exc):
+                self._mark_lost(exc)
+                raise DeviceLost(str(exc)) from exc
+            raise
         self._initialized = True
 
     @property
@@ -87,8 +129,102 @@ class CudadevModule(DeviceModule):
         return self._initialized
 
     def _ensure_init(self) -> None:
+        if self.lost:
+            raise DeviceLost(str(self.lost_cause))
         if not self._initialized:
             self.initialize()
+
+    # -- fault recovery -----------------------------------------------------------
+    @property
+    def faultlog(self):
+        """The driver's fault log: injections *and* recovery actions."""
+        return self.driver.faultlog
+
+    @property
+    def fault_stats(self) -> dict:
+        """Counters by lifecycle op (inject/retry/evict/fallback/...)."""
+        return dict(self.driver.faultlog.counters)
+
+    def _mark_lost(self, exc: Exception) -> None:
+        if not self.lost:
+            self.lost = True
+            self.lost_cause = exc
+            self.faultlog.note("device_lost", detail=str(exc))
+
+    def _with_retries(self, api: str, op):
+        """Run one driver operation under the recovery policy.
+
+        Transient failures (transfer/launch/timeout, non-sticky) retry up
+        to ``max_retries`` times with exponential backoff; the backoff is
+        simulated time, so recovery is visible on the modelled timeline
+        and chaos runs stay deterministic.  Lost-device failures mark the
+        module lost and raise :class:`DeviceLost` — the injector raises
+        *before* any driver side effect, so a retry replays cleanly."""
+        delay = self.recovery.backoff_s
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except CudaError as exc:
+                if is_lost(exc):
+                    self._mark_lost(exc)
+                    raise DeviceLost(str(exc)) from exc
+                if not is_transient(exc) or attempt >= self.recovery.max_retries:
+                    raise
+                attempt += 1
+                self.faultlog.note("retry", api=api, fault=exc.result.name,
+                                   attempt=attempt,
+                                   detail=f"backoff {delay:g}s")
+                self.driver.clock.advance(delay)
+                delay *= self.recovery.backoff_factor
+
+    def _evict(self) -> int:
+        """Drop recreatable device memory under OOM pressure: cached
+        (non-pinned) kernel modules — they reload from their registered
+        images on the next launch — and pool blocks with no live slot.
+        Returns the number of bytes released."""
+        before = self.driver.gmem.bytes_in_use
+        handles: dict[int, list[str]] = {}
+        for kname, fn in self._loaded.items():
+            if fn.module_handle not in self._pinned:
+                handles.setdefault(fn.module_handle, []).append(kname)
+        for handle, knames in handles.items():
+            self.driver.cuModuleUnload(handle)
+            for kname in knames:
+                del self._loaded[kname]
+        if not self._arena_live and self._arena_blocks:
+            for base in self._arena_blocks:
+                self.driver.cuMemFree(base)
+            self._arena_blocks.clear()
+            self._arena_free.clear()
+            self._arena_addrs.clear()
+        return before - self.driver.gmem.bytes_in_use
+
+    def _cu_alloc(self, size: int) -> int:
+        """cuMemAlloc under the recovery policy: on OOM, evict and try
+        once more (matching the real runtime's behaviour of flushing its
+        caches before reporting allocation failure to the program)."""
+        try:
+            return self._with_retries(
+                "cuMemAlloc", lambda: self.driver.cuMemAlloc(size))
+        except CudaError as exc:
+            if (exc.result != CUresult.CUDA_ERROR_OUT_OF_MEMORY
+                    or not self.recovery.oom_evict):
+                raise
+            freed = self._evict()
+            self.faultlog.note(
+                "evict", api="cuMemAlloc", nbytes=freed,
+                detail=f"OOM on {size}-byte alloc: evicted {freed} bytes")
+            return self._with_retries(
+                "cuMemAlloc", lambda: self.driver.cuMemAlloc(size))
+
+    def pin_module(self, kernel_name: str) -> None:
+        """Exempt a loaded kernel's module from OOM eviction (used for
+        modules that own ``declare target`` globals: the data environment
+        holds permanent device addresses into them)."""
+        fn = self._loaded.get(kernel_name)
+        if fn is not None:
+            self._pinned.add(fn.module_handle)
 
     # -- memory + transfers ----------------------------------------------------------
     #: small mappings (scalars) come from a pooled arena so launch-heavy
@@ -101,22 +237,30 @@ class CudadevModule(DeviceModule):
     def mem_alloc(self, size: int) -> int:
         self._ensure_init()
         if size <= self._ARENA_THRESHOLD:
-            free = self.__dict__.setdefault("_arena_free", [])
-            if not free:
-                base = self.driver.cuMemAlloc(self._ARENA_BLOCK)
-                free.extend(base + i * self._ARENA_SLOT
-                            for i in range(self._ARENA_BLOCK // self._ARENA_SLOT))
-            addr = free.pop()
-            self.__dict__.setdefault("_arena_addrs", set()).add(addr)
+            if not self._arena_free:
+                base = self._cu_alloc(self._ARENA_BLOCK)
+                slots = [base + i * self._ARENA_SLOT
+                         for i in range(self._ARENA_BLOCK // self._ARENA_SLOT)]
+                self._arena_blocks.append(base)
+                self._arena_free.extend(slots)
+                self._arena_addrs.update(slots)
+            addr = self._arena_free.pop()
+            self._arena_live.add(addr)
             return addr
-        return self.driver.cuMemAlloc(size)
+        return self._cu_alloc(size)
 
     def mem_free(self, addr: int) -> None:
-        arena = self.__dict__.get("_arena_addrs")
-        if arena and addr in arena:
-            self.__dict__["_arena_free"].append(addr)
+        if addr in self._arena_addrs:
+            if addr not in self._arena_live:
+                raise CudaError(
+                    CUresult.CUDA_ERROR_INVALID_VALUE,
+                    f"double free of pooled device pointer {addr:#x}")
+            self._arena_live.discard(addr)
+            self._arena_free.append(addr)
             return
-        self.driver.cuMemFree(addr)
+        if self.lost:
+            raise DeviceLost(str(self.lost_cause))
+        self._with_retries("cuMemFree", lambda: self.driver.cuMemFree(addr))
 
     def write(self, dev_addr: int, host_addr: int, size: int) -> None:
         self._ensure_init()
@@ -125,19 +269,28 @@ class CudadevModule(DeviceModule):
                                addr=host_addr, nbytes=size)
         data = self.host_mem.copy_out(host_addr, size)
         if self.current_stream is not None:
-            self.driver.cuMemcpyHtoDAsync(dev_addr, data, self.current_stream)
+            self._with_retries(
+                "cuMemcpyHtoDAsync",
+                lambda: self.driver.cuMemcpyHtoDAsync(dev_addr, data,
+                                                      self.current_stream))
         else:
-            self.driver.cuMemcpyHtoD(dev_addr, data)
+            self._with_retries(
+                "cuMemcpyHtoD",
+                lambda: self.driver.cuMemcpyHtoD(dev_addr, data))
 
     def read(self, host_addr: int, dev_addr: int, size: int) -> None:
         if self.ompt.active:
             self.ompt.dispatch("data_op", optype="transfer_from", device=0,
                                addr=host_addr, nbytes=size)
         if self.current_stream is not None:
-            data = self.driver.cuMemcpyDtoHAsync(dev_addr, size,
-                                                 self.current_stream)
+            data = self._with_retries(
+                "cuMemcpyDtoHAsync",
+                lambda: self.driver.cuMemcpyDtoHAsync(dev_addr, size,
+                                                      self.current_stream))
         else:
-            data = self.driver.cuMemcpyDtoH(dev_addr, size)
+            data = self._with_retries(
+                "cuMemcpyDtoH",
+                lambda: self.driver.cuMemcpyDtoH(dev_addr, size))
         self.host_mem.copy_in(host_addr, data)
 
     # -- kernels -------------------------------------------------------------------
@@ -151,17 +304,23 @@ class CudadevModule(DeviceModule):
         image = self._images.get(kernel_name)
         if image is None:
             raise CudaError(
-                500, f"kernel file for {kernel_name!r} not found "
+                CUresult.CUDA_ERROR_NOT_FOUND,
+                f"kernel file for {kernel_name!r} not found "
                 "(was the kernel registered with the module?)"
             )
-        handle = self.driver.cuModuleLoadData(image)
+        handle = self._with_retries(
+            "cuModuleLoadData",
+            lambda: self.driver.cuModuleLoadData(image))
         fn = self.driver.cuModuleGetFunction(handle, kernel_name)
         self._loaded[kernel_name] = fn
         return fn
 
     def offload(self, kernel_name: str, args: list, teams, threads) -> None:
         self._ensure_init()
-        fn = self._loading_phase(kernel_name)           # phase 1
+        try:
+            fn = self._loading_phase(kernel_name)       # phase 1
+        except DeviceLost as exc:
+            raise OffloadFailure(kernel_name, exc, device_lost=True) from exc
         params = list(args)                             # phase 2 (translated
                                                         # by the data env)
         gx, gy, gz = teams
@@ -171,10 +330,23 @@ class CudadevModule(DeviceModule):
         if self.ompt.active:
             self.ompt.dispatch("submit", kernel=kernel_name, teams=teams,
                                threads=threads, stream=stream)
-        self.driver.cuLaunchKernel(
-            fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
-            stream=stream, kernel_params=params,
-        )
+        try:
+            self._with_retries(
+                "cuLaunchKernel",
+                lambda: self.driver.cuLaunchKernel(
+                    fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
+                    stream=stream, kernel_params=params,
+                ))
+        except DeviceLost as exc:
+            raise OffloadFailure(kernel_name, exc, device_lost=True) from exc
+        except CudaError as exc:
+            # recovery budget exhausted (or an injected non-transient
+            # failure): the owning Ort decides on host fallback.  Genuine
+            # program errors (unknown kernel, bad image/handle) propagate —
+            # fallback must not mask bugs.
+            if exc.injected or is_transient(exc):
+                raise OffloadFailure(kernel_name, exc) from exc
+            raise
         if self.driver.stdout:
             self.stdout.extend(self.driver.stdout)
             self.driver.stdout.clear()

@@ -20,14 +20,16 @@ import numpy as np
 from repro.cfront.errors import InterpError
 from repro.cfront.interp import Machine, Ptr
 from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.errors import CudaError
 from repro.cuda.ptx.jit import JitCache
+from repro.faults.recovery import DeviceLost, OffloadFailure
 from repro.hostrt.cudadev_host import CudadevModule
 from repro.hostrt.devices import HostDevice
 from repro.hostrt.icv import ICVs
 from repro.hostrt.mapping import DataEnv, MappingError
 from repro.hostrt.team import HostTeamError, TeamStack
 from repro.rt_async.taskgraph import (
-    DEP_IN, DEP_INOUT, DEP_OUT, StreamPoolScheduler,
+    DEP_IN, DEP_INOUT, DEP_OUT, OffloadTaskError, StreamPoolScheduler,
 )
 from repro.timing.clock import VirtualClock
 
@@ -42,6 +44,8 @@ class Ort:
         launch_mode: str = "auto",
         fastpath: Optional[str] = None,
         profile=None,
+        faults=None,
+        recovery=None,
     ):
         self.machine = machine
         self.clock = clock or VirtualClock()
@@ -50,7 +54,9 @@ class Ort:
                                      jit_cache=jit_cache,
                                      launch_mode=launch_mode,
                                      fastpath=fastpath,
-                                     profile=profile)
+                                     profile=profile,
+                                     faults=faults, recovery=recovery)
+        self.recovery = self.cudadev.recovery
         #: OMPT-style tool callback registry, shared with the device module
         #: so callbacks see both runtime-level and module-level events
         self.ompt = self.cudadev.ompt
@@ -60,6 +66,9 @@ class Ort:
         self.dataenvs = {0: DataEnv(self.cudadev)}
         self.teams = TeamStack(self.icvs.nthreads_var)
         self._pending_kargs: list = []
+        #: host-address twins of the pending kernel arguments — what the
+        #: ``*_hostfn`` receives if the launch has to fall back to the host
+        self._pending_hostargs: list = []
         self._pending_pargs: list = []
         # -- asynchronous offload (target nowait + depend) ---------------
         self._pending_deps: list[tuple[int, int]] = []
@@ -78,8 +87,15 @@ class Ort:
 
     def _resolve_device(self, dev: int) -> int:
         if dev < 0:  # "default device" sentinel from the code generator
-            return self.icvs.default_device_var
-        return int(dev)
+            dev = self.icvs.default_device_var
+        dev = int(dev)
+        # a permanently lost device reroutes to the initial (host) device:
+        # maps become the identity, launches run the *_hostfn — host memory
+        # is authoritative from the moment of loss (OpenMP fallback rules)
+        if (0 <= dev < self.initial_device
+                and getattr(self.devices[dev], "lost", False)):
+            return self.initial_device
+        return dev
 
     def _env(self, dev: int) -> Optional[DataEnv]:
         dev = self._resolve_device(dev)
@@ -144,6 +160,8 @@ class Ort:
             env.map_enter(addr, int(size), int(map_type))
         except MappingError as exc:
             raise InterpError(str(exc), loc) from exc
+        except DeviceLost:
+            return 0  # device gone mid-map: identity (host) route from here
         if self.ompt.active:
             self.ompt.dispatch("data_op", optype="alloc", device=dev,
                                addr=addr, nbytes=int(size))
@@ -160,6 +178,8 @@ class Ort:
             env.map_exit(addr, int(map_type))
         except MappingError as exc:
             raise InterpError(str(exc), loc) from exc
+        except DeviceLost:
+            return 0  # nothing to copy back: host memory is authoritative
         if self.ompt.active:
             self.ompt.dispatch("data_op", optype="delete", device=dev,
                                addr=addr, nbytes=0)
@@ -170,7 +190,10 @@ class Ort:
         dev = self._resolve_device(int(dev))
         if dev >= self.initial_device:
             return 0
-        self.dataenvs[dev].update_to(self._addr_of(ptr, loc), int(size))
+        try:
+            self.dataenvs[dev].update_to(self._addr_of(ptr, loc), int(size))
+        except DeviceLost:
+            pass
         return 0
 
     def _ort_update_from(self, machine, args, loc):
@@ -178,7 +201,10 @@ class Ort:
         dev = self._resolve_device(int(dev))
         if dev >= self.initial_device:
             return 0
-        self.dataenvs[dev].update_from(self._addr_of(ptr, loc), int(size))
+        try:
+            self.dataenvs[dev].update_from(self._addr_of(ptr, loc), int(size))
+        except DeviceLost:
+            pass
         return 0
 
     def _ort_is_present(self, machine, args, loc):
@@ -199,6 +225,7 @@ class Ort:
         dev = self._resolve_device(int(dev))
         if dev >= self.initial_device:
             self._pending_kargs.append(base)   # host fallback: host pointer
+            self._pending_hostargs.append(base)
             return 0
         env = self.dataenvs[dev]
         base_addr = self._addr_of(base, loc)
@@ -208,6 +235,7 @@ class Ort:
         except MappingError as exc:
             raise InterpError(str(exc), loc) from exc
         self._pending_kargs.append(np.uint64(dev_mapped - (mapped_addr - base_addr)))
+        self._pending_hostargs.append(base)
         return 0
 
     def _ort_arg_val(self, machine, args, loc):
@@ -215,24 +243,43 @@ class Ort:
         never enters the device data environment)."""
         _dev, value = args
         self._pending_kargs.append(value)
+        self._pending_hostargs.append(value)
         return 0
 
     def _ort_offload(self, machine, args, loc):
         dev, name_ptr, gx, gy, gz, bx, by, bz = args
-        dev = self._resolve_device(int(dev))
+        requested = int(dev)
+        if requested < 0:
+            requested = self.icvs.default_device_var
+        dev = self._resolve_device(requested)
         name = machine.read_cstring(name_ptr)
         kargs = self._pending_kargs
+        hostargs = self._pending_hostargs
         self._pending_kargs = []
+        self._pending_hostargs = []
         teams = (max(int(gx), 1), max(int(gy), 1), max(int(gz), 1))
         threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
         if dev >= self.initial_device:
-            self.host_device.offload(name, kargs, teams, threads)
+            if 0 <= requested < self.initial_device:
+                # region targeted a lost device: record the reroute so the
+                # degradation is visible in the profile/fault log
+                self.devices[requested].faultlog.note(
+                    "fallback", api=name,
+                    detail=f"device lost: target region {name!r} -> host")
+            self.host_device.offload(name, hostargs, teams, threads)
             return 0
         module = self.devices[dev]
+        task = self._task_stack[-1] if self._task_stack else None
+        if task is not None and task.dead:
+            return 0  # cancelled/failed deferred task: the body launches nothing
         if self.ompt.active:
             self.ompt.dispatch("target_begin", device=dev, kernel=name,
                                teams=teams, threads=threads)
-        module.offload(name, kargs, teams, threads)
+        try:
+            module.offload(name, kargs, teams, threads)
+        except (OffloadFailure, DeviceLost) as exc:
+            self._offload_failed(machine, exc, dev, name, hostargs,
+                                 teams, threads, task, loc)
         if self.ompt.active:
             self.ompt.dispatch("target_end", device=dev, kernel=name,
                                teams=teams, threads=threads)
@@ -240,6 +287,55 @@ class Ort:
             machine.stdout.extend(module.stdout)
             module.stdout.clear()
         return 0
+
+    def _offload_failed(self, machine, exc, dev: int, name: str,
+                        hostargs: list, teams, threads, task, loc) -> None:
+        """A kernel offload failed beyond the module's recovery budget.
+
+        Inside a deferred (``nowait``) task there is no inline fallback:
+        the task is marked failed, its dependents cancel, and the error
+        surfaces at the joining ``taskwait``.  Synchronous regions fall
+        back to the registered ``*_hostfn`` on the initial device; when
+        the device itself is still healthy (a launch-only failure) the
+        mapped data is then resynced host -> device so later regions and
+        the eventual copy-back observe the host-computed values."""
+        module = self.devices[dev]
+        if task is not None:
+            self.scheduler.fail_task(task, exc)
+            return
+        if not self.recovery.host_fallback:
+            raise InterpError(str(exc), loc) from exc
+        lost = getattr(exc, "device_lost", False) or isinstance(exc, DeviceLost)
+        cause = getattr(exc, "cause", exc)
+        module.faultlog.note(
+            "fallback", api=name,
+            fault=getattr(getattr(cause, "result", None), "name", ""),
+            detail=f"target region {name!r} -> host ({cause})")
+        self.host_device.offload(name, hostargs, teams, threads)
+        if not lost:
+            self._resync_device(dev, hostargs)
+
+    def _resync_device(self, dev: int, hostargs: list) -> None:
+        """After a host-fallback on a *healthy* device, push the host
+        values of every mapped argument back to the device copy, keeping
+        the data environment coherent (the later ``map_exit`` copy-back
+        must return exactly what the fallback computed)."""
+        module = self.devices[dev]
+        env = self.dataenvs[dev]
+        synced: set[int] = set()
+        try:
+            for arg in hostargs:
+                if not isinstance(arg, Ptr):
+                    continue
+                entry = env.find(arg.addr)
+                if entry is None or entry.host_addr in synced:
+                    continue
+                synced.add(entry.host_addr)
+                module.write(entry.dev_addr, entry.host_addr, entry.size)
+        except (DeviceLost, CudaError) as exc:
+            # resync impossible: treat the device as lost so no later
+            # operation trusts the (now stale) device copies
+            module._mark_lost(exc)
 
     # -- deferred offload tasks (target nowait / depend) -------------------------
     @property
@@ -263,14 +359,20 @@ class Ort:
         dev = self._resolve_device(int(args[0]))
         deps = self._pending_deps
         self._pending_deps = []
+        if dev < self.initial_device:
+            try:
+                scheduler = self.scheduler
+            except DeviceLost:
+                dev = self.initial_device  # device died at first task: host route
         if dev >= self.initial_device:
             # host-device fallback: the "task" runs synchronously inline
             self._task_stack.append(None)
             return 0
         self._task_count += 1
-        task = self.scheduler.begin_task(f"offload_task{self._task_count}",
-                                         deps)
+        task = scheduler.begin_task(f"offload_task{self._task_count}", deps)
         self._task_stack.append(task)
+        # a task cancelled at creation (failed predecessor) has no stream;
+        # its body still runs through the natives but launches nothing
         self.cudadev.current_stream = task.stream
         return 0
 
@@ -294,12 +396,17 @@ class Ort:
         return 0
 
     def _ort_taskwait(self, machine, args, loc):
-        self.taskwait()
+        try:
+            self.taskwait()
+        except OffloadTaskError as exc:
+            raise InterpError(str(exc), loc) from exc
         return 0
 
     def taskwait(self) -> None:
         """Join the offload task graph (``taskwait``, barriers, and the
-        implicit join at program exit)."""
+        implicit join at program exit).  Raises
+        :class:`~repro.rt_async.taskgraph.OffloadTaskError` if any joined
+        task failed (its dependents were cancelled)."""
         if self._scheduler is not None:
             self._scheduler.taskwait()
 
@@ -330,7 +437,10 @@ class Ort:
                 "the sequential host-team simulation (see hostrt.team)"
             )
         # a barrier is an implicit taskwait: deferred offloads must complete
-        self.taskwait()
+        try:
+            self.taskwait()
+        except OffloadTaskError as exc:
+            raise InterpError(str(exc), loc) from exc
         return 0
 
     # -- declare target globals ---------------------------------------------------
@@ -343,18 +453,29 @@ class Ort:
         links kernel files separately, so a declare-target variable shared
         by several kernel files would need a cross-module linker step this
         reproduction does not model (documented limitation)."""
-        self.cudadev.initialize()
-        fn = self.cudadev._loading_phase(kernel_name)
-        dev_addr, dev_size = self.cudadev.driver.cuModuleGetGlobal(
-            fn.module_handle, name)
+        try:
+            self.cudadev.initialize()
+            fn = self.cudadev._loading_phase(kernel_name)
+            dev_addr, dev_size = self.cudadev.driver.cuModuleGetGlobal(
+                fn.module_handle, name)
+        except DeviceLost:
+            # device gone: the host global is the only copy, and every
+            # target region runs on the host anyway (identity mapping)
+            return
         if dev_size < size:
             raise InterpError(
                 f"device global {name!r} smaller than host object")
+        # the entry holds a permanent device address into this module, so
+        # OOM eviction must never unload it
+        self.cudadev.pin_module(kernel_name)
         env = self.dataenvs[0]
         from repro.hostrt.mapping import MapEntry
         env.entries[host_addr] = MapEntry(host_addr, size, dev_addr,
                                           refcount=1 << 30)
-        self.cudadev.write(dev_addr, host_addr, size)
+        try:
+            self.cudadev.write(dev_addr, host_addr, size)
+        except DeviceLost:
+            del env.entries[host_addr]  # host copy is the only copy now
 
     # -- host omp API ----------------------------------------------------------------
     def _omp_set_default_device(self, machine, args, loc):

@@ -67,6 +67,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(see also REPRO_PROFILE)")
     parser.add_argument("--block-shape", default=None, metavar="X,Y,Z",
                         help="force thread-block shape for combined constructs")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject driver faults: a preset (transient, "
+                             "devlost, oom) or 'kind@api:key=val,...' rules "
+                             "(see also REPRO_FAULTS)")
+    parser.add_argument("--recovery", default=None, metavar="OPTS",
+                        help="recovery policy overrides, e.g. "
+                             "'retries=5,backoff=1e-3,fallback=off'")
     return parser
 
 
@@ -85,7 +92,8 @@ def main(argv: list[str] | None = None) -> int:
         shape = tuple(parts + [1] * (3 - len(parts)))[:3]
     config = OmpiConfig(binary_mode="ptx" if args.ptx else "cubin",
                         arch=args.arch, block_shape=shape,
-                        profile=args.profile)
+                        profile=args.profile,
+                        faults=args.faults, recovery=args.recovery)
     try:
         program = OmpiCompiler(config).compile(source, name)
     except Exception as exc:
@@ -121,6 +129,11 @@ def main(argv: list[str] | None = None) -> int:
                   f"{event.kernel or ''} {event.detail}", file=sys.stderr)
         print(f"  measured (kernel + memory ops): "
               f"{run.measured_time * 1e3:.3f} ms", file=sys.stderr)
+    stats = run.ort.cudadev.fault_stats
+    if stats:
+        print("ompicc: fault/recovery events: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),
+              file=sys.stderr)
     if run.profile is not None:
         from repro.prof.report import summary
         print(summary(run.profile), file=sys.stderr)

@@ -95,13 +95,18 @@ class CompiledProgram:
         main: bool = True,
         profile=None,
         ompt: Optional[dict] = None,
+        faults=None,
+        recovery=None,
     ) -> ProgramRun:
         machine = Machine(self.host_unit, heap_capacity=heap_capacity)
         ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
                   launch_mode=launch_mode,
                   fastpath=self.config.kernel_fastpath,
                   profile=profile if profile is not None
-                  else self.config.profile)
+                  else self.config.profile,
+                  faults=faults if faults is not None else self.config.faults,
+                  recovery=recovery if recovery is not None
+                  else self.config.recovery)
         if ompt:
             for event, fn in ompt.items():
                 ort.ompt.set_callback(event, fn)

@@ -36,6 +36,13 @@ class OmpiConfig:
     #: the ring-buffer capacity; an ActivityRecorder instance is used as-is
     #: (lets callers inspect records directly); False/'off' disables.
     profile: object = None
+    #: fault injection (repro.faults): None defers to REPRO_FAULTS; a spec
+    #: string (preset name or 'kind@api:key=val,...;...' rules), FaultPlan
+    #: or FaultInjector enables injection; False/'off' disables.
+    faults: object = None
+    #: recovery policy: None uses defaults; a RecoveryPolicy or a string
+    #: like 'retries=5,backoff=1e-3,fallback=off' overrides.
+    recovery: object = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

@@ -17,9 +17,9 @@ variable, or ``ompicc --profile[=trace.json]``.
 """
 
 from repro.prof.activity import (
-    ActivityRecord, ActivityRecorder, EventActivity, KernelActivity,
-    KernelExecActivity, MemcpyActivity, MemoryActivity, ModuleActivity,
-    SyncActivity, TaskActivity, WaitActivity, resolve_profile,
+    ActivityRecord, ActivityRecorder, EventActivity, FaultActivity,
+    KernelActivity, KernelExecActivity, MemcpyActivity, MemoryActivity,
+    ModuleActivity, SyncActivity, TaskActivity, WaitActivity, resolve_profile,
 )
 from repro.prof.chrome import chrome_trace, trace_events, write_chrome_trace
 from repro.prof.metrics import (
@@ -29,9 +29,10 @@ from repro.prof.ompt import OMPT_EVENTS, OmptError, OmptRegistry
 from repro.prof.report import summary
 
 __all__ = [
-    "ActivityRecord", "ActivityRecorder", "EventActivity", "KernelActivity",
-    "KernelExecActivity", "KernelMetrics", "MemcpyActivity", "MemoryActivity",
-    "ModuleActivity", "OMPT_EVENTS", "OmptError", "OmptRegistry",
+    "ActivityRecord", "ActivityRecorder", "EventActivity", "FaultActivity",
+    "KernelActivity", "KernelExecActivity", "KernelMetrics", "MemcpyActivity",
+    "MemoryActivity", "ModuleActivity", "OMPT_EVENTS", "OmptError",
+    "OmptRegistry",
     "SyncActivity", "TaskActivity", "WaitActivity", "chrome_trace",
     "format_metrics_table", "kernel_metrics", "resolve_profile", "summary",
     "trace_events", "write_chrome_trace",

@@ -206,11 +206,30 @@ class TaskActivity(ActivityRecord):
 
     kind: ClassVar[str] = "task"
 
-    op: str = ""                     # 'begin' | 'end' | 'sync' | 'taskwait'
+    op: str = ""     # 'begin' | 'end' | 'sync' | 'taskwait' | 'fail' | 'cancel'
     tid: int = 0
     label: str = ""
     deps: tuple = ()
     preds: tuple = ()
+
+
+@dataclass
+class FaultActivity(ActivityRecord):
+    """One fault-related happening: an injected driver failure or a
+    recovery action the runtime took in response (emitted by the
+    :class:`repro.faults.injector.FaultLog`, so chrome traces show the
+    degradation alongside the work it disturbed)."""
+
+    kind: ClassVar[str] = "fault"
+
+    #: 'inject' | 'retry' | 'evict' | 'fallback' | 'device_lost'
+    #: | 'task_fail' | 'cancel' | 'poison' | 'reset'
+    op: str = ""
+    api: str = ""                    # driver API (or kernel/task label)
+    fault: str = ""                  # CUresult name of the failure
+    attempt: int = 0                 # retry attempt number (op == 'retry')
+    nbytes: int = 0
+    detail: str = ""
 
 
 class ActivityRecorder:

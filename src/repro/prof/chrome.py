@@ -137,6 +137,14 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
                                   r.t_start,
                                   {"tid": r.tid, "stream": r.stream,
                                    "preds": list(r.preds)}))
+        elif r.kind == "fault":
+            # degradation markers: injected faults and the recovery the
+            # runtime applied, on the host track next to the work they hit
+            events.append(instant(PID_HOST, TID_HOST,
+                                  f"fault:{r.op} {r.api}".rstrip(),
+                                  r.t_start,
+                                  {"fault": r.fault, "attempt": r.attempt,
+                                   "bytes": r.nbytes, "detail": r.detail}))
         # kernel_exec records carry no timeline (pure engine counters);
         # they feed the metrics table, not the trace
     return events

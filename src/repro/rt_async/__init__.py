@@ -8,12 +8,14 @@ from repro.rt_async.streams import (
 )
 from repro.rt_async.taskgraph import (
     DEP_CODES, DEP_IN, DEP_INOUT, DEP_NAMES, DEP_OUT, DependenceCycleError,
-    OffloadTask, StreamPoolScheduler, TaskGraph, TaskGraphError,
+    OffloadTask, OffloadTaskError, StreamPoolScheduler, TaskGraph,
+    TaskGraphError,
 )
 
 __all__ = [
     "CudaEvent", "CudaStream", "DEFAULT_STREAM", "DEP_CODES", "DEP_IN",
     "DEP_INOUT", "DEP_NAMES", "DEP_OUT", "DependenceCycleError",
-    "NON_BLOCKING", "OffloadTask", "StreamError", "StreamOp",
-    "StreamPoolScheduler", "StreamTable", "TaskGraph", "TaskGraphError",
+    "NON_BLOCKING", "OffloadTask", "OffloadTaskError", "StreamError",
+    "StreamOp", "StreamPoolScheduler", "StreamTable", "TaskGraph",
+    "TaskGraphError",
 ]

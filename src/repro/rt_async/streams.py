@@ -100,6 +100,10 @@ class StreamTable:
         self._stream_handles = itertools.count(1)
         self._event_handles = itertools.count(1)
         self._engine_ready: dict[str, float] = {e: 0.0 for e in ENGINES}
+        #: latest completion time of any *destroyed* stream's pending work:
+        #: cuStreamDestroy on a busy stream drains it first (CUDA semantics),
+        #: so that work still bounds device-wide synchronisation.
+        self._drained_at = 0.0
 
     # -- streams ---------------------------------------------------------------
     def create(self, flags: int = 0) -> int:
@@ -110,8 +114,14 @@ class StreamTable:
     def destroy(self, handle: int) -> None:
         if handle == DEFAULT_STREAM:
             raise StreamError("the default stream cannot be destroyed")
-        if self.streams.pop(handle, None) is None:
+        stream = self.streams.pop(handle, None)
+        if stream is None:
             raise StreamError(f"unknown stream handle {handle}")
+        # CUDA semantics: destroying a stream with pending work does not
+        # cancel the work — the handle is released immediately and the
+        # device drains the queue.  Keep the drain horizon so ctx-wide
+        # synchronisation still waits for it.
+        self._drained_at = max(self._drained_at, stream.ready_at)
 
     def get(self, handle: int) -> CudaStream:
         stream = self.streams.get(handle)
@@ -126,8 +136,10 @@ class StreamTable:
         return self.get(handle).ready_at
 
     def all_done_at(self) -> float:
-        """Time at which every stream's enqueued work has completed."""
-        return max(s.ready_at for s in self.streams.values())
+        """Time at which every stream's enqueued work has completed,
+        including work still draining on destroyed streams."""
+        return max(self._drained_at,
+                   max(s.ready_at for s in self.streams.values()))
 
     # -- scheduling ---------------------------------------------------------------
     def schedule(self, handle: int, kind: str, cost: float) -> tuple[float, float]:

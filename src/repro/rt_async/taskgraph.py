@@ -53,6 +53,24 @@ class DependenceCycleError(TaskGraphError):
     """A chain of dependences that contradicts itself (a cycle)."""
 
 
+class OffloadTaskError(TaskGraphError):
+    """One or more nowait tasks failed; raised at the joining ``taskwait``
+    (OpenMP: unhandled errors in a deferred task surface at the next task
+    scheduling point that joins it)."""
+
+    def __init__(self, failed: list["OffloadTask"], cancelled: int = 0):
+        self.failed = list(failed)
+        self.cancelled = cancelled
+        names = ", ".join(f"{t.tid}:{t.label!r}" for t in self.failed)
+        causes = "; ".join(str(t.error) for t in self.failed if t.error)
+        msg = f"{len(self.failed)} offload task(s) failed ({names})"
+        if cancelled:
+            msg += f", {cancelled} dependent task(s) cancelled"
+        if causes:
+            msg += f": {causes}"
+        super().__init__(msg)
+
+
 @dataclass
 class OffloadTask:
     tid: int
@@ -64,7 +82,15 @@ class OffloadTask:
     #: filled in by the scheduler
     stream: Optional[int] = None
     done_event: Optional[int] = None
-    state: str = "created"          # created | issued | retired
+    state: str = "created"    # created | issued | retired | failed | cancelled
+    #: the exception that failed the task (state == "failed")
+    error: Optional[Exception] = None
+
+    @property
+    def dead(self) -> bool:
+        """Failed or cancelled: the task performs no more work and its
+        dependents must not run."""
+        return self.state in ("failed", "cancelled")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         deps = ", ".join(f"{DEP_NAMES.get(c, c)}:{a:#x}" for c, a in self.deps)
@@ -210,6 +236,16 @@ class StreamPoolScheduler:
         waits.  The caller then performs the task's work on
         ``task.stream`` and calls :meth:`end_task`."""
         task = self.graph.add_task(label, deps)
+        # error propagation: a task whose predecessor failed (or was itself
+        # cancelled) must not run — OpenMP dependences order *completed*
+        # work, and there is nothing correct to order against.
+        for p in task.preds:
+            if self.graph.tasks[p].dead:
+                task.state = "cancelled"
+                self._note(task, "cancel")
+                self._note_fault("cancel", task,
+                                 detail=f"predecessor task {p} failed")
+                return task
         stream = None
         for p in task.preds:
             pstream = self.graph.tasks[p].stream
@@ -229,17 +265,45 @@ class StreamPoolScheduler:
         return task
 
     def end_task(self, task: OffloadTask) -> None:
-        """Record the task's completion event on its stream."""
+        """Record the task's completion event on its stream.  Dead tasks
+        (failed or cancelled) record nothing: there is no completion to
+        mark, and successors are cancelled rather than ordered."""
+        if task.dead:
+            return
         event = self.driver.cuEventCreate()
         self.driver.cuEventRecord(event, task.stream)
         task.done_event = event
         self.graph.mark_issued(task.tid)
         self._note(task, "end")
 
+    def fail_task(self, task: OffloadTask, exc: Exception) -> None:
+        """Mark a task failed and cancel its transitive dependents.
+
+        Most cancellation happens lazily in :meth:`begin_task` (successors
+        are usually submitted *after* the failure); this walk catches
+        already-registered dependents."""
+        task.state = "failed"
+        task.error = exc
+        self._note(task, "fail")
+        self._note_fault("task_fail", task, detail=str(exc))
+        stack = list(task.succs)
+        while stack:
+            tid = stack.pop()
+            succ = self.graph.tasks.get(tid)
+            if succ is None or succ.dead or succ.state == "retired":
+                continue
+            succ.state = "cancelled"
+            self._note(succ, "cancel")
+            self._note_fault("cancel", succ,
+                             detail=f"predecessor task {task.tid} failed")
+            stack.extend(succ.succs)
+
     def sync_task(self, task: OffloadTask) -> None:
         """Block the host until this one task's work completes (a ``target
         depend(...)`` *without* nowait: an undeferred task that still
         orders against the graph)."""
+        if task.dead:
+            return
         if task.done_event is not None:
             self.driver.cuEventSynchronize(task.done_event)
         elif task.stream is not None:
@@ -260,17 +324,34 @@ class StreamPoolScheduler:
             t_start=now, t_end=now,
         ))
 
+    def _note_fault(self, op: str, task: OffloadTask, detail: str = "") -> None:
+        """Mirror failure/cancellation into the driver's fault log (the
+        same sink the injector and the recovery machinery report to)."""
+        faultlog = getattr(self.driver, "faultlog", None)
+        if faultlog is not None:
+            faultlog.note(op, api=task.label, detail=detail)
+
     # -- joins -------------------------------------------------------------------
     def taskwait(self) -> float:
         """Join every submitted task (``taskwait`` / implicit barrier):
         advances the host clock to the completion of all pool streams and
-        resets the graph.  Returns the join time."""
+        resets the graph.  Returns the join time.
+
+        If any task failed, the failure surfaces *here* as an
+        :class:`OffloadTaskError` — after the streams are drained and the
+        graph is reset, so the runtime is reusable afterwards."""
         t = 0.0
         for handle in self.pool:
             t = max(t, self.driver.cuStreamSynchronize(handle))
+        failed = [task for task in self.graph.tasks.values()
+                  if task.state == "failed"]
+        cancelled = sum(1 for task in self.graph.tasks.values()
+                        if task.state == "cancelled")
         self.graph.retire_all()
         self.graph.reset()
         self._note(None, "taskwait")
+        if failed:
+            raise OffloadTaskError(failed, cancelled)
         return t
 
     @property

@@ -208,3 +208,82 @@ def test_property_vectorized_matches_scalar_semantics(start, stop, step, scale):
         i += step
     assert np.array_equal(m.global_array("xs"), expect[:512].astype(np.int32))
     assert m.global_array("final") == i
+
+
+def test_scalar_reduction_folds_sequentially():
+    """``acc[inv] += expr(i)`` collapses every iteration onto one cell; the
+    fold must accumulate in the target dtype with the same rounding as the
+    scalar loop (regression: the scatter path read a stale accumulator and
+    kept only the last iteration's addition)."""
+    m = run("""
+    float a[16], b[16], acc[2];
+    int main(void) {
+        int k;
+        for (k = 0; k < 16; k++) { a[k] = k + 1; b[k] = k + 2; }
+        acc[0] = 3.0f;
+        for (k = 0; k < 16; k++) acc[0] += 2.0f * a[k] * b[k];
+        return 0;
+    }
+    """)
+    a = np.arange(16, dtype=np.float32) + 1
+    b = np.arange(16, dtype=np.float32) + 2
+    expect = np.float32(3.0)
+    for k in range(16):
+        expect = np.float32(expect + np.float32(2.0) * a[k] * b[k])
+    assert m.global_array("acc")[0] == expect
+
+
+def test_gemm_inner_loop_reduction():
+    """The gemm host-fallback shape: an invariant-indexed accumulator inside
+    nested loops, seeded by a ``*=`` statement."""
+    m = run("""
+    float A[16], B[16], C[16];
+    int main(void) {
+        int i, j, k, n;
+        n = 4;
+        for (i = 0; i < 16; i++) { A[i] = i + 1; B[i] = 16 - i; C[i] = i; }
+        for (i = 0; i < n; i++)
+            for (j = 0; j < n; j++)
+            {
+                C[i * n + j] *= 3.0f;
+                for (k = 0; k < n; k++)
+                    C[i * n + j] += 2.0f * A[i * n + k] * B[k * n + j];
+            }
+        return 0;
+    }
+    """)
+    a = (np.arange(16, dtype=np.float32) + 1).reshape(4, 4)
+    b = (16 - np.arange(16, dtype=np.float32)).reshape(4, 4)
+    c = np.arange(16, dtype=np.float32).reshape(4, 4)
+    expect = 2.0 * (a.astype(np.float64) @ b) + 3.0 * c
+    assert np.allclose(m.global_array("C").reshape(4, 4), expect, rtol=1e-5)
+
+
+def test_reduction_reading_accumulator_on_rhs_falls_back():
+    """``acc[0] = acc[0] + x[i]`` (plain assign) and self-referential
+    compound forms cannot fold; they must tree-walk and stay correct."""
+    m = run("""
+    int xs[8];
+    int acc[1];
+    int main(void) {
+        int i;
+        for (i = 0; i < 8; i++) xs[i] = i + 1;
+        acc[0] = 0;
+        for (i = 0; i < 8; i++) acc[0] = acc[0] + xs[i];
+        return 0;
+    }
+    """)
+    assert m.global_array("acc")[0] == 36
+
+
+def test_integer_reduction_tree_walks_correctly():
+    m = run("""
+    int acc[1];
+    int main(void) {
+        int i;
+        acc[0] = 5;
+        for (i = 0; i < 10; i++) acc[0] += i;
+        return 0;
+    }
+    """)
+    assert m.global_array("acc")[0] == 50

@@ -61,6 +61,28 @@ def test_mem_alloc_free_and_oom():
         drv.cuMemAlloc(0)
 
 
+def test_mem_free_double_free_rejected():
+    """Regression: freeing the same device pointer twice must be a clean
+    CUDA_ERROR_INVALID_VALUE, not silent corruption of the allocator."""
+    drv = make_driver()
+    a = drv.cuMemAlloc(1024)
+    drv.cuMemFree(a)
+    with pytest.raises(CudaError) as err:
+        drv.cuMemFree(a)
+    assert err.value.result == CUresult.CUDA_ERROR_INVALID_VALUE
+    assert "already-freed" in err.value.detail
+
+
+def test_mem_free_unknown_pointer_rejected():
+    drv = make_driver()
+    a = drv.cuMemAlloc(1024)
+    for bogus in (0, a + 8, 0xdeadbeef):
+        with pytest.raises(CudaError) as err:
+            drv.cuMemFree(bogus)
+        assert err.value.result == CUresult.CUDA_ERROR_INVALID_VALUE
+    drv.cuMemFree(a)  # the real allocation is still freeable
+
+
 def test_module_load_and_launch_cubin():
     drv = make_driver()
     image = compile_device(SRC, "m", mode="cubin")

@@ -12,6 +12,7 @@ EXAMPLES = [
     "examples/data_environments.py",
     "examples/compiler_pipeline.py",
     "examples/async_overlap.py",
+    "examples/fault_tolerance.py",
 ]
 
 

@@ -410,3 +410,110 @@ def test_depend_without_nowait_is_blocking():
     spans = kernel_spans(log)
     (p_start, p_end), (c_start, _c_end) = spans
     assert c_start >= p_end
+
+
+# ---------------------------------------------------------------------------
+# cuStreamDestroy drains pending work (CUDA semantics)
+# ---------------------------------------------------------------------------
+
+def test_stream_destroy_drains_pending_work():
+    """Destroying a stream with pending work releases the handle but the
+    work still completes: device-wide synchronisation waits for it."""
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    (_k_start, k_end), = kernel_spans(drv.log, stream=s)
+    drv.cuStreamDestroy(s)
+    with pytest.raises(CudaError):
+        drv.cuStreamQuery(s)           # handle gone immediately
+    assert drv.streams.all_done_at() >= k_end
+    drv.cuCtxSynchronize()
+    assert drv.clock.now() >= k_end  # host still waits for the drain
+
+
+def test_stream_destroy_drain_orders_default_stream():
+    """Legacy default-stream work begins only after work that was draining
+    on a destroyed stream."""
+    drv = make_driver()
+    fn = loaded_kernel(drv)
+    s = drv.cuStreamCreate()
+    n = 1 << 16
+    a = drv.cuMemAlloc(4 * n)
+    drv.cuLaunchKernel(fn, 256, 1, 1, 256, 1, 1,
+                       kernel_params=[a, np.float32(2.0), np.int32(n)],
+                       stream=s)
+    (_s0, e0), = kernel_spans(drv.log, stream=s)
+    drv.cuStreamDestroy(s)
+    drv.cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1,
+                       kernel_params=[a, np.float32(0.5), np.int32(32)],
+                       stream=0)
+    (s1, _e1), = kernel_spans(drv.log, stream=0)
+    assert s1 >= e0
+
+
+# ---------------------------------------------------------------------------
+# Task-graph error propagation (failed nowait tasks cancel dependents)
+# ---------------------------------------------------------------------------
+
+def test_failed_task_cancels_transitive_dependents():
+    from repro.rt_async import OffloadTaskError, StreamPoolScheduler
+    drv = make_driver()
+    sched = StreamPoolScheduler(drv)
+    t1 = sched.begin_task("producer", [(DEP_OUT, 0x1000)])
+    sched.fail_task(t1, RuntimeError("injected launch failure"))
+    sched.end_task(t1)
+    assert t1.state == "failed" and t1.done_event is None
+    # dependent submitted after the failure: cancelled at begin
+    t2 = sched.begin_task("consumer", [(DEP_IN, 0x1000)])
+    assert t2.state == "cancelled" and t2.stream is None
+    sched.end_task(t2)
+    # transitive dependent of the cancelled task is cancelled too
+    t3 = sched.begin_task("grandchild",
+                          [(DEP_IN, 0x1000), (DEP_OUT, 0x2000)])
+    assert t3.state == "cancelled"
+    sched.end_task(t3)
+    # an unrelated task still runs normally
+    t4 = sched.begin_task("independent", [(DEP_OUT, 0x3000)])
+    assert t4.state == "created" and t4.stream is not None
+    sched.end_task(t4)
+    with pytest.raises(OffloadTaskError) as exc_info:
+        sched.taskwait()
+    err = exc_info.value
+    assert len(err.failed) == 1 and err.failed[0].tid == t1.tid
+    assert err.cancelled == 2
+    # the join reset the graph: the scheduler is reusable afterwards
+    t5 = sched.begin_task("after", [(DEP_IN, 0x1000)])
+    assert t5.state == "created"
+    sched.end_task(t5)
+    sched.taskwait()
+
+
+def test_fail_task_cancels_already_registered_successors():
+    from repro.rt_async import StreamPoolScheduler, OffloadTaskError
+    drv = make_driver()
+    sched = StreamPoolScheduler(drv)
+    t1 = sched.begin_task("a", [(DEP_OUT, 0x10)])
+    sched.end_task(t1)
+    from repro.rt_async import DEP_INOUT
+    t2 = sched.begin_task("b", [(DEP_INOUT, 0x10)])
+    sched.end_task(t2)
+    # t1 already has t2 registered as successor; failing t1 now walks it
+    sched.fail_task(t1, RuntimeError("late failure"))
+    assert t2.state == "cancelled"
+    with pytest.raises(OffloadTaskError):
+        sched.taskwait()
+
+
+def test_nowait_task_failure_surfaces_at_taskwait():
+    """End-to-end: a permanently failing launch inside a nowait task fails
+    the task, cancels its dependent, and the error surfaces at taskwait."""
+    from repro.cfront.errors import InterpError
+    compiled = OmpiCompiler().compile(DEP_CHAIN, name="chain_fail")
+    with pytest.raises(InterpError, match="offload task"):
+        compiled.run(faults="launch_failed@cuLaunchKernel:p=1.0,times=100",
+                     recovery="retries=0")
