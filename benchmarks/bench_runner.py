@@ -17,6 +17,10 @@ path is slower than the reference or produces different results.
 ``--profile-overhead`` times the gemm smoke case with activity profiling
 off vs on (best of 3) and exits non-zero if enabling the profiler costs
 more than 10% wall-clock.
+``--shard-check`` runs the gemm smoke case once on a single device and
+once sharded across 4 simulated devices (``shard(4)`` on the target
+construct, ``num_devices=4``) and exits non-zero unless the sharded
+output is bit-identical and every device launched a shard.
 """
 
 from __future__ import annotations
@@ -102,6 +106,48 @@ def profile_overhead(app_name: str = "gemm", n: int = 128,
     }
 
 
+def shard_check(app_name: str = "gemm", n: int = 128,
+                shards: int = 4) -> dict:
+    """Single-device vs sharded multi-device run of one benchmark point;
+    the sharded output must be bit-identical (full functional execution
+    on both sides — sharded launches never sample by construction)."""
+    from repro.bench.harness import _heap_capacity
+    from repro.ompi.compiler import OmpiCompiler
+    from repro.ompi.config import OmpiConfig
+
+    app = get_app(app_name)
+    src = app.omp_source(n)
+    marker = "target teams distribute parallel for"
+    sharded_src = src.replace(marker, f"{marker} shard({shards})", 1)
+    assert sharded_src != src, f"{app_name} has no shardable construct"
+
+    outputs: dict[str, dict] = {}
+    devices_used: list[int] = []
+    for key, (source, ndev) in (("single", (src, 1)),
+                                ("sharded", (sharded_src, shards))):
+        config = OmpiConfig(block_shape=app.block_shape, num_devices=ndev,
+                            profile=(key == "sharded"))
+        prog = OmpiCompiler(config).compile(source, f"{app_name}_{key}")
+        run = prog.run(launch_mode="full", seed_arrays=app.seed(n),
+                       heap_capacity=_heap_capacity(app, n))
+        outputs[key] = {
+            name: np.asarray(run.machine.global_array(name)).copy()
+            for name in app.outputs
+        }
+        if key == "sharded":
+            devices_used = sorted({r.device for r in run.ort.prof
+                                   if r.kind == "kernel"})
+    identical = all(
+        outputs["single"][name].tobytes() == outputs["sharded"][name].tobytes()
+        for name in app.outputs
+    )
+    return {
+        "benchmark": app_name, "size": n, "shards": shards,
+        "devices_used": devices_used,
+        "bit_identical": bool(identical),
+    }
+
+
 def parse_points(specs: list[str]) -> list[tuple[str, int]]:
     points = []
     for spec in specs:
@@ -125,7 +171,32 @@ def main(argv=None) -> int:
                     help="measure activity-profiler overhead on the gemm "
                          "smoke case; fail if enabled-vs-disabled wall-clock "
                          "exceeds 10%%")
+    ap.add_argument("--shard-check", action="store_true",
+                    help="run the gemm smoke case sharded across 4 simulated "
+                         "devices; fail unless the output is bit-identical "
+                         "to the single-device run")
     args = ap.parse_args(argv)
+
+    if args.shard_check:
+        print("[bench] shard check (gemm:128, 1 device vs shard(4)) ...",
+              flush=True)
+        entry = shard_check()
+        print(f"[bench]   devices used: {entry['devices_used']}  "
+              f"bit_identical={entry['bit_identical']}")
+        out_path = Path(args.output) if args.output else (
+            Path(__file__).resolve().parent.parent / "BENCH_shard.json")
+        out_path.write_text(json.dumps(entry, indent=2) + "\n")
+        print(f"[bench] wrote {out_path}")
+        failures = []
+        if not entry["bit_identical"]:
+            failures.append("sharded output differs from single-device run")
+        if entry["devices_used"] != list(range(entry["shards"])):
+            failures.append(f"expected kernels on devices "
+                            f"{list(range(entry['shards']))}, "
+                            f"got {entry['devices_used']}")
+        for msg in failures:
+            print(f"[bench] FAIL {msg}", file=sys.stderr)
+        return 1 if failures else 0
 
     if args.profile_overhead:
         print("[bench] profiler overhead (gemm:128, best of 3) ...",

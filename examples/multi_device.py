@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Multi-device offloading: ``device(k)`` routing and sharded GEMM.
+
+The runtime can simulate a registry of N CUDA devices (``ompicc
+--num-devices``, ``REPRO_NUM_DEVICES``, or ``OmpiConfig(num_devices=N)``)
+— each with its own driver state, memory arena, stream pool and data
+environment.  This example shows the two ways a program uses them:
+
+1. **explicit routing** — ``device(k)`` on a target construct maps the
+   data into device *k*'s environment and launches on device *k*; the
+   activity records prove which device ran what;
+2. **sharding** — the ``shard(n)`` extension clause on ``target teams
+   distribute`` splits the team iteration space across the first *n*
+   devices.  Every device receives the full global grid dimensions but
+   launches only its contiguous block subrange, so global indices are
+   unchanged and the merged result is bit-identical to a single-device
+   run.  The per-device kernels overlap on the simulated clock.
+
+Run:  python3 examples/multi_device.py
+"""
+
+import numpy as np
+
+from repro.ompi.compiler import OmpiCompiler
+from repro.ompi.config import OmpiConfig
+
+N = 48
+
+GEMM = r'''
+float A[%N%][%N%], B[%N%][%N%], C[%N%][%N%];
+
+int main(void)
+{
+    int i, j, k;
+    #pragma omp target teams distribute parallel for num_teams(8) %CLAUSE% \
+        map(to: A, B) map(tofrom: C)
+    for (i = 0; i < %N%; i++)
+        for (j = 0; j < %N%; j++) {
+            float acc = 0.0f;
+            for (k = 0; k < %N%; k++)
+                acc += A[i][k] * B[k][j];
+            C[i][j] = acc;
+        }
+    return 0;
+}
+'''
+
+ROUTED = r'''
+float x[256], y[256];
+
+int main(void)
+{
+    int i;
+    #pragma omp target teams distribute parallel for device(0) map(tofrom: x)
+    for (i = 0; i < 256; i++) x[i] = 2.0f * i;
+    #pragma omp target teams distribute parallel for device(1) map(tofrom: y)
+    for (i = 0; i < 256; i++) y[i] = 3.0f * i;
+    return 0;
+}
+'''
+
+
+def gemm_source(clause: str) -> str:
+    src = GEMM.replace("%N%", str(N))
+    return (src.replace("%CLAUSE% \\", "\\") if not clause
+            else src.replace("%CLAUSE%", clause))
+
+
+def seed(run):
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((N, N)).astype(np.float32)
+    b = rng.standard_normal((N, N)).astype(np.float32)
+    return {"A": a, "B": b, "C": np.zeros((N, N), dtype=np.float32)}
+
+
+def main() -> None:
+    print("== device(k) routing on a 2-device registry ==")
+    prog = OmpiCompiler(OmpiConfig(num_devices=2, profile=True)) \
+        .compile(ROUTED, "routed")
+    run = prog.run()
+    x = np.array(run.machine.global_array("x"))
+    y = np.array(run.machine.global_array("y"))
+    assert (x == 2.0 * np.arange(256)).all()
+    assert (y == 3.0 * np.arange(256)).all()
+    by_device = {}
+    for r in run.ort.prof:
+        if r.kind == "kernel":
+            by_device.setdefault(r.device, []).append(r.name)
+    for dev in sorted(by_device):
+        print(f"  device {dev} ran: {', '.join(by_device[dev])}")
+    assert sorted(by_device) == [0, 1], "each region ran on its own device"
+
+    print(f"\n== sharded gemm (n={N}) on 4 devices vs 1 device ==")
+    single = OmpiCompiler(OmpiConfig(num_devices=1)) \
+        .compile(gemm_source(""), "gemm1")
+    sharded = OmpiCompiler(OmpiConfig(num_devices=4, profile=True)) \
+        .compile(gemm_source("shard(4)"), "gemm4")
+    seeds = seed(None)
+    run1 = single.run(seed_arrays={k: v.copy() for k, v in seeds.items()})
+    run4 = sharded.run(seed_arrays={k: v.copy() for k, v in seeds.items()})
+    c1 = np.array(run1.machine.global_array("C"))
+    c4 = np.array(run4.machine.global_array("C"))
+    assert c1.tobytes() == c4.tobytes(), "sharded result must be bit-identical"
+    print(f"  bit-identical result across shards: checksum="
+          f"{float(np.sum(c4)):.6g}")
+
+    kernels = [r for r in run4.ort.prof if r.kind == "kernel"]
+    kernels.sort(key=lambda r: r.device)
+    print("  per-device shard launches (full global grid, partial blocks):")
+    for r in kernels:
+        print(f"    device {r.device}: grid={tuple(r.grid)} "
+              f"[{r.t_start * 1e3:.3f} ms .. {r.t_end * 1e3:.3f} ms]")
+    first_end = min(r.t_end for r in kernels)
+    overlap = [r for r in kernels if r.t_start < first_end]
+    assert len(overlap) == 4, "all four shards overlap on the clock"
+    print(f"  all {len(kernels)} shards overlap in simulated time "
+          "(independent devices, independent streams)")
+
+
+if __name__ == "__main__":
+    main()

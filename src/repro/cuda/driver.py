@@ -92,6 +92,7 @@ class CudaDriver:
         clock: Optional[VirtualClock] = None,
         jit_cache: Optional[JitCache] = None,
         gmem_capacity: Optional[int] = None,
+        gmem_base: int = DEVICE_MEM_BASE,
         launch_mode: str = "auto",
         sample_threshold_threads: int = 1 << 15,
         intrinsics: Optional[dict] = None,
@@ -114,7 +115,9 @@ class CudaDriver:
         self.launch_mode = launch_mode
         self.sample_threshold = sample_threshold_threads
         capacity = gmem_capacity or (device.total_global_mem - RESERVED_MEM)
-        self.gmem = LinearMemory(capacity, base=DEVICE_MEM_BASE, name="gmem")
+        # multi-device registries hand each driver a disjoint base so the
+        # host interpreter's space_of() can tell the address spaces apart
+        self.gmem = LinearMemory(capacity, base=gmem_base, name="gmem")
         self.gpu_model = GpuTimingModel(device)
         self.host_model = HostModel()
         #: activity recorder (None: profiling disabled, hooks cost one
@@ -586,6 +589,28 @@ class CudaDriver:
         self._note_memcpy("h2d", count, start, end, stream, detail="memset")
         return CUresult.CUDA_SUCCESS
 
+    def cuMemcpyPeer(self, dst_dptr: int, dst_driver: "CudaDriver",
+                     src_dptr: int, nbytes: int,
+                     stream: int = DEFAULT_STREAM) -> CUresult:
+        """Device-to-device transfer between two driver instances
+        (``cuMemcpyPeer``-style: source and destination live in different
+        contexts).  The bytes move immediately; the cost occupies the
+        *source* device's copy engine on ``stream`` and the destination's
+        copy-engine timeline is pushed to the same completion point, so
+        neither device can overlap another transfer with it."""
+        self._check_init()
+        self._check_stream(stream)
+        self._fault("cuMemcpyPeer", nbytes=nbytes)
+        data = self.gmem.copy_out(src_dptr, nbytes)
+        dst_driver.gmem.copy_in(dst_dptr, data)
+        cost = self.host_model.memcpy_time(nbytes)
+        start, end = self._schedule(stream, "memcpy_d2d", cost, "peer",
+                                    nbytes=nbytes)
+        if dst_driver is not self:
+            dst_driver.streams.occupy_engine("copy", end)
+        self._note_memcpy("d2d", nbytes, start, end, stream, detail="peer")
+        return CUresult.CUDA_SUCCESS
+
     def _check_stream(self, stream: int) -> None:
         """Validate a stream handle *before* any functional side effect,
         so a bad handle is a clean CUDA_ERROR_INVALID_HANDLE instead of a
@@ -727,6 +752,7 @@ class CudaDriver:
         shared_mem_bytes: int = 0,
         stream: int = 0,
         kernel_params: Optional[list] = None,
+        block_range: Optional[tuple[int, int]] = None,
     ) -> KernelStats:
         self._check_init()
         # validate the stream up front: an unknown id is a loud error, not
@@ -751,7 +777,23 @@ class CudaDriver:
                                   fastpath=self.fastpath,
                                   compile_cache=self.kernel_cache,
                                   recorder=self.prof)
-        total_blocks = grid.count
+        # a sharded launch executes only a contiguous range of linear block
+        # ids, with the *full* grid dims still visible to the device runtime
+        # (cudadev_get_distribute_chunk derives each team's iteration chunk
+        # from its global block id, so the subset covers exactly the global
+        # sub-range the shard owns)
+        shard_blocks = None
+        if block_range is not None:
+            blo, bhi = block_range
+            if not (0 <= blo <= bhi <= grid.count):
+                raise CudaError(
+                    CUresult.CUDA_ERROR_INVALID_VALUE,
+                    f"block_range {block_range} outside grid of {grid.count}")
+            shard_blocks = [
+                (b % grid.x, (b // grid.x) % grid.y, b // (grid.x * grid.y))
+                for b in range(blo, bhi)
+            ]
+        total_blocks = grid.count if shard_blocks is None else len(shard_blocks)
         warps_per_block = (block.count + 31) // 32
         total_warps = total_blocks * warps_per_block
         communicates = self._kernel_communicates(kernel)
@@ -760,6 +802,10 @@ class CudaDriver:
             or (self.launch_mode == "auto"
                 and total_blocks * block.count > self.sample_threshold)
         )
+        # never sample a shard: every retained block must actually run so
+        # sharded output stays bit-identical to the single-device run
+        if shard_blocks is not None:
+            sample = False
         # In explicit sample mode even communicating kernels join a launch
         # *series*: sampled launches execute in full (their behaviour is not
         # block-local so no subsetting), unsampled ones are extrapolated.
@@ -774,6 +820,9 @@ class CudaDriver:
                 stats = self._sampled_launch(engine, kernel, fn, grid, block,
                                              params, total_blocks, total_warps,
                                              communicates)
+            elif shard_blocks is not None:
+                stats = engine.launch(kernel, grid, block, params,
+                                      only_blocks=shard_blocks)
             else:
                 stats = engine.launch(kernel, grid, block, params)
         except LaunchError as exc:

@@ -57,20 +57,30 @@ class CudadevModule(DeviceModule):
         profile=None,
         faults=None,
         recovery=None,
+        ordinal: int = 0,
+        ompt=None,
+        gmem_base: Optional[int] = None,
+        intrinsics=None,
     ):
         self.host_mem = host_mem
+        #: this module's position in the owning Ort's device registry
+        self.ordinal = int(ordinal)
         self.recovery = resolve_recovery(recovery)
         # The module — not the raw driver — resolves the fault spec (and
         # the REPRO_FAULTS environment variable): faults model *hardware*
         # misbehaving under a runtime that recovers, so they only make
         # sense on driver calls that run under this module's policy.
+        driver_kwargs = {}
+        if gmem_base is not None:
+            driver_kwargs["gmem_base"] = gmem_base
         self.driver = CudaDriver(device, clock=clock, jit_cache=jit_cache,
                                  launch_mode=launch_mode, fastpath=fastpath,
-                                 profile=profile,
-                                 faults=resolve_faults(faults))
+                                 profile=profile, intrinsics=intrinsics,
+                                 faults=resolve_faults(faults),
+                                 **driver_kwargs)
         #: OMPT-style tool callbacks (target-begin/end, data-op, submit);
         #: shared with the owning Ort so tools can hook either layer
-        self.ompt = OmptRegistry()
+        self.ompt = ompt if ompt is not None else OmptRegistry()
         self._initialized = False
         #: permanent device loss: every later operation must go to the host
         self.lost = False
@@ -89,6 +99,9 @@ class CudadevModule(DeviceModule):
         #: (``target nowait``) task body is executing; None = default
         #: stream, i.e. the host-synchronous path
         self.current_stream: Optional[int] = None
+        #: lazily-created stream sharded launches run on, so shards on
+        #: different devices overlap instead of serialising on stream 0
+        self._shard_stream: Optional[int] = None
         # -- small-mapping pool state (see mem_alloc) --------------------
         self._arena_free: list[int] = []
         self._arena_live: set[int] = set()
@@ -265,7 +278,8 @@ class CudadevModule(DeviceModule):
     def write(self, dev_addr: int, host_addr: int, size: int) -> None:
         self._ensure_init()
         if self.ompt.active:
-            self.ompt.dispatch("data_op", optype="transfer_to", device=0,
+            self.ompt.dispatch("data_op", optype="transfer_to",
+                               device=self.ordinal,
                                addr=host_addr, nbytes=size)
         data = self.host_mem.copy_out(host_addr, size)
         if self.current_stream is not None:
@@ -280,7 +294,8 @@ class CudadevModule(DeviceModule):
 
     def read(self, host_addr: int, dev_addr: int, size: int) -> None:
         if self.ompt.active:
-            self.ompt.dispatch("data_op", optype="transfer_from", device=0,
+            self.ompt.dispatch("data_op", optype="transfer_from",
+                               device=self.ordinal,
                                addr=host_addr, nbytes=size)
         if self.current_stream is not None:
             data = self._with_retries(
@@ -292,6 +307,35 @@ class CudadevModule(DeviceModule):
                 "cuMemcpyDtoH",
                 lambda: self.driver.cuMemcpyDtoH(dev_addr, size))
         self.host_mem.copy_in(host_addr, data)
+
+    def peer_copy(self, dst_module: "CudadevModule", dst_addr: int,
+                  src_addr: int, size: int) -> None:
+        """``cuMemcpyPeer`` under the recovery policy: move ``size`` bytes
+        from this device's memory to ``dst_module``'s, without staging
+        through the host data environment (``target update``-mediated
+        device-to-device exchange)."""
+        self._ensure_init()
+        dst_module._ensure_init()
+        if self.ompt.active:
+            self.ompt.dispatch("data_op", optype="transfer_peer",
+                               device=self.ordinal,
+                               addr=dst_addr, nbytes=size)
+        stream = (self.current_stream if self.current_stream is not None
+                  else 0)
+        self._with_retries(
+            "cuMemcpyPeer",
+            lambda: self.driver.cuMemcpyPeer(dst_addr, dst_module.driver,
+                                             src_addr, size, stream=stream))
+
+    @property
+    def shard_stream(self) -> int:
+        """The per-device stream sharded launches are placed on (created
+        on first use; non-default so shards across devices overlap)."""
+        if self._shard_stream is None:
+            self._ensure_init()
+            self._shard_stream = self._with_retries(
+                "cuStreamCreate", lambda: self.driver.cuStreamCreate())
+        return self._shard_stream
 
     # -- kernels -------------------------------------------------------------------
     def register_kernel_image(self, kernel_name: str, image) -> None:
@@ -315,7 +359,8 @@ class CudadevModule(DeviceModule):
         self._loaded[kernel_name] = fn
         return fn
 
-    def offload(self, kernel_name: str, args: list, teams, threads) -> None:
+    def offload(self, kernel_name: str, args: list, teams, threads,
+                block_range=None) -> None:
         self._ensure_init()
         try:
             fn = self._loading_phase(kernel_name)       # phase 1
@@ -336,6 +381,7 @@ class CudadevModule(DeviceModule):
                 lambda: self.driver.cuLaunchKernel(
                     fn, gx, gy, gz, bx, by, bz, shared_mem_bytes=0,
                     stream=stream, kernel_params=params,
+                    block_range=block_range,
                 ))
         except DeviceLost as exc:
             raise OffloadFailure(kernel_name, exc, device_lost=True) from exc

@@ -40,8 +40,6 @@ class MapEntry:
     size: int
     dev_addr: int
     refcount: int = 1
-    #: whether any mapping in the stack requested copy-back
-    copy_back: bool = False
     #: insertion sequence number — interior lookups resolve overlapping
     #: ranges to the earliest-mapped entry, like the original linear scan
     seq: int = 0
@@ -115,7 +113,9 @@ class DataEnv:
         entry = MapEntry(host_addr, size, dev_addr)
         if map_type in (MAP_TO, MAP_TOFROM):
             self.device.write(dev_addr, host_addr, size)
-        entry.copy_back = map_type in (MAP_FROM, MAP_TOFROM)
+        # note: no copy-back state is kept on the entry — OpenMP 4.5 gives
+        # the copy-back decision to the construct whose unmap drops the
+        # refcount to zero (see map_exit), not to the entering map type
         entry.seq = self._next_seq
         self._next_seq += 1
         self.entries[host_addr] = entry
@@ -144,6 +144,12 @@ class DataEnv:
         self.device.mem_free(entry.dev_addr)
         del self.entries[entry.host_addr]
         del self._starts[bisect.bisect_left(self._starts, entry.host_addr)]
+        # keep the walk bound tight: when the (sole) largest entry leaves,
+        # recompute the high-water mark so interior lookups don't keep
+        # scanning a window sized by an entry that no longer exists
+        if entry.size >= self._max_size:
+            self._max_size = max(
+                (e.size for e in self.entries.values()), default=0)
 
     # -- target update ----------------------------------------------------------
     def update_to(self, host_addr: int, size: int) -> None:

@@ -7,12 +7,25 @@ host ``omp_*`` API.  One :class:`Ort` instance corresponds to one running
 program (like the real runtime's process-global state).
 
 Device numbering follows OpenMP: devices ``0 .. omp_get_num_devices()-1``
-are offload targets (device 0 is the cudadev GPU) and the *initial
-device* (the host itself) has id ``omp_get_num_devices()``.
+are offload targets (each a cudadev GPU with its own driver state, data
+environment, stream pool and fault domain) and the *initial device* (the
+host itself) has id ``omp_get_num_devices()``.  The device count comes
+from the ``num_devices`` argument / ``REPRO_NUM_DEVICES`` environment
+variable (default 1, the single Jetson Nano of the paper).
+
+A ``shard(n)`` clause on ``target teams distribute`` splits the team grid
+contiguously across the first ``n`` healthy devices (``n <= 0``: all of
+them): every map is replicated per device, each device executes only its
+own block range of the *global* grid — the device runtime derives team
+chunks from global block ids, so the per-device launches cover exactly
+the global iteration space — and the join diffs each device's mapped
+buffers against their launch-time baselines, merging the changed bytes
+back into host memory.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -20,18 +33,48 @@ import numpy as np
 from repro.cfront.errors import InterpError
 from repro.cfront.interp import Machine, Ptr
 from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.driver import DEVICE_MEM_BASE
 from repro.cuda.errors import CudaError
 from repro.cuda.ptx.jit import JitCache
 from repro.faults.recovery import DeviceLost, OffloadFailure
 from repro.hostrt.cudadev_host import CudadevModule
 from repro.hostrt.devices import HostDevice
 from repro.hostrt.icv import ICVs
-from repro.hostrt.mapping import DataEnv, MappingError
+from repro.hostrt.mapping import (
+    MAP_DELETE, MAP_FROM, MAP_RELEASE, MAP_TO, MAP_TOFROM, DataEnv,
+    MappingError,
+)
 from repro.hostrt.team import HostTeamError, TeamStack
+from repro.prof.activity import DeviceRecorder, resolve_profile
+from repro.prof.ompt import OmptRegistry
 from repro.rt_async.taskgraph import (
     DEP_IN, DEP_INOUT, DEP_OUT, OffloadTaskError, StreamPoolScheduler,
 )
 from repro.timing.clock import VirtualClock
+
+#: address-space stride between per-device memory arenas (4 GiB: well
+#: above any single device's capacity, so device pointers never collide
+#: and the interpreter can attribute a raw address to its device)
+DEVICE_MEM_STRIDE = 0x1_0000_0000
+
+
+class _ShardScope:
+    """State of one active ``shard`` region: the participating device
+    ordinals, per-device pending kernel arguments, and the launch-time
+    device-content baselines the copy-back merge diffs against."""
+
+    def __init__(self, devices: list[int]):
+        self.devices = devices
+        #: the region degraded to the host path (no healthy device, or a
+        #: launch failed): remaining maps/launches take the host route
+        self.failed = not devices
+        #: device ordinal -> pending (translated) kernel arguments
+        self.kargs: dict[int, list] = {k: [] for k in devices}
+        self.hostargs: list = []
+        #: (device ordinal, host addr) -> device bytes at map time
+        self.baselines: dict[tuple[int, int], np.ndarray] = {}
+        #: host_addr -> size, for the merge at unmap
+        self.sizes: dict[int, int] = {}
 
 
 class Ort:
@@ -46,24 +89,42 @@ class Ort:
         profile=None,
         faults=None,
         recovery=None,
+        num_devices: Optional[int] = None,
     ):
         self.machine = machine
         self.clock = clock or VirtualClock()
         self.icvs = ICVs(default_device_var=0)
-        self.cudadev = CudadevModule(machine.heap, device, clock=self.clock,
-                                     jit_cache=jit_cache,
-                                     launch_mode=launch_mode,
-                                     fastpath=fastpath,
-                                     profile=profile,
-                                     faults=faults, recovery=recovery)
-        self.recovery = self.cudadev.recovery
-        #: OMPT-style tool callback registry, shared with the device module
-        #: so callbacks see both runtime-level and module-level events
-        self.ompt = self.cudadev.ompt
-        self.host_device = HostDevice(machine)
+        if num_devices is None:
+            num_devices = int(os.environ.get("REPRO_NUM_DEVICES", "") or "1")
+        num_devices = int(num_devices)
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        #: one shared activity ring for the whole registry; each module
+        #: gets a per-device stamping view so the merged stream stays in
+        #: emission order while every record remains attributable
+        self.prof, self.prof_path = resolve_profile(profile)
+        #: OMPT-style tool callback registry, shared with every device
+        #: module so callbacks see both runtime- and module-level events
+        self.ompt = OmptRegistry()
+        from repro.devrt import build_intrinsics
+        intrinsics = build_intrinsics()
         #: offload devices (0..n-1); the initial device is id n
-        self.devices = [self.cudadev]
-        self.dataenvs = {0: DataEnv(self.cudadev)}
+        self.devices = [
+            CudadevModule(
+                machine.heap, device, clock=self.clock, jit_cache=jit_cache,
+                launch_mode=launch_mode, fastpath=fastpath,
+                profile=(DeviceRecorder(self.prof, k)
+                         if self.prof is not None else False),
+                faults=faults, recovery=recovery, ordinal=k, ompt=self.ompt,
+                gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
+                intrinsics=intrinsics,
+            )
+            for k in range(num_devices)
+        ]
+        self.cudadev = self.devices[0]
+        self.recovery = self.cudadev.recovery
+        self.host_device = HostDevice(machine)
+        self.dataenvs = {k: DataEnv(mod) for k, mod in enumerate(self.devices)}
         self.teams = TeamStack(self.icvs.nthreads_var)
         self._pending_kargs: list = []
         #: host-address twins of the pending kernel arguments — what the
@@ -75,35 +136,58 @@ class Ort:
         #: innermost deferred task whose body is executing (None entries
         #: mark host-device tasks, which run synchronously)
         self._task_stack: list = []
-        self._scheduler: Optional[StreamPoolScheduler] = None
+        #: device ordinal -> stream-pool task scheduler (lazily created)
+        self._schedulers: dict[int, StreamPoolScheduler] = {}
         self._task_count = 0
+        #: active ``shard`` region, if any (no nesting)
+        self._shard: Optional[_ShardScope] = None
         machine.natives.update(self._natives())
-        machine.register_space(self.cudadev.driver.gmem)
+        for mod in self.devices:
+            machine.register_space(mod.driver.gmem)
 
     # -- helpers ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
     @property
     def initial_device(self) -> int:
         return len(self.devices)
 
-    def _resolve_device(self, dev: int) -> int:
+    def _resolve_device(self, dev: int, loc=None) -> int:
         if dev < 0:  # "default device" sentinel from the code generator
             dev = self.icvs.default_device_var
         dev = int(dev)
+        if not 0 <= dev <= self.initial_device:
+            raise InterpError(
+                f"invalid device number {dev} (valid device ids are "
+                f"0..{self.initial_device - 1}, or {self.initial_device} "
+                "for the initial device)", loc)
         # a permanently lost device reroutes to the initial (host) device:
         # maps become the identity, launches run the *_hostfn — host memory
         # is authoritative from the moment of loss (OpenMP fallback rules)
-        if (0 <= dev < self.initial_device
+        if (dev < self.initial_device
                 and getattr(self.devices[dev], "lost", False)):
             return self.initial_device
         return dev
 
-    def _env(self, dev: int) -> Optional[DataEnv]:
-        dev = self._resolve_device(dev)
+    def _env(self, dev: int, loc=None) -> Optional[DataEnv]:
+        dev = self._resolve_device(dev, loc)
         return self.dataenvs.get(dev)
 
     @property
     def log(self):
         return self.cudadev.driver.log
+
+    @property
+    def fault_stats(self) -> dict:
+        """Fault/recovery counters aggregated across every device's own
+        fault domain (per-device breakdown: ``devices[k].fault_stats``)."""
+        out: dict = {}
+        for mod in self.devices:
+            for op, count in mod.fault_stats.items():
+                out[op] = out.get(op, 0) + count
+        return out
 
     # -- native table ----------------------------------------------------------------
     def _natives(self) -> dict:
@@ -123,6 +207,9 @@ class Ort:
             "ort_task_begin": self._ort_task_begin,
             "ort_task_end": self._ort_task_end,
             "ort_taskwait": self._ort_taskwait,
+            # multi-device sharding (shard clause on target teams distribute)
+            "ort_shard_begin": self._ort_shard_begin,
+            "ort_shard_end": self._ort_shard_end,
             # host parallel
             "ort_parg": self._ort_parg,
             "ort_execute_parallel": self._ort_execute_parallel,
@@ -151,7 +238,9 @@ class Ort:
 
     def _ort_map(self, machine, args, loc):
         dev, ptr, size, map_type = args
-        dev = self._resolve_device(int(dev))
+        if self._shard is not None:
+            return self._shard_map(ptr, int(size), int(map_type), loc)
+        dev = self._resolve_device(int(dev), loc)
         if dev >= self.initial_device:
             return 0  # host device: identity mapping, nothing to do
         env = self.dataenvs[dev]
@@ -169,7 +258,9 @@ class Ort:
 
     def _ort_unmap(self, machine, args, loc):
         dev, ptr, map_type = args
-        dev = self._resolve_device(int(dev))
+        if self._shard is not None:
+            return self._shard_unmap(ptr, int(map_type), loc)
+        dev = self._resolve_device(int(dev), loc)
         if dev >= self.initial_device:
             return 0
         env = self.dataenvs[dev]
@@ -187,7 +278,7 @@ class Ort:
 
     def _ort_update_to(self, machine, args, loc):
         dev, ptr, size = args
-        dev = self._resolve_device(int(dev))
+        dev = self._resolve_device(int(dev), loc)
         if dev >= self.initial_device:
             return 0
         try:
@@ -198,7 +289,7 @@ class Ort:
 
     def _ort_update_from(self, machine, args, loc):
         dev, ptr, size = args
-        dev = self._resolve_device(int(dev))
+        dev = self._resolve_device(int(dev), loc)
         if dev >= self.initial_device:
             return 0
         try:
@@ -209,10 +300,26 @@ class Ort:
 
     def _ort_is_present(self, machine, args, loc):
         dev, ptr = args
-        env = self._env(int(dev))
+        env = self._env(int(dev), loc)
         if env is None:
             return 1
         return 1 if env.is_present(self._addr_of(ptr, loc)) else 0
+
+    def peer_update(self, host_addr: int, size: int, src_dev: int,
+                    dst_dev: int) -> None:
+        """Device-to-device refresh of a host range mapped on both devices
+        (the multi-device analogue of ``target update``): the bytes move
+        over the simulated peer path, never staging through host memory."""
+        src = self._resolve_device(int(src_dev))
+        dst = self._resolve_device(int(dst_dev))
+        for d in (src, dst):
+            if d >= self.initial_device:
+                raise MappingError(
+                    "peer update endpoints must be offload devices")
+        src_addr = self.dataenvs[src].translate(host_addr)
+        dst_addr = self.dataenvs[dst].translate(host_addr)
+        self.devices[src].peer_copy(self.devices[dst], dst_addr,
+                                    src_addr, size)
 
     # -- offload natives ------------------------------------------------------------
     def _ort_arg_ptr(self, machine, args, loc):
@@ -222,7 +329,21 @@ class Ort:
         bound: the kernel still receives a device pointer positioned so
         that kernel-side indices match host-side indices)."""
         dev, base, mapped = args
-        dev = self._resolve_device(int(dev))
+        scope = self._shard
+        if scope is not None:
+            base_addr = self._addr_of(base, loc)
+            mapped_addr = self._addr_of(mapped, loc)
+            if not scope.failed:
+                try:
+                    for k in scope.devices:
+                        dev_mapped = self.dataenvs[k].translate(mapped_addr)
+                        scope.kargs[k].append(
+                            np.uint64(dev_mapped - (mapped_addr - base_addr)))
+                except MappingError as exc:
+                    raise InterpError(str(exc), loc) from exc
+            scope.hostargs.append(base)
+            return 0
+        dev = self._resolve_device(int(dev), loc)
         if dev >= self.initial_device:
             self._pending_kargs.append(base)   # host fallback: host pointer
             self._pending_hostargs.append(base)
@@ -242,16 +363,24 @@ class Ort:
         """Queue a by-value scalar kernel argument (firstprivate-style:
         never enters the device data environment)."""
         _dev, value = args
+        scope = self._shard
+        if scope is not None:
+            for k in scope.devices:
+                scope.kargs[k].append(value)
+            scope.hostargs.append(value)
+            return 0
         self._pending_kargs.append(value)
         self._pending_hostargs.append(value)
         return 0
 
     def _ort_offload(self, machine, args, loc):
         dev, name_ptr, gx, gy, gz, bx, by, bz = args
+        if self._shard is not None:
+            return self._shard_offload(machine, args, loc)
         requested = int(dev)
         if requested < 0:
             requested = self.icvs.default_device_var
-        dev = self._resolve_device(requested)
+        dev = self._resolve_device(requested, loc)
         name = machine.read_cstring(name_ptr)
         kargs = self._pending_kargs
         hostargs = self._pending_hostargs
@@ -301,7 +430,7 @@ class Ort:
         the eventual copy-back observe the host-computed values."""
         module = self.devices[dev]
         if task is not None:
-            self.scheduler.fail_task(task, exc)
+            self.scheduler_for(task.device).fail_task(task, exc)
             return
         if not self.recovery.host_fallback:
             raise InterpError(str(exc), loc) from exc
@@ -338,13 +467,22 @@ class Ort:
             module._mark_lost(exc)
 
     # -- deferred offload tasks (target nowait / depend) -------------------------
+    def scheduler_for(self, dev: int) -> StreamPoolScheduler:
+        """Device ``dev``'s stream-pool task scheduler, created on first
+        deferred task targeting that device (each device has its own
+        stream pool; tasks on different devices run on disjoint pools)."""
+        sched = self._schedulers.get(dev)
+        if sched is None:
+            module = self.devices[dev]
+            module.initialize()
+            sched = StreamPoolScheduler(module.driver)
+            self._schedulers[dev] = sched
+        return sched
+
     @property
     def scheduler(self) -> StreamPoolScheduler:
-        """The stream-pool task scheduler, created on first deferred task."""
-        if self._scheduler is None:
-            self.cudadev.initialize()
-            self._scheduler = StreamPoolScheduler(self.cudadev.driver)
-        return self._scheduler
+        """Device 0's task scheduler (single-device programs)."""
+        return self.scheduler_for(0)
 
     def _ort_task_dep(self, machine, args, loc):
         _dev, ptr, code = args
@@ -356,12 +494,12 @@ class Ort:
         return 0
 
     def _ort_task_begin(self, machine, args, loc):
-        dev = self._resolve_device(int(args[0]))
+        dev = self._resolve_device(int(args[0]), loc)
         deps = self._pending_deps
         self._pending_deps = []
         if dev < self.initial_device:
             try:
-                scheduler = self.scheduler
+                scheduler = self.scheduler_for(dev)
             except DeviceLost:
                 dev = self.initial_device  # device died at first task: host route
         if dev >= self.initial_device:
@@ -370,10 +508,11 @@ class Ort:
             return 0
         self._task_count += 1
         task = scheduler.begin_task(f"offload_task{self._task_count}", deps)
+        task.device = dev
         self._task_stack.append(task)
         # a task cancelled at creation (failed predecessor) has no stream;
         # its body still runs through the natives but launches nothing
-        self.cudadev.current_stream = task.stream
+        self.devices[dev].current_stream = task.stream
         return 0
 
     def _ort_task_end(self, machine, args, loc):
@@ -384,15 +523,19 @@ class Ort:
         task = self._task_stack.pop()
         if task is None:
             return 0
-        self.cudadev.current_stream = (
-            self._task_stack[-1].stream
-            if self._task_stack and self._task_stack[-1] is not None else None
-        )
-        self.scheduler.end_task(task)
+        # restore the nearest enclosing deferred task *on the same device*
+        # (tasks targeting different devices nest independently)
+        enclosing = next(
+            (t for t in reversed(self._task_stack)
+             if t is not None and t.device == task.device), None)
+        self.devices[task.device].current_stream = (
+            enclosing.stream if enclosing is not None else None)
+        scheduler = self.scheduler_for(task.device)
+        scheduler.end_task(task)
         if int(blocking):
             # depend() without nowait: an undeferred task — the host blocks
             # on this task's completion but the graph edges still held
-            self.scheduler.sync_task(task)
+            scheduler.sync_task(task)
         return 0
 
     def _ort_taskwait(self, machine, args, loc):
@@ -403,12 +546,214 @@ class Ort:
         return 0
 
     def taskwait(self) -> None:
-        """Join the offload task graph (``taskwait``, barriers, and the
-        implicit join at program exit).  Raises
-        :class:`~repro.rt_async.taskgraph.OffloadTaskError` if any joined
-        task failed (its dependents were cancelled)."""
-        if self._scheduler is not None:
-            self._scheduler.taskwait()
+        """Join the offload task graph on *every* device (``taskwait``,
+        barriers, and the implicit join at program exit).  Raises
+        :class:`~repro.rt_async.taskgraph.OffloadTaskError` collecting the
+        failures across all devices (their dependents were cancelled)."""
+        failed: list = []
+        cancelled = 0
+        for sched in self._schedulers.values():
+            try:
+                sched.taskwait()
+            except OffloadTaskError as exc:
+                failed.extend(exc.failed)
+                cancelled += exc.cancelled
+        if failed:
+            raise OffloadTaskError(failed, cancelled)
+
+    # -- multi-device sharding (shard clause) -------------------------------------
+    def _ort_shard_begin(self, machine, args, loc):
+        """Open a ``shard(n)`` region: pick the first ``n`` healthy devices
+        (``n <= 0``: all of them), route each one's module operations onto
+        its dedicated shard stream so per-device work overlaps, and start
+        replicating maps.  An empty device set degrades the whole region to
+        the host path (identity maps + host execution)."""
+        if self._shard is not None:
+            raise InterpError("nested shard regions are not supported", loc)
+        if self._task_stack:
+            raise InterpError(
+                "shard cannot appear inside a deferred target task", loc)
+        n = int(args[0])
+        healthy = [k for k, m in enumerate(self.devices)
+                   if not getattr(m, "lost", False)]
+        if n > 0:
+            healthy = healthy[:n]
+        devs: list[int] = []
+        for k in healthy:
+            module = self.devices[k]
+            try:
+                module.initialize()
+                module.current_stream = module.shard_stream
+            except DeviceLost:
+                continue
+            devs.append(k)
+        self._shard = _ShardScope(devs)
+        return 0
+
+    def _ort_shard_end(self, machine, args, loc):
+        """Close the shard region: block until every participating
+        device's shard stream drains (the host clock advances to the
+        slowest shard — this is the join) and restore synchronous
+        default-stream routing."""
+        scope = self._shard
+        if scope is None:
+            raise InterpError(
+                "ort_shard_end without a matching ort_shard_begin", loc)
+        self._shard = None
+        for k in scope.devices:
+            module = self.devices[k]
+            module.current_stream = None
+            if module.lost:
+                continue
+            try:
+                module.driver.cuStreamSynchronize(module.shard_stream)
+            except CudaError:
+                pass
+        return 0
+
+    def _shard_map(self, ptr, size: int, map_type: int, loc) -> int:
+        """Replicate one map on every shard device, snapshotting each
+        device's mapped bytes as the baseline the copy-back diff-merge
+        compares against."""
+        scope = self._shard
+        addr = self._addr_of(ptr, loc)
+        if scope.failed:
+            return 0  # host route: identity mapping
+        scope.sizes[addr] = size
+        for k in scope.devices:
+            module = self.devices[k]
+            env = self.dataenvs[k]
+            try:
+                fresh = env.find(addr) is None
+                entry = env.map_enter(addr, size, map_type)
+                if fresh and map_type not in (MAP_TO, MAP_TOFROM):
+                    # from/alloc: seed the device copy with the host bytes
+                    # so the baseline is defined and positions the kernel
+                    # leaves untouched merge back unchanged
+                    module.write(entry.dev_addr + (addr - entry.host_addr),
+                                 addr, size)
+                scope.baselines[(k, addr)] = np.frombuffer(
+                    module.driver.gmem.copy_out(env.translate(addr), size),
+                    dtype=np.uint8)
+            except MappingError as exc:
+                raise InterpError(str(exc), loc) from exc
+            except DeviceLost:
+                scope.failed = True  # device died mid-setup: host route
+                return 0
+        return 0
+
+    def _shard_unmap(self, ptr, map_type: int, loc) -> int:
+        """Join one mapping across the shard devices.  For ``from`` /
+        ``tofrom`` exits the merge reads each device's copy, diffs it
+        against the launch-time baseline, and scatters only the changed
+        bytes into host memory — shards write disjoint slices of the
+        iteration space, so the diffs never conflict.  Every device then
+        drops its reference without the single-device copy-back (the merge
+        already produced the result), and a copy that survives under an
+        enclosing ``target data`` is resynced from the merged host bytes."""
+        scope = self._shard
+        addr = self._addr_of(ptr, loc)
+        size = scope.sizes.get(addr, 0)
+        merge = (not scope.failed and size > 0
+                 and map_type in (MAP_FROM, MAP_TOFROM))
+        if merge:
+            host_view = self.machine.heap.view(addr, size, np.uint8)
+            for k in scope.devices:
+                module = self.devices[k]
+                env = self.dataenvs[k]
+                if module.lost or env.find(addr) is None:
+                    continue
+                try:
+                    dev_addr = env.translate(addr)
+                    data = module._with_retries(
+                        "cuMemcpyDtoHAsync",
+                        lambda: module.driver.cuMemcpyDtoHAsync(
+                            dev_addr, size, module.shard_stream))
+                except (DeviceLost, CudaError):
+                    continue  # lost shard: its slice keeps the host values
+                dev_bytes = np.frombuffer(data, dtype=np.uint8)
+                baseline = scope.baselines.get((k, addr))
+                if baseline is None:
+                    host_view[:] = dev_bytes
+                else:
+                    changed = dev_bytes != baseline
+                    host_view[changed] = dev_bytes[changed]
+        exit_type = MAP_DELETE if map_type == MAP_DELETE else MAP_RELEASE
+        for k in scope.devices:
+            module = self.devices[k]
+            env = self.dataenvs[k]
+            scope.baselines.pop((k, addr), None)
+            if env.find(addr) is None:
+                continue
+            try:
+                env.map_exit(addr, exit_type)
+                survivor = env.find(addr)
+                if survivor is not None and merge:
+                    # an enclosing target data still holds this mapping:
+                    # its device copy must observe the merged result
+                    module.write(
+                        survivor.dev_addr + (addr - survivor.host_addr),
+                        addr, size)
+            except (DeviceLost, CudaError):
+                continue
+            except MappingError as exc:
+                raise InterpError(str(exc), loc) from exc
+        return 0
+
+    def _shard_offload(self, machine, args, loc) -> int:
+        """Launch one ``target teams distribute`` region as per-device
+        shards: the linear team-block range is split contiguously, each
+        device launches its slice with the *global* grid dimensions (the
+        device runtime computes team chunks from global block ids), on its
+        own shard stream.  A failed shard degrades the whole region to the
+        host fallback — partial device results are discarded by the merge."""
+        _dev, name_ptr, gx, gy, gz, bx, by, bz = args
+        scope = self._shard
+        name = machine.read_cstring(name_ptr)
+        kargs = scope.kargs
+        hostargs = scope.hostargs
+        scope.kargs = {k: [] for k in scope.devices}
+        scope.hostargs = []
+        teams = (max(int(gx), 1), max(int(gy), 1), max(int(gz), 1))
+        threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
+        if not scope.failed:
+            total_blocks = teams[0] * teams[1] * teams[2]
+            per = -(-total_blocks // len(scope.devices))  # ceil division
+            for i, k in enumerate(scope.devices):
+                blo = min(i * per, total_blocks)
+                bhi = min(blo + per, total_blocks)
+                if blo >= bhi:
+                    continue
+                module = self.devices[k]
+                if self.ompt.active:
+                    self.ompt.dispatch("target_begin", device=k, kernel=name,
+                                       teams=teams, threads=threads)
+                try:
+                    module.offload(name, kargs[k], teams, threads,
+                                   block_range=(blo, bhi))
+                except (OffloadFailure, DeviceLost) as exc:
+                    scope.failed = True
+                    module.faultlog.note(
+                        "fallback", api=name,
+                        detail=f"shard launch failed: target region "
+                               f"{name!r} -> host ({exc})")
+                finally:
+                    if self.ompt.active:
+                        self.ompt.dispatch("target_end", device=k,
+                                           kernel=name, teams=teams,
+                                           threads=threads)
+                if module.stdout:
+                    machine.stdout.extend(module.stdout)
+                    module.stdout.clear()
+                if scope.failed:
+                    break
+        if scope.failed:
+            if not self.recovery.host_fallback:
+                raise InterpError(
+                    f"sharded target region {name!r} failed and host "
+                    "fallback is disabled", loc)
+            self.host_device.offload(name, hostargs, teams, threads)
+        return 0
 
     # -- host parallel natives ----------------------------------------------------
     def _ort_parg(self, machine, args, loc):

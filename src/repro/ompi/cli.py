@@ -74,6 +74,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--recovery", default=None, metavar="OPTS",
                         help="recovery policy overrides, e.g. "
                              "'retries=5,backoff=1e-3,fallback=off'")
+    parser.add_argument("--num-devices", type=int, default=None, metavar="N",
+                        help="number of simulated CUDA devices in the "
+                             "runtime's registry (default 1; see also "
+                             "REPRO_NUM_DEVICES).  device(k) routes to "
+                             "device k, shard(n) splits target teams "
+                             "distribute across n devices")
     return parser
 
 
@@ -93,7 +99,8 @@ def main(argv: list[str] | None = None) -> int:
     config = OmpiConfig(binary_mode="ptx" if args.ptx else "cubin",
                         arch=args.arch, block_shape=shape,
                         profile=args.profile,
-                        faults=args.faults, recovery=args.recovery)
+                        faults=args.faults, recovery=args.recovery,
+                        num_devices=args.num_devices)
     try:
         program = OmpiCompiler(config).compile(source, name)
     except Exception as exc:
@@ -129,7 +136,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{event.kernel or ''} {event.detail}", file=sys.stderr)
         print(f"  measured (kernel + memory ops): "
               f"{run.measured_time * 1e3:.3f} ms", file=sys.stderr)
-    stats = run.ort.cudadev.fault_stats
+    stats = run.ort.fault_stats
     if stats:
         print("ompicc: fault/recovery events: "
               + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())),

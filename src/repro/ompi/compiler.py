@@ -65,9 +65,10 @@ class ProgramRun:
 
     @property
     def profile(self):
-        """The run's :class:`repro.prof.activity.ActivityRecorder`
-        (None when profiling was disabled)."""
-        return self.ort.cudadev.driver.prof
+        """The run's :class:`repro.prof.activity.ActivityRecorder` — one
+        shared ring across all devices, records stamped with their device
+        ordinal (None when profiling was disabled)."""
+        return self.ort.prof
 
 
 @dataclass
@@ -97,6 +98,7 @@ class CompiledProgram:
         ompt: Optional[dict] = None,
         faults=None,
         recovery=None,
+        num_devices: Optional[int] = None,
     ) -> ProgramRun:
         machine = Machine(self.host_unit, heap_capacity=heap_capacity)
         ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
@@ -106,12 +108,15 @@ class CompiledProgram:
                   else self.config.profile,
                   faults=faults if faults is not None else self.config.faults,
                   recovery=recovery if recovery is not None
-                  else self.config.recovery)
+                  else self.config.recovery,
+                  num_devices=num_devices if num_devices is not None
+                  else self.config.num_devices)
         if ompt:
             for event, fn in ompt.items():
                 ort.ompt.set_callback(event, fn)
         for kernel_name, image in self.images.items():
-            ort.cudadev.register_kernel_image(kernel_name, image)
+            for module in ort.devices:
+                module.register_kernel_image(kernel_name, image)
         for plan in self.plans:
             ort.host_device.register_fallback(plan.kernel_name,
                                               plan.kernel_name + "_hostfn")
@@ -137,10 +142,9 @@ class CompiledProgram:
                                         gtype.sizeof(), owner)
         exit_code = machine.run() if main else 0
         ort.taskwait()  # implicit join of outstanding nowait tasks at exit
-        driver = ort.cudadev.driver
-        if driver.prof is not None and driver.prof_path:
+        if ort.prof is not None and ort.prof_path:
             from repro.prof.chrome import write_chrome_trace
-            write_chrome_trace(driver.prof, driver.prof_path)
+            write_chrome_trace(ort.prof, ort.prof_path)
         return ProgramRun(machine, ort, exit_code)
 
 

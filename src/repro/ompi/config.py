@@ -43,6 +43,12 @@ class OmpiConfig:
     #: recovery policy: None uses defaults; a RecoveryPolicy or a string
     #: like 'retries=5,backoff=1e-3,fallback=off' overrides.
     recovery: object = None
+    #: number of simulated CUDA devices in the runtime's registry: None
+    #: defers to REPRO_NUM_DEVICES (default 1).  Each device gets its own
+    #: driver state, memory arena, stream pool, data environment and fault
+    #: domain; device(k) routes to device k and shard(n) splits a target
+    #: teams distribute across the first n healthy devices.
+    num_devices: Optional[int] = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

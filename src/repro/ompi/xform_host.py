@@ -157,6 +157,14 @@ class HostRewriter:
             _base, mapped, _size = map_ptr_and_size(cv)
             stmts.append(callstmt("ort_unmap", ident("__dev"), mapped,
                                   intlit(MAP_CODE[cv.map_type if cv.map_type != "private" else "release"])))
+        # shard(n): bracket the whole offload sequence — the runtime
+        # replicates maps per device, splits the launch, and joins with the
+        # diff-merge at shard end (validator: no nowait/depend/device here)
+        shard = directive.first(ExprClause, "shard")
+        if shard is not None:
+            stmts = ([callstmt("ort_shard_begin", clone(shard.expr))]
+                     + stmts
+                     + [callstmt("ort_shard_end")])
         launch = A.Compound(
             [decl("__dev", INT, dev_expr)]
             + self._wrap_task(directive, self._task_dep_stmts(directive, scope),

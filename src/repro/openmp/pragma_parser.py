@@ -30,7 +30,7 @@ class OmpParseError(CFrontError):
 
 _EXPR_CLAUSES = frozenset(
     {"num_teams", "num_threads", "thread_limit", "collapse", "safelen",
-     "simdlen", "priority", "grainsize", "num_tasks", "ordered"}
+     "simdlen", "priority", "grainsize", "num_tasks", "ordered", "shard"}
 )
 _DATA_SHARING = frozenset(
     {"private", "firstprivate", "lastprivate", "shared", "copyprivate",

@@ -25,8 +25,11 @@ class OmpValidationError(CFrontError):
 #: clause kinds legal on each leaf construct; combined constructs accept the
 #: union of their parts.
 _LEGAL: dict[str, frozenset[str]] = {
+    # "shard" is this implementation's multi-device extension: split the
+    # teams-distribute iteration space across shard(n) devices
     "target": frozenset({"map", "device", "if", "nowait", "depend",
-                         "is_device_ptr", "firstprivate", "private"}),
+                         "is_device_ptr", "firstprivate", "private",
+                         "shard"}),
     "target data": frozenset({"map", "device", "if", "use_device_ptr"}),
     "target enter data": frozenset({"map", "device", "if", "nowait",
                                     "depend"}),
@@ -134,6 +137,20 @@ def validate_directive(directive: Directive, loc=None) -> None:
                     f"target exit data map type must be from/release/delete, "
                     f"got {m.map_type}", loc
                 )
+    kinds = {_clause_kind(c) for c in directive.clauses}
+    if "shard" in kinds:
+        words = directive.name.split()
+        if "teams" not in words or "distribute" not in words:
+            raise OmpValidationError(
+                "shard() requires a combined target teams distribute "
+                f"construct, not '#pragma omp {directive.name}'", loc
+            )
+        for incompatible in ("nowait", "depend", "device"):
+            if incompatible in kinds:
+                raise OmpValidationError(
+                    f"shard() cannot be combined with '{incompatible}' "
+                    f"on '#pragma omp {directive.name}'", loc
+                )
     legal = _legal_kinds(directive)
     for clause in directive.clauses:
         kind = _clause_kind(clause)
@@ -146,7 +163,8 @@ def validate_directive(directive: Directive, loc=None) -> None:
     for clause in directive.clauses:
         kind = _clause_kind(clause)
         if kind in ("num_teams", "num_threads", "thread_limit", "collapse",
-                    "schedule", "dist_schedule", "default", "device", "if"):
+                    "schedule", "dist_schedule", "default", "device", "if",
+                    "shard"):
             if kind in seen_unique:
                 raise OmpValidationError(
                     f"duplicate '{kind}' clause on '#pragma omp {directive.name}'", loc

@@ -51,6 +51,11 @@ class ActivityRecord:
     t_start: float = 0.0
     t_end: float = 0.0
     stream: Optional[int] = None
+    #: ordinal of the device the action belongs to (None: host-side or a
+    #: driver not owned by a device registry).  Stamped by the per-device
+    #: :class:`DeviceRecorder` so multi-device runs share one ring while
+    #: staying attributable per device.
+    device: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -276,6 +281,55 @@ class ActivityRecorder:
         self.emitted = 0
 
 
+class DeviceRecorder:
+    """A view of a shared :class:`ActivityRecorder` that stamps every
+    emitted record with one device ordinal.
+
+    Multi-device runs hand each simulated driver its own ``DeviceRecorder``
+    over a single shared ring, so the merged activity stream stays in
+    emission order while every record remains attributable to the device
+    that produced it (the chrome exporter splits tracks on this field).
+    Read access delegates to the underlying recorder.
+    """
+
+    def __init__(self, base: ActivityRecorder, device: int):
+        self.base = base
+        self.device = int(device)
+
+    def emit(self, record: ActivityRecord) -> None:
+        if record.device is None:
+            record.device = self.device
+        self.base.emit(record)
+
+    # -- delegated read access ---------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.base.capacity
+
+    @property
+    def dropped(self) -> int:
+        return self.base.dropped
+
+    @property
+    def emitted(self) -> int:
+        return self.base.emitted
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def __iter__(self) -> Iterator[ActivityRecord]:
+        return iter(self.base)
+
+    def records(self, *kinds: str) -> list[ActivityRecord]:
+        return self.base.records(*kinds)
+
+    def identities(self, *kinds: str) -> list[dict]:
+        return self.base.identities(*kinds)
+
+    def clear(self) -> None:
+        self.base.clear()
+
+
 def resolve_profile(spec) -> tuple[Optional[ActivityRecorder], Optional[str]]:
     """Resolve a user-facing profile spec into ``(recorder, trace_path)``.
 
@@ -295,7 +349,7 @@ def resolve_profile(spec) -> tuple[Optional[ActivityRecorder], Optional[str]]:
         spec = os.environ.get("REPRO_PROFILE", "")
         if spec == "":
             return None, None
-    if isinstance(spec, ActivityRecorder):
+    if isinstance(spec, (ActivityRecorder, DeviceRecorder)):
         return spec, None
     if spec is False or spec in ("off", "0"):
         return None, None

@@ -10,6 +10,11 @@ Emits the Trace Event Format's JSON object form: ``{"traceEvents": [...],
   single compute engine and single copy engine); the same kernel/memcpy
   spans re-plotted by the engine they occupied, which makes copy/compute
   overlap (and the absence of compute/compute overlap) directly visible.
+* In a multi-device run every record carries its device ordinal; device 0
+  keeps the single-device track ids while device *d* > 0 gets its own
+  stream tracks (tid ``d*1000 + stream``, named ``dev<d> stream <s>``)
+  and engine tracks (tid ``d*2`` / ``d*2+1``), so concurrent shards show
+  up as parallel per-device tracks.
 * **pid 3 "host"** — host-blocking synchronisations, module load / JIT
   spans, nowait-task lifecycle instants, and a ``device memory`` counter
   series fed by the alloc/free records (the memory track).
@@ -62,14 +67,30 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
                     TID_ENGINE_COPY, "engine:copy")[1:]
     events += _meta(PID_HOST, "host", TID_HOST, "host runtime")
     named_streams: set[int] = set()
+    named_engines: set[int] = set()
 
-    def stream_tid(stream) -> int:
-        tid = int(stream or 0)
+    def stream_tid(stream, device) -> int:
+        dev = int(device or 0)
+        s = int(stream or 0)
+        tid = dev * 1000 + s
         if tid not in named_streams:
             named_streams.add(tid)
+            name = f"stream {s}" if dev == 0 else f"dev{dev} stream {s}"
             events.append({"ph": "M", "pid": PID_STREAMS, "tid": tid,
                            "name": "thread_name",
-                           "args": {"name": f"stream {tid}"}})
+                           "args": {"name": name}})
+        return tid
+
+    def engine_tid(engine: int, device) -> int:
+        # engine 0 = compute, 1 = copy; device 0 keeps tids 0/1
+        dev = int(device or 0)
+        tid = dev * 2 + engine
+        if dev > 0 and tid not in named_engines:
+            named_engines.add(tid)
+            ename = "compute" if engine == TID_ENGINE_COMPUTE else "copy"
+            events.append({"ph": "M", "pid": PID_ENGINES, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"dev{dev} engine:{ename}"}})
         return tid
 
     def span(pid: int, tid: int, name: str, record, args: dict) -> dict:
@@ -97,21 +118,24 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
                 "modelled_ms": r.modelled_s * 1e3,
                 "wall_ms": r.wall_s * 1e3,
             }
-            events.append(span(PID_STREAMS, stream_tid(r.stream), r.name,
-                               r, args))
-            events.append(span(PID_ENGINES, TID_ENGINE_COMPUTE, r.name,
-                               r, args))
+            events.append(span(PID_STREAMS, stream_tid(r.stream, r.device),
+                               r.name, r, args))
+            events.append(span(PID_ENGINES,
+                               engine_tid(TID_ENGINE_COMPUTE, r.device),
+                               r.name, r, args))
         elif r.kind == "memcpy":
             name = (r.detail or f"memcpy_{r.direction}")
             args = {"bytes": r.nbytes, "bandwidth_gbps": r.bandwidth_gbps}
-            events.append(span(PID_STREAMS, stream_tid(r.stream), name,
-                               r, args))
-            events.append(span(PID_ENGINES, TID_ENGINE_COPY, name, r, args))
+            events.append(span(PID_STREAMS, stream_tid(r.stream, r.device),
+                               name, r, args))
+            events.append(span(PID_ENGINES,
+                               engine_tid(TID_ENGINE_COPY, r.device),
+                               name, r, args))
         elif r.kind == "stream_wait":
-            events.append(span(PID_STREAMS, stream_tid(r.stream),
+            events.append(span(PID_STREAMS, stream_tid(r.stream, r.device),
                                "wait_event", r, {"event": r.event}))
         elif r.kind == "event":
-            events.append(instant(PID_STREAMS, stream_tid(r.stream),
+            events.append(instant(PID_STREAMS, stream_tid(r.stream, r.device),
                                   f"event {r.handle}", r.t_start,
                                   {"op": r.op, "timestamp": r.timestamp}))
         elif r.kind == "sync":

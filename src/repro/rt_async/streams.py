@@ -168,6 +168,15 @@ class StreamTable:
         stream.ops.append(StreamOp(kind, start, end))
         return start, end
 
+    def occupy_engine(self, engine: str, until: float) -> None:
+        """Push an engine's availability to ``until`` without placing an
+        operation on any stream (used for peer copies: the remote end of a
+        ``cuMemcpyPeer`` occupies that device's DMA path too)."""
+        if engine not in self._engine_ready:
+            raise StreamError(f"unknown engine {engine!r}")
+        if until > self._engine_ready[engine]:
+            self._engine_ready[engine] = until
+
     # -- events ---------------------------------------------------------------
     def create_event(self) -> int:
         handle = next(self._event_handles)

@@ -82,6 +82,9 @@ class OffloadTask:
     #: filled in by the scheduler
     stream: Optional[int] = None
     done_event: Optional[int] = None
+    #: device ordinal the task's offloads route to (set by the runtime at
+    #: task begin; each device has its own scheduler and stream pool)
+    device: int = 0
     state: str = "created"    # created | issued | retired | failed | cancelled
     #: the exception that failed the task (state == "failed")
     error: Optional[Exception] = None

@@ -50,6 +50,7 @@ _ENGINE_OF_KIND = {
     "launch_overhead": ENGINE_COMPUTE,
     "memcpy_h2d": ENGINE_COPY,
     "memcpy_d2h": ENGINE_COPY,
+    "memcpy_d2d": ENGINE_COPY,
 }
 
 

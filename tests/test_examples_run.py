@@ -13,6 +13,7 @@ EXAMPLES = [
     "examples/compiler_pipeline.py",
     "examples/async_overlap.py",
     "examples/fault_tolerance.py",
+    "examples/multi_device.py",
 ]
 
 

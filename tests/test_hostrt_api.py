@@ -55,10 +55,11 @@ def test_host_api_values():
     }
     '''
     _, run = compile_run(src)
+    ndev = run.ort.num_devices  # honours REPRO_NUM_DEVICES (default 1)
     vals = list(run.machine.global_array("vals"))
-    assert vals[0] == 1          # one offload device (the GPU)
-    assert vals[1] == 1          # initial device id = num_devices
-    assert vals[2] == 0          # default device is the GPU
+    assert vals[0] == ndev       # the offload device registry
+    assert vals[1] == ndev       # initial device id = num_devices
+    assert vals[2] == 0          # default device is the (first) GPU
     assert vals[3] == 1          # host code runs on the initial device
     assert vals[4] == 4          # quad-core A57
     assert vals[5] == 4

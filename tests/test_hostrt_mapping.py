@@ -143,6 +143,23 @@ def test_update_to_from(env):
     assert env.device.writes[-1][0] == dev + 0x10
 
 
+def test_update_at_interior_offsets(env):
+    # updates addressed into the middle of a section mapped at a nonzero
+    # lower bound: both directions must hit the device address at the
+    # matching offset and the host address as given
+    env.map_enter(0x1000, 0x200, MAP_ALLOC)
+    dev = env.entries[0x1000].dev_addr
+    env.update_to(0x1080, 0x40)
+    assert env.device.writes[-1] == (dev + 0x80, 0x1080, 0x40)
+    env.update_from(0x11F0, 0x10)          # last 16 bytes of the entry
+    assert env.device.reads[-1] == (0x11F0, dev + 0x1F0, 0x10)
+    # re-mapping a contained section is a presence hit (refcount++), so a
+    # subsequent interior update still translates through the original entry
+    assert env.map_enter(0x1100, 0x40, MAP_TO) is env.entries[0x1000]
+    env.update_to(0x1110, 8)
+    assert env.device.writes[-1] == (dev + 0x110, 0x1110, 8)
+
+
 def test_update_unmapped_raises(env):
     with pytest.raises(MappingError):
         env.update_to(0x100, 8)
@@ -156,6 +173,27 @@ def test_is_present(env):
     assert env.is_present(0x100)
     assert env.is_present(0x13F)
     assert not env.is_present(0x140)
+
+
+def test_remap_after_delete_transfers_again(env):
+    # target data holds a reference; an inner exit data map(delete:) tears
+    # the entry down regardless of the refcount, and a later map must
+    # behave like a first mapping (fresh allocation + fresh transfer)
+    env.map_enter(0x100, 64, MAP_TOFROM)    # target data
+    env.map_enter(0x100, 64, MAP_TO)        # inner target
+    assert len(env.device.writes) == 1      # presence hit: no re-transfer
+    env.map_exit(0x100, MAP_DELETE)         # exit data map(delete: ...)
+    assert env.live_entries == 0
+    assert env.device.allocs == {}
+    assert env.device.reads == []           # delete never copies back
+    fresh = env.map_enter(0x100, 64, MAP_TO)
+    assert fresh.refcount == 1
+    assert len(env.device.writes) == 2      # re-map transfers again
+    # the enclosing target data's own exit now refers to the *new* entry:
+    # its tofrom exit copies back once and frees it
+    env.map_exit(0x100, MAP_TOFROM)
+    assert len(env.device.reads) == 1
+    assert env.live_entries == 0
 
 
 # -- interval-index lookups ---------------------------------------------------
@@ -214,3 +252,24 @@ def test_max_size_high_water_spans_far_lookups(env):
     # mapped first (the short one)
     assert env.find(0x2_0008).host_addr == 0x2_0000
     assert env.translate(0x1_0000 + 0x1234) == hit.dev_addr + 0x1234
+
+
+def test_max_size_shrinks_when_largest_entry_unmapped(env):
+    # the find() walk bound must not stay pinned at the size of an entry
+    # that no longer exists: after the 1 MiB entry leaves, lookups far from
+    # any small entry should inspect (almost) no candidates
+    env.map_enter(0x1_0000, 0x10_0000, MAP_ALLOC)   # 1 MiB
+    for i in range(64):
+        env.map_enter(0x20_0000 + i * 0x1000, 0x10, MAP_ALLOC)
+    assert env._max_size == 0x10_0000
+    env.map_exit(0x1_0000, MAP_RELEASE)
+    assert env._max_size == 0x10                    # recomputed, not stale
+    # misses beyond the small entries now terminate after one candidate
+    # (the walk window is max_size wide); with the stale 1 MiB bound this
+    # query would have walked all 64 entries
+    assert env.find(0x20_0000 + 63 * 0x1000 + 0x800) is None
+    # ties: removing one of two equal-size largest entries keeps the bound
+    env.map_enter(0x40_0000, 0x2000, MAP_ALLOC)
+    env.map_enter(0x50_0000, 0x2000, MAP_ALLOC)
+    env.map_exit(0x40_0000, MAP_RELEASE)
+    assert env._max_size == 0x2000

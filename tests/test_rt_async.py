@@ -389,15 +389,15 @@ def test_nowait_without_taskwait_drains_at_exit():
     src = NOWAIT_OVERLAP.replace("#pragma omp taskwait\n", "")
     run = OmpiCompiler().compile(src, name="drain").run()
     assert run.exit_code == 0
-    assert run.ort._scheduler is not None
-    assert run.ort._scheduler.pending == 0
+    assert run.ort._schedulers
+    assert run.ort.scheduler.pending == 0
 
 
 def test_barrier_joins_nowait_tasks():
     src = NOWAIT_OVERLAP.replace("#pragma omp taskwait", "#pragma omp barrier")
     run = OmpiCompiler().compile(src, name="barrier_join").run()
     assert run.exit_code == 0
-    assert run.ort._scheduler.pending == 0
+    assert run.ort.scheduler.pending == 0
 
 
 def test_depend_without_nowait_is_blocking():
