@@ -21,6 +21,10 @@ more than 10% wall-clock.
 once sharded across 4 simulated devices (``shard(4)`` on the target
 construct, ``num_devices=4``) and exits non-zero unless the sharded
 output is bit-identical and every device launched a shard.
+``--serving-check`` delegates to ``bench_serving.py --check``: a 64
+session x 4 device load test against the persistent offload server,
+failing on p99 latency above the checked-in budget, output divergence
+from standalone runs, or missing batching/eviction/warm-TTFL wins.
 """
 
 from __future__ import annotations
@@ -175,7 +179,19 @@ def main(argv=None) -> int:
                     help="run the gemm smoke case sharded across 4 simulated "
                          "devices; fail unless the output is bit-identical "
                          "to the single-device run")
+    ap.add_argument("--serving-check", action="store_true",
+                    help="serving load-test smoke: 64 sessions x 4 devices "
+                         "on the offload server; fail on p99 budget "
+                         "regression or divergence from standalone runs")
     args = ap.parse_args(argv)
+
+    if args.serving_check:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_serving
+        serving_args = ["--check"]
+        if args.output:
+            serving_args += ["--output", args.output]
+        return bench_serving.main(serving_args)
 
     if args.shard_check:
         print("[bench] shard check (gemm:128, 1 device vs shard(4)) ...",

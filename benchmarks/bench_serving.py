@@ -1,0 +1,326 @@
+"""Serving load test: many concurrent sessions over a shared registry.
+
+Simulates an open-loop multi-tenant workload against the persistent
+:class:`repro.serving.OffloadServer`: sessions arrive in bursts on the
+virtual clock, submit small offload programs (several distinct kernels,
+so the compile cache and the batcher both see a mix), and run multiple
+rounds so warm-state reuse and quota-driven eviction are exercised.
+
+Reported into ``BENCH_serving.json``:
+
+* request latency p50/p95/p99 (simulated seconds — deterministic),
+* throughput (completed requests per simulated second),
+* batch-size histogram, eviction/reuse counters, compile-cache stats,
+* cold vs warm time-to-first-launch (host wall-clock; the compile-cache
+  payoff), and
+* a bit-identity verdict: every session's results must equal a
+  standalone ``CompiledProgram.run`` of the same program and seed.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_serving.py             # full load
+    PYTHONPATH=src python benchmarks/bench_serving.py --check     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --sessions 512
+
+``--check`` (also reachable as ``bench_runner.py --serving-check``) runs
+64 sessions over 4 devices and fails on: any failed request, output
+divergence, p99 above the checked-in budget
+(``benchmarks/serving_budget.json``), warm TTFL speedup below 5x, no
+multi-request batches, or an idle device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ompi.cache import CompileCache
+from repro.ompi.config import OmpiConfig
+from repro.serving import OffloadServer, TenantQuota, percentile
+
+#: simulated seconds between arrival bursts
+BURST_GAP_S = 0.0005
+#: sessions arriving in one burst (same arrival instant — the
+#: deterministic session-id tie-break orders them)
+BURST_SIZE = 8
+
+
+def _vadd_src(n: int) -> str:
+    return f"""
+float a[{n}], b[{n}], c[{n}];
+int main(void) {{
+  #pragma omp target teams distribute parallel for map(to: a, b) map(from: c)
+  for (int i = 0; i < {n}; i++) c[i] = a[i] * 2.0f + b[i];
+  return 0;
+}}
+"""
+
+
+def _scale_src(n: int) -> str:
+    return f"""
+float x[{n}], y[{n}];
+int main(void) {{
+  #pragma omp target teams distribute parallel for map(to: x) map(tofrom: y)
+  for (int i = 0; i < {n}; i++) y[i] = 2.5f * x[i] + y[i];
+  return 0;
+}}
+"""
+
+
+def _gemm_src(n: int) -> str:
+    return f"""
+float A[{n}][{n}], B[{n}][{n}], C[{n}][{n}];
+int main(void) {{
+  #pragma omp target teams distribute parallel for collapse(2) \\
+      map(to: A, B) map(tofrom: C)
+  for (int i = 0; i < {n}; i++)
+    for (int j = 0; j < {n}; j++) {{
+      float acc = 0.0f;
+      for (int k = 0; k < {n}; k++) acc = acc + A[i][k] * B[k][j];
+      C[i][j] = acc;
+    }}
+  return 0;
+}}
+"""
+
+
+def _seeded(shape, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random(shape, dtype=np.float32)
+
+
+class ProgramDef:
+    def __init__(self, name: str, source: str, seed_arrays: dict,
+                 outputs: tuple):
+        self.name = name
+        self.source = source
+        self.seed_arrays = seed_arrays
+        self.outputs = outputs
+
+
+def program_mix() -> list[ProgramDef]:
+    n = 64
+    g = 8
+    return [
+        ProgramDef("vadd", _vadd_src(n),
+                   {"a": _seeded(n, 1), "b": _seeded(n, 2)}, ("c",)),
+        ProgramDef("scale", _scale_src(n),
+                   {"x": _seeded(n, 3), "y": _seeded(n, 4)}, ("y",)),
+        ProgramDef("gemm", _gemm_src(g),
+                   {"A": _seeded((g, g), 5), "B": _seeded((g, g), 6),
+                    "C": np.zeros((g, g), dtype=np.float32)}, ("C",)),
+    ]
+
+
+def standalone_reference(progdef: ProgramDef, cache: CompileCache,
+                         config: OmpiConfig) -> dict[str, bytes]:
+    """One classic (non-serving) run of the program — the bytes every
+    session's result must match exactly."""
+    prog = cache.get(progdef.source, progdef.name, config)
+    run = prog.run(seed_arrays=progdef.seed_arrays, num_devices=1)
+    return {out: np.asarray(run.machine.global_array(out)).tobytes()
+            for out in progdef.outputs}
+
+
+def load_test(num_sessions: int, num_devices: int, rounds: int = 2,
+              tenants: int = 8, max_batch: int = 8,
+              resident_quota: int = 512,
+              cache: CompileCache | None = None,
+              trace_path: str | None = None) -> dict:
+    """Run the workload; returns the BENCH entry (see module docstring)."""
+    config = OmpiConfig()
+    cache = cache if cache is not None else CompileCache()
+    programs = program_mix()
+    wall0 = time.perf_counter()
+    server = OffloadServer(
+        num_devices=num_devices, config=config, compile_cache=cache,
+        max_batch=max_batch,
+        default_quota=TenantQuota(max_resident_bytes=resident_quota),
+        profile=trace_path if trace_path else True,
+    )
+    sessions = [server.open_session(f"tenant{i % tenants}")
+                for i in range(num_sessions)]
+    requests = []
+    t = 0.0
+    for r in range(rounds):
+        # after the first round the first burst of sessions goes idle —
+        # their warm state is what quota pressure then evicts
+        active = sessions if r == 0 else sessions[BURST_SIZE:]
+        for start in range(0, len(active), BURST_SIZE):
+            burst = active[start:start + BURST_SIZE]
+            for s in burst:
+                # one program per session, stable across rounds, so the
+                # second round hits the session's parked buffers
+                p = programs[s.sid % len(programs)]
+                requests.append(server.submit(
+                    s, p.source, name=p.name, seed_arrays=p.seed_arrays,
+                    outputs=p.outputs, arrival=t))
+            t += BURST_GAP_S
+        done = server.drain()
+        t = max(t, server.clock.now())
+    assert len(done) <= len(requests)
+
+    # bit-identity: every completed request against the standalone run
+    refs = {p.name: standalone_reference(p, cache, config)
+            for p in programs}
+    mismatches = 0
+    for req in requests:
+        if req.status != "done":
+            continue
+        ref = refs[req.name]
+        for out, arr in req.result.items():
+            if np.asarray(arr).tobytes() != ref[out]:
+                mismatches += 1
+    devices_used = sorted({r.session.device for r in requests})
+    stats = server.stats
+    latencies = stats.latencies
+    done_times = [r.done_time for r in requests if r.status == "done"]
+    arrivals = [r.arrival for r in requests]
+    makespan = (max(done_times) - min(arrivals)) if done_times else 0.0
+    server.close()
+    return {
+        "sessions": num_sessions,
+        "devices": num_devices,
+        "tenants": tenants,
+        "rounds": rounds,
+        "requests": len(requests),
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "rejected": stats.rejections,
+        "latency_p50_s": percentile(latencies, 50),
+        "latency_p95_s": percentile(latencies, 95),
+        "latency_p99_s": percentile(latencies, 99),
+        "throughput_rps": (stats.completed / makespan) if makespan else 0.0,
+        "batch_histogram": {str(k): v
+                            for k, v in sorted(stats.batches.items())},
+        "evictions": stats.evictions,
+        "evicted_bytes": stats.evicted_bytes,
+        "reuse_hits": stats.reuse_hits,
+        "reuse_bytes": stats.reuse_bytes,
+        "compile_cache": cache.stats,
+        "devices_used": devices_used,
+        "output_mismatches": mismatches,
+        "wall_s": round(time.perf_counter() - wall0, 3),
+    }
+
+
+def ttfl_experiment() -> dict:
+    """Cold vs warm time-to-first-launch: two servers sharing one compile
+    cache — the second server's first requests skip the whole OMPi+nvcc
+    pipeline and should reach their first kernel submission >= 5x
+    faster."""
+    cache = CompileCache()
+    programs = program_mix()
+    ttfl = {}
+    for phase in ("cold", "warm"):
+        server = OffloadServer(num_devices=1, compile_cache=cache)
+        sess = server.open_session("ttfl")
+        for p in programs:
+            server.submit(sess, p.source, name=p.name,
+                          seed_arrays=p.seed_arrays, outputs=p.outputs)
+        done = server.drain()
+        ttfl[phase] = [r.ttfl for r in done if r.ttfl is not None]
+        server.close()
+    cold = float(np.mean(ttfl["cold"])) if ttfl["cold"] else 0.0
+    warm = float(np.mean(ttfl["warm"])) if ttfl["warm"] else 0.0
+    return {
+        "ttfl_cold_s": round(cold, 6),
+        "ttfl_warm_s": round(warm, 6),
+        "ttfl_speedup": round(cold / warm, 2) if warm else 0.0,
+    }
+
+
+def _budget_path() -> Path:
+    return Path(__file__).resolve().parent / "serving_budget.json"
+
+
+def check_failures(entry: dict, budget: dict) -> list[str]:
+    failures = []
+    if entry["failed"]:
+        failures.append(f"{entry['failed']} requests failed")
+    if entry["output_mismatches"]:
+        failures.append(f"{entry['output_mismatches']} outputs diverged "
+                        "from the standalone run")
+    if entry["completed"] != entry["requests"]:
+        failures.append(f"only {entry['completed']}/{entry['requests']} "
+                        "requests completed")
+    p99_budget = budget.get("p99_latency_s")
+    if p99_budget is not None and entry["latency_p99_s"] > p99_budget:
+        failures.append(f"p99 latency {entry['latency_p99_s']:.6f}s exceeds "
+                        f"budget {p99_budget:.6f}s")
+    if entry["ttfl"]["ttfl_speedup"] < 5.0:
+        failures.append(f"warm TTFL speedup {entry['ttfl']['ttfl_speedup']}x "
+                        "below 5x")
+    if not any(int(k) > 1 for k in entry["batch_histogram"]):
+        failures.append("no multi-request batches were formed")
+    if entry["devices_used"] != list(range(entry["devices"])):
+        failures.append(f"expected sessions on devices "
+                        f"{list(range(entry['devices']))}, "
+                        f"got {entry['devices_used']}")
+    if entry["evictions"] == 0:
+        failures.append("quota pressure produced no evictions")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: 64 sessions x 4 devices; fail on p99 "
+                         "budget regression, divergence, or missing "
+                         "batching/eviction/TTFL wins")
+    ap.add_argument("--sessions", type=int, default=None)
+    ap.add_argument("--devices", type=int, default=None)
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--trace", default=None,
+                    help="write the serving chrome trace here")
+    ap.add_argument("--output", default=None,
+                    help="output JSON path (default: BENCH_serving.json at "
+                         "the repo root)")
+    ap.add_argument("--update-budget", action="store_true",
+                    help="rewrite serving_budget.json from this run "
+                         "(p99 x 1.5 headroom)")
+    args = ap.parse_args(argv)
+
+    sessions = args.sessions or (64 if args.check else 256)
+    devices = args.devices or 4
+    print(f"[bench] serving load test: {sessions} sessions, "
+          f"{devices} devices, {args.rounds} rounds ...", flush=True)
+    entry = load_test(sessions, devices, rounds=args.rounds,
+                      trace_path=args.trace)
+    print(f"[bench]   {entry['completed']}/{entry['requests']} done  "
+          f"p50 {entry['latency_p50_s'] * 1e3:.3f}ms  "
+          f"p99 {entry['latency_p99_s'] * 1e3:.3f}ms  "
+          f"{entry['throughput_rps']:.0f} req/s  "
+          f"evictions {entry['evictions']}  "
+          f"reuse {entry['reuse_hits']}  wall {entry['wall_s']}s")
+    print("[bench] cold/warm time-to-first-launch ...", flush=True)
+    entry["ttfl"] = ttfl_experiment()
+    print(f"[bench]   cold {entry['ttfl']['ttfl_cold_s'] * 1e3:.1f}ms  "
+          f"warm {entry['ttfl']['ttfl_warm_s'] * 1e3:.1f}ms  "
+          f"speedup {entry['ttfl']['ttfl_speedup']}x")
+
+    out_path = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_serving.json")
+    out_path.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+    if args.update_budget:
+        budget = {"p99_latency_s": round(entry["latency_p99_s"] * 1.5, 6),
+                  "source": f"{sessions} sessions x {devices} devices"}
+        _budget_path().write_text(json.dumps(budget, indent=2) + "\n")
+        print(f"[bench] wrote {_budget_path()}")
+
+    budget = {}
+    if _budget_path().exists():
+        budget = json.loads(_budget_path().read_text())
+    failures = check_failures(entry, budget) if args.check else []
+    for msg in failures:
+        print(f"[bench] FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1075,22 +1075,34 @@ class CompiledKernelCache:
     state (same image, thousands of launches) compiles exactly once.
     Kernels the compiler rejects are cached as ``None`` (permanent
     tree-walk fallback, counted in ``fallbacks``).
+
+    ``max_entries`` bounds the cache with LRU eviction.  A standalone run
+    launches a handful of kernels, so the default is unbounded; a
+    long-lived driver (the serving runtime) sets a bound matched to its
+    program population, and an evicted kernel simply recompiles on its
+    next launch.
     """
 
-    def __init__(self):
+    def __init__(self, max_entries: Optional[int] = None):
         self._cache: dict = {}
+        self.max_entries = max_entries
         self.compiled = 0
         self.fallbacks = 0
         self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def get(self, kernel: KernelIR) -> Optional[CompiledKernel]:
         key = (id(kernel), tuple(p.dtype for p in kernel.params))
         try:
-            entry = self._cache[key]
+            entry = self._cache.pop(key)
         except KeyError:
             pass
         else:
             self.hits += 1
+            self._cache[key] = entry        # LRU touch (re-insertion order)
             return entry[1]
         try:
             ck = compile_kernel(kernel)
@@ -1098,6 +1110,10 @@ class CompiledKernelCache:
         except Exception:
             ck = None
             self.fallbacks += 1
+        if (self.max_entries is not None
+                and len(self._cache) >= self.max_entries):
+            self._cache.pop(next(iter(self._cache)))
+            self.evictions += 1
         # keep a reference to the kernel so its id() cannot be recycled
         self._cache[key] = (kernel, ck)
         return ck

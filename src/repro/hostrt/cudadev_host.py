@@ -48,7 +48,7 @@ class CudadevModule(DeviceModule):
 
     def __init__(
         self,
-        host_mem: LinearMemory,
+        host_mem: Optional[LinearMemory],
         device: DeviceProperties = JETSON_NANO_GPU,
         clock=None,
         jit_cache: Optional[JitCache] = None,
@@ -99,6 +99,17 @@ class CudadevModule(DeviceModule):
         #: (``target nowait``) task body is executing; None = default
         #: stream, i.e. the host-synchronous path
         self.current_stream: Optional[int] = None
+        #: fallback stream when no task stream is active: a serving
+        #: runtime points this at the executing request's stream so
+        #: concurrent sessions overlap instead of serialising on the
+        #: default stream; None = the classic host-synchronous path
+        self.base_stream: Optional[int] = None
+        #: last-resort allocation-pressure callback ``hook(nbytes) ->
+        #: freed``: after module-level eviction still leaves an OOM, the
+        #: owner (the serving runtime) may release state it manages
+        #: elsewhere — idle sessions' parked device buffers — before the
+        #: final retry.  None: no owner-level pressure valve.
+        self.evict_hook = None
         #: lazily-created stream sharded launches run on, so shards on
         #: different devices overlap instead of serialising on stream 0
         self._shard_stream: Optional[int] = None
@@ -109,6 +120,24 @@ class CudadevModule(DeviceModule):
         self._arena_blocks: list[int] = []
 
     # -- lifecycle ----------------------------------------------------------------
+    def lease_host(self, host_mem: Optional[LinearMemory]) -> None:
+        """Rebind the host memory this module's transfers read and write.
+
+        A long-lived serving runtime owns the module and leases it to one
+        client machine at a time; execution is cooperative (single host
+        thread), so every functional host access of a request completes
+        before the lease moves on.  Standalone runs bind once at
+        construction and never call this."""
+        self.host_mem = host_mem
+
+    def _route_stream(self) -> Optional[int]:
+        """The stream module operations ride on: an active nowait-task
+        stream wins, else the leased session/base stream, else None (the
+        host-synchronous default-stream path)."""
+        if self.current_stream is not None:
+            return self.current_stream
+        return self.base_stream
+
     def initialize(self) -> None:
         if self._initialized:
             return
@@ -228,8 +257,24 @@ class CudadevModule(DeviceModule):
             self.faultlog.note(
                 "evict", api="cuMemAlloc", nbytes=freed,
                 detail=f"OOM on {size}-byte alloc: evicted {freed} bytes")
-            return self._with_retries(
-                "cuMemAlloc", lambda: self.driver.cuMemAlloc(size))
+            try:
+                return self._with_retries(
+                    "cuMemAlloc", lambda: self.driver.cuMemAlloc(size))
+            except CudaError as exc2:
+                if (exc2.result != CUresult.CUDA_ERROR_OUT_OF_MEMORY
+                        or self.evict_hook is None):
+                    raise
+                # module-level eviction was not enough: let the owner
+                # (the serving runtime) shed idle-session device state
+                freed = int(self.evict_hook(size))
+                if freed <= 0:
+                    raise
+                self.faultlog.note(
+                    "evict", api="cuMemAlloc", nbytes=freed,
+                    detail=f"OOM on {size}-byte alloc: owner evicted "
+                           f"{freed} bytes of idle session state")
+                return self._with_retries(
+                    "cuMemAlloc", lambda: self.driver.cuMemAlloc(size))
 
     def pin_module(self, kernel_name: str) -> None:
         """Exempt a loaded kernel's module from OOM eviction (used for
@@ -262,6 +307,34 @@ class CudadevModule(DeviceModule):
             return addr
         return self._cu_alloc(size)
 
+    def trim_arena(self) -> int:
+        """Return fully-idle arena blocks to the driver; returns the
+        bytes released.  A long-lived serving process calls this at
+        session teardown / eviction so pooled scalar slots don't pin
+        driver memory forever; standalone runs never need it (the pool
+        dies with the process)."""
+        if self.lost or not self._arena_blocks:
+            return 0
+        free_set = set(self._arena_free)
+        per_block = self._ARENA_BLOCK // self._ARENA_SLOT
+        keep: list[int] = []
+        released = 0
+        for base in self._arena_blocks:
+            slots = [base + i * self._ARENA_SLOT for i in range(per_block)]
+            if all(s in free_set for s in slots):
+                for s in slots:
+                    free_set.discard(s)
+                    self._arena_addrs.discard(s)
+                self._with_retries(
+                    "cuMemFree", lambda b=base: self.driver.cuMemFree(b))
+                released += self._ARENA_BLOCK
+            else:
+                keep.append(base)
+        if released:
+            self._arena_blocks = keep
+            self._arena_free = [a for a in self._arena_free if a in free_set]
+        return released
+
     def mem_free(self, addr: int) -> None:
         if addr in self._arena_addrs:
             if addr not in self._arena_live:
@@ -282,11 +355,12 @@ class CudadevModule(DeviceModule):
                                device=self.ordinal,
                                addr=host_addr, nbytes=size)
         data = self.host_mem.copy_out(host_addr, size)
-        if self.current_stream is not None:
+        stream = self._route_stream()
+        if stream is not None:
             self._with_retries(
                 "cuMemcpyHtoDAsync",
                 lambda: self.driver.cuMemcpyHtoDAsync(dev_addr, data,
-                                                      self.current_stream))
+                                                      stream))
         else:
             self._with_retries(
                 "cuMemcpyHtoD",
@@ -297,11 +371,12 @@ class CudadevModule(DeviceModule):
             self.ompt.dispatch("data_op", optype="transfer_from",
                                device=self.ordinal,
                                addr=host_addr, nbytes=size)
-        if self.current_stream is not None:
+        stream = self._route_stream()
+        if stream is not None:
             data = self._with_retries(
                 "cuMemcpyDtoHAsync",
                 lambda: self.driver.cuMemcpyDtoHAsync(dev_addr, size,
-                                                      self.current_stream))
+                                                      stream))
         else:
             data = self._with_retries(
                 "cuMemcpyDtoH",
@@ -320,8 +395,8 @@ class CudadevModule(DeviceModule):
             self.ompt.dispatch("data_op", optype="transfer_peer",
                                device=self.ordinal,
                                addr=dst_addr, nbytes=size)
-        stream = (self.current_stream if self.current_stream is not None
-                  else 0)
+        routed = self._route_stream()
+        stream = routed if routed is not None else 0
         self._with_retries(
             "cuMemcpyPeer",
             lambda: self.driver.cuMemcpyPeer(dst_addr, dst_module.driver,
@@ -339,6 +414,18 @@ class CudadevModule(DeviceModule):
 
     # -- kernels -------------------------------------------------------------------
     def register_kernel_image(self, kernel_name: str, image) -> None:
+        old = self._images.get(kernel_name)
+        if old is not None and old is not image:
+            # a long-lived registry re-registering a kernel name with a
+            # different image (two programs sharing a name): drop the
+            # stale loaded function so the next launch loads the new image
+            fn = self._loaded.pop(kernel_name, None)
+            if (fn is not None and not self.lost
+                    and fn.module_handle not in self._pinned):
+                try:
+                    self.driver.cuModuleUnload(fn.module_handle)
+                except CudaError:
+                    pass
         self._images[kernel_name] = image
 
     def _loading_phase(self, kernel_name: str) -> CUfunction:
@@ -370,8 +457,8 @@ class CudadevModule(DeviceModule):
                                                         # by the data env)
         gx, gy, gz = teams
         bx, by, bz = threads                            # phase 3
-        stream = (self.current_stream if self.current_stream is not None
-                  else 0)
+        routed = self._route_stream()
+        stream = routed if routed is not None else 0
         if self.ompt.active:
             self.ompt.dispatch("submit", kernel=kernel_name, teams=teams,
                                threads=threads, stream=stream)

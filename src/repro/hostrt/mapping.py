@@ -116,13 +116,20 @@ class DataEnv:
         # note: no copy-back state is kept on the entry — OpenMP 4.5 gives
         # the copy-back decision to the construct whose unmap drops the
         # refcount to zero (see map_exit), not to the entering map type
+        self._install(entry)
+        return entry
+
+    def _install(self, entry: MapEntry) -> None:
+        """Insert a fully-constructed entry into the address index.
+        Subclasses (e.g. the serving runtime's session environment) call
+        this to adopt entries whose device allocation/transfer they have
+        satisfied themselves."""
         entry.seq = self._next_seq
         self._next_seq += 1
-        self.entries[host_addr] = entry
-        bisect.insort(self._starts, host_addr)
-        if size > self._max_size:
-            self._max_size = size
-        return entry
+        self.entries[entry.host_addr] = entry
+        bisect.insort(self._starts, entry.host_addr)
+        if entry.size > self._max_size:
+            self._max_size = entry.size
 
     def map_exit(self, host_addr: int, map_type: int) -> None:
         entry = self.find(host_addr)
@@ -135,6 +142,14 @@ class DataEnv:
             entry.refcount = 0
         if entry.refcount > 0:
             return
+        self._release_entry(entry, map_type)
+        self._drop(entry)
+
+    def _release_entry(self, entry: MapEntry, map_type: int) -> None:
+        """Retire the device side of a dying entry: copy back if the
+        closing construct asked for it, then free the device block.
+        Subclasses override this to park the buffer for reuse instead of
+        freeing it."""
         # OpenMP 4.5: the copy-back decision belongs to the construct whose
         # unmap drops the reference count to zero (an enclosing target data
         # with map(alloc:) does NOT copy back even if inner targets mapped
@@ -142,6 +157,9 @@ class DataEnv:
         if map_type in (MAP_FROM, MAP_TOFROM):
             self.device.read(entry.host_addr, entry.dev_addr, entry.size)
         self.device.mem_free(entry.dev_addr)
+
+    def _drop(self, entry: MapEntry) -> None:
+        """Remove a dead entry from the address index."""
         del self.entries[entry.host_addr]
         del self._starts[bisect.bisect_left(self._starts, entry.host_addr)]
         # keep the walk bound tight: when the (sole) largest entry leaves,

@@ -90,41 +90,68 @@ class Ort:
         faults=None,
         recovery=None,
         num_devices: Optional[int] = None,
+        devices: Optional[list] = None,
+        dataenvs: Optional[dict] = None,
+        ompt: Optional[OmptRegistry] = None,
+        default_device: int = 0,
     ):
         self.machine = machine
-        self.clock = clock or VirtualClock()
-        self.icvs = ICVs(default_device_var=0)
-        if num_devices is None:
-            num_devices = int(os.environ.get("REPRO_NUM_DEVICES", "") or "1")
-        num_devices = int(num_devices)
-        if num_devices < 1:
-            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
-        #: one shared activity ring for the whole registry; each module
-        #: gets a per-device stamping view so the merged stream stays in
-        #: emission order while every record remains attributable
-        self.prof, self.prof_path = resolve_profile(profile)
-        #: OMPT-style tool callback registry, shared with every device
-        #: module so callbacks see both runtime- and module-level events
-        self.ompt = OmptRegistry()
-        from repro.devrt import build_intrinsics
-        intrinsics = build_intrinsics()
-        #: offload devices (0..n-1); the initial device is id n
-        self.devices = [
-            CudadevModule(
-                machine.heap, device, clock=self.clock, jit_cache=jit_cache,
-                launch_mode=launch_mode, fastpath=fastpath,
-                profile=(DeviceRecorder(self.prof, k)
-                         if self.prof is not None else False),
-                faults=faults, recovery=recovery, ordinal=k, ompt=self.ompt,
-                gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
-                intrinsics=intrinsics,
-            )
-            for k in range(num_devices)
-        ]
+        if devices is not None:
+            # -- leased registry (serving runtime) -----------------------
+            # The caller owns the device modules, virtual clock, activity
+            # ring and OMPT registry; this Ort only binds them to one
+            # machine for one request's lifetime.  Host memory is leased:
+            # execution is cooperative, so every functional host access
+            # completes before the owner re-leases the modules.
+            if not devices:
+                raise ValueError("a leased device registry cannot be empty")
+            self.clock = clock or devices[0].driver.clock
+            self.prof, self.prof_path = resolve_profile(
+                profile if profile is not None else False)
+            self.ompt = ompt if ompt is not None else OmptRegistry()
+            self.devices = list(devices)
+            for mod in self.devices:
+                mod.lease_host(machine.heap)
+        else:
+            self.clock = clock or VirtualClock()
+            if num_devices is None:
+                num_devices = int(os.environ.get("REPRO_NUM_DEVICES", "")
+                                  or "1")
+            num_devices = int(num_devices)
+            if num_devices < 1:
+                raise ValueError(
+                    f"num_devices must be >= 1, got {num_devices}")
+            #: one shared activity ring for the whole registry; each module
+            #: gets a per-device stamping view so the merged stream stays in
+            #: emission order while every record remains attributable
+            self.prof, self.prof_path = resolve_profile(profile)
+            #: OMPT-style tool callback registry, shared with every device
+            #: module so callbacks see both runtime- and module-level events
+            self.ompt = ompt if ompt is not None else OmptRegistry()
+            from repro.devrt import build_intrinsics
+            intrinsics = build_intrinsics()
+            #: offload devices (0..n-1); the initial device is id n
+            self.devices = [
+                CudadevModule(
+                    machine.heap, device, clock=self.clock,
+                    jit_cache=jit_cache,
+                    launch_mode=launch_mode, fastpath=fastpath,
+                    profile=(DeviceRecorder(self.prof, k)
+                             if self.prof is not None else False),
+                    faults=faults, recovery=recovery, ordinal=k,
+                    ompt=self.ompt,
+                    gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
+                    intrinsics=intrinsics,
+                )
+                for k in range(num_devices)
+            ]
+        self.icvs = ICVs(default_device_var=int(default_device))
         self.cudadev = self.devices[0]
         self.recovery = self.cudadev.recovery
         self.host_device = HostDevice(machine)
-        self.dataenvs = {k: DataEnv(mod) for k, mod in enumerate(self.devices)}
+        self.dataenvs = (dict(dataenvs) if dataenvs is not None
+                         else {k: DataEnv(mod)
+                               for k, mod in enumerate(self.devices)})
         self.teams = TeamStack(self.icvs.nthreads_var)
         self._pending_kargs: list = []
         #: host-address twins of the pending kernel arguments — what the
@@ -560,6 +587,20 @@ class Ort:
                 cancelled += exc.cancelled
         if failed:
             raise OffloadTaskError(failed, cancelled)
+
+    def shutdown(self) -> None:
+        """Deterministic teardown for a leased/long-lived registry: join
+        the task graph, then destroy every pool stream and done-event this
+        Ort created on the shared drivers.  A standalone one-shot run can
+        skip this (the driver dies with the process); a serving runtime
+        must call it per request or handles accumulate in the drivers'
+        stream/event tables across thousands of requests."""
+        try:
+            self.taskwait()
+        finally:
+            for sched in self._schedulers.values():
+                sched.shutdown()
+            self._schedulers.clear()
 
     # -- multi-device sharding (shard clause) -------------------------------------
     def _ort_shard_begin(self, machine, args, loc):

@@ -12,7 +12,9 @@ Pipeline (paper Fig. 2)::
 Public entry point: :class:`repro.ompi.compiler.OmpiCompiler`.
 """
 
+from repro.ompi.cache import CompileCache, compile_cached
 from repro.ompi.compiler import CompiledProgram, OmpiCompiler, ProgramRun
 from repro.ompi.config import OmpiConfig
 
-__all__ = ["CompiledProgram", "OmpiCompiler", "OmpiConfig", "ProgramRun"]
+__all__ = ["CompileCache", "CompiledProgram", "OmpiCompiler", "OmpiConfig",
+           "ProgramRun", "compile_cached"]

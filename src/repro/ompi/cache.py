@@ -1,0 +1,132 @@
+"""Shared compile cache: source hash + config fingerprint -> program.
+
+The ompicc pipeline is deterministic — the same source text under the
+same codegen-relevant configuration always produces the same outlined
+host program and kernel images — so compilation results can be shared
+freely: between requests of a serving runtime, between the CLI and an
+embedding application, between sessions of different tenants.
+
+``compile_cached()`` is the single entry point.  The cache key is
+
+* the SHA-256 of the source text,
+* the program name (it prefixes every generated kernel symbol), and
+* the *config fingerprint*: only the :class:`~repro.ompi.config.OmpiConfig`
+  fields that change what the compiler emits (binary mode, target arch,
+  block-geometry knobs).  Runtime-only fields (fastpath, profiling, fault
+  injection, device count) deliberately stay out of the key — a cached
+  program is re-bound to the caller's full config on every hit, so two
+  callers differing only in runtime knobs share one compilation.
+
+The cache is in-memory (one process); it is the first step toward the
+ROADMAP's persistent on-disk compile cache — the key derivation is
+already content-addressed, so an on-disk layer only has to serialise
+:class:`~repro.ompi.compiler.CompiledProgram`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import replace
+from typing import Optional
+
+from repro.ompi.compiler import CompiledProgram, OmpiCompiler
+from repro.ompi.config import OmpiConfig
+
+
+def config_fingerprint(config: OmpiConfig) -> str:
+    """The codegen-relevant slice of a config, as a stable string."""
+    return "|".join((
+        config.binary_mode,
+        config.arch,
+        str(config.mw_block_threads),
+        str(config.default_num_threads),
+        str(config.block_shape),
+    ))
+
+
+def source_key(source: str, name: str = "prog",
+               config: Optional[OmpiConfig] = None) -> str:
+    """Content-addressed cache key (hex digest) for one compilation."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update(name.encode())
+    h.update(b"\x00")
+    h.update(config_fingerprint(config or OmpiConfig()).encode())
+    return h.hexdigest()
+
+
+class CompileCache:
+    """Map of :func:`source_key` -> :class:`CompiledProgram`.
+
+    ``max_entries`` bounds the cache with LRU eviction (None: unbounded —
+    the CLI compiles one program per process; a serving runtime should
+    set a bound matched to its program population).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self.max_entries = max_entries
+        self._cache: dict[str, CompiledProgram] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: host wall-clock spent inside OmpiCompiler.compile (misses only)
+        self.compile_wall_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, source: str, name: str = "prog",
+            config: Optional[OmpiConfig] = None) -> CompiledProgram:
+        """The compiled program for ``source``, compiling on first use.
+
+        The returned program carries the *caller's* config (runtime knobs
+        like fastpath/profile/faults apply per run), sharing the host
+        unit, kernel plans and images with every other hit on the key.
+        """
+        config = config or OmpiConfig()
+        key = source_key(source, name, config)
+        prog = self._cache.get(key)
+        if prog is not None:
+            self.hits += 1
+            # LRU touch: re-insertion order is eviction order
+            self._cache[key] = self._cache.pop(key)
+        else:
+            self.misses += 1
+            t0 = time.perf_counter()
+            prog = OmpiCompiler(config).compile(source, name)
+            self.compile_wall_s += time.perf_counter() - t0
+            if (self.max_entries is not None
+                    and len(self._cache) >= self.max_entries):
+                self._cache.pop(next(iter(self._cache)))
+                self.evictions += 1
+            self._cache[key] = prog
+        return replace(prog, config=config)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._cache),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "compile_wall_s": self.compile_wall_s,
+        }
+
+
+#: process-wide default cache (what ``compile_cached`` uses when the
+#: caller does not bring its own): the CLI, the serving runtime and ad-hoc
+#: embedders all share it, so a warm process never recompiles a program
+GLOBAL_COMPILE_CACHE = CompileCache()
+
+
+def compile_cached(source: str, name: str = "prog",
+                   config: Optional[OmpiConfig] = None,
+                   cache: Optional[CompileCache] = None) -> CompiledProgram:
+    """Compile ``source`` through a shared cache (see module docstring)."""
+    return (cache if cache is not None else GLOBAL_COMPILE_CACHE).get(
+        source, name, config)

@@ -26,7 +26,7 @@ from repro.cuda.device import (
 from repro.cuda.nvcc import compile_device
 from repro.cuda.ptx.jit import JitCache
 from repro.cuda.ptx.ptxwriter import module_to_ptx
-from repro.ompi.compiler import OmpiCompiler
+from repro.ompi.cache import compile_cached
 from repro.ompi.config import OmpiConfig
 
 DEVICES = {
@@ -102,7 +102,10 @@ def main(argv: list[str] | None = None) -> int:
                         faults=args.faults, recovery=args.recovery,
                         num_devices=args.num_devices)
     try:
-        program = OmpiCompiler(config).compile(source, name)
+        # the process-wide compile cache: a repeated ompicc invocation in
+        # one process (tests, embedders) reuses the compiled program, and
+        # the serving runtime shares the same cache
+        program = compile_cached(source, name, config)
     except Exception as exc:
         print(f"ompicc: {exc}", file=sys.stderr)
         return 1

@@ -85,6 +85,40 @@ class CompiledProgram:
     def host_source(self) -> str:
         return unparse(self.host_unit)
 
+    def bind(self, ort: Ort, seed_arrays: Optional[dict] = None) -> None:
+        """Attach this program to a runtime: register the kernel images
+        with every device module, install the ``*_hostfn`` fallback twins
+        on the initial device, seed global arrays and give declare-target
+        globals their device residence.  Shared by :meth:`run` and by the
+        serving runtime, which drives a leased :class:`Ort` itself."""
+        machine = ort.machine
+        for kernel_name, image in self.images.items():
+            for module in ort.devices:
+                module.register_kernel_image(kernel_name, image)
+        for plan in self.plans:
+            ort.host_device.register_fallback(plan.kernel_name,
+                                              plan.kernel_name + "_hostfn")
+        if seed_arrays:
+            for name, values in seed_arrays.items():
+                if name in machine.globals:
+                    machine.global_array(name)[...] = values
+        # give declare-target globals their device residence (eager load of
+        # the owning kernel module; see Ort.bind_declare_target)
+        for gname, gtype in self.declare_target_globals.items():
+            owner = None
+            for plan in self.plans:
+                for node in plan.kernel_unit.decls:
+                    if isinstance(node, A.GlobalDecl) and any(
+                            d.name == gname for d in node.decls):
+                        owner = plan.kernel_name
+                        break
+                if owner:
+                    break
+            if owner is not None and gname in machine.globals:
+                binding = machine.global_binding(gname)
+                ort.bind_declare_target(gname, binding.addr,
+                                        gtype.sizeof(), owner)
+
     def run(
         self,
         device: DeviceProperties = JETSON_NANO_GPU,
@@ -114,32 +148,7 @@ class CompiledProgram:
         if ompt:
             for event, fn in ompt.items():
                 ort.ompt.set_callback(event, fn)
-        for kernel_name, image in self.images.items():
-            for module in ort.devices:
-                module.register_kernel_image(kernel_name, image)
-        for plan in self.plans:
-            ort.host_device.register_fallback(plan.kernel_name,
-                                              plan.kernel_name + "_hostfn")
-        if seed_arrays:
-            for name, values in seed_arrays.items():
-                if name in machine.globals:
-                    machine.global_array(name)[...] = values
-        # give declare-target globals their device residence (eager load of
-        # the owning kernel module; see Ort.bind_declare_target)
-        for gname, gtype in self.declare_target_globals.items():
-            owner = None
-            for plan in self.plans:
-                for node in plan.kernel_unit.decls:
-                    if isinstance(node, A.GlobalDecl) and any(
-                            d.name == gname for d in node.decls):
-                        owner = plan.kernel_name
-                        break
-                if owner:
-                    break
-            if owner is not None and gname in machine.globals:
-                binding = machine.global_binding(gname)
-                ort.bind_declare_target(gname, binding.addr,
-                                        gtype.sizeof(), owner)
+        self.bind(ort, seed_arrays=seed_arrays)
         exit_code = machine.run() if main else 0
         ort.taskwait()  # implicit join of outstanding nowait tasks at exit
         if ort.prof is not None and ort.prof_path:

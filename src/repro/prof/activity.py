@@ -237,6 +237,29 @@ class FaultActivity(ActivityRecord):
     detail: str = ""
 
 
+@dataclass
+class ServingActivity(ActivityRecord):
+    """One serving-runtime happening: request/session lifecycle, batching
+    and eviction decisions of the persistent offload server.  Request
+    spans carry ``t_start`` = admission and ``t_end`` = completion on the
+    modelled timeline, so the chrome exporter can draw a serving track
+    above the device tracks that produced the work."""
+
+    kind: ClassVar[str] = "serving"
+
+    #: 'session_open' | 'session_close' | 'enqueue' | 'admit' | 'batch'
+    #: | 'request' | 'evict' | 'reject' | 'reuse'
+    op: str = ""
+    session: int = -1
+    tenant: str = ""
+    request: int = -1                # per-server request sequence number
+    program: str = ""                # program cache key prefix / name
+    batch: int = 0                   # members in the admitted batch
+    queue_depth: int = 0             # admission queue depth after the op
+    nbytes: int = 0                  # bytes moved/evicted, if relevant
+    detail: str = ""
+
+
 class ActivityRecorder:
     """Bounded ring buffer of :class:`ActivityRecord` instances."""
 

@@ -18,6 +18,11 @@ Emits the Trace Event Format's JSON object form: ``{"traceEvents": [...],
 * **pid 3 "host"** — host-blocking synchronisations, module load / JIT
   spans, nowait-task lifecycle instants, and a ``device memory`` counter
   series fed by the alloc/free records (the memory track).
+* **pid 4 "serving"** — the offload server's view: one track per device
+  carrying request spans (admission -> completion), lifecycle instants
+  (session open/close, enqueue, batch, evict, reject) and an
+  ``admission queue`` counter series, above the device tracks that
+  executed the work.
 
 All timestamps are the simulated clock in microseconds, so the exported
 trace is deterministic for a given program.
@@ -34,6 +39,7 @@ from repro.prof.activity import ActivityRecorder
 PID_STREAMS = 1
 PID_ENGINES = 2
 PID_HOST = 3
+PID_SERVING = 4
 
 TID_ENGINE_COMPUTE = 0
 TID_ENGINE_COPY = 1
@@ -68,6 +74,18 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
     events += _meta(PID_HOST, "host", TID_HOST, "host runtime")
     named_streams: set[int] = set()
     named_engines: set[int] = set()
+    named_serving: set[int] = set()
+
+    def serving_tid(device) -> int:
+        tid = int(device if device is not None else 0)
+        if tid not in named_serving:
+            if not named_serving:
+                events.extend(_meta(PID_SERVING, "serving"))
+            named_serving.add(tid)
+            events.append({"ph": "M", "pid": PID_SERVING, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"dev{tid} requests"}})
+        return tid
 
     def stream_tid(stream, device) -> int:
         dev = int(device or 0)
@@ -169,6 +187,26 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
                                   r.t_start,
                                   {"fault": r.fault, "attempt": r.attempt,
                                    "bytes": r.nbytes, "detail": r.detail}))
+        elif r.kind == "serving":
+            tid = serving_tid(r.device)
+            common = {"session": r.session, "tenant": r.tenant,
+                      "request": r.request, "program": r.program,
+                      "batch": r.batch, "bytes": r.nbytes,
+                      "detail": r.detail}
+            if r.op == "request":
+                events.append(span(
+                    PID_SERVING, tid,
+                    f"req{r.request} s{r.session}", r, common))
+            else:
+                events.append(instant(PID_SERVING, tid,
+                                      f"serving:{r.op}", r.t_start, common))
+            if r.op in ("enqueue", "admit"):
+                events.append({
+                    "ph": "C", "pid": PID_SERVING, "tid": tid,
+                    "name": f"admission queue dev{tid}",
+                    "ts": _us(r.t_start),
+                    "args": {"depth": r.queue_depth},
+                })
         # kernel_exec records carry no timeline (pure engine counters);
         # they feed the metrics table, not the trace
     return events

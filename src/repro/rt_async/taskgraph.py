@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cuda.errors import CudaError
 from repro.prof.activity import TaskActivity
 
 #: dependence-type codes (what the code generator passes to ort_task_dep)
@@ -231,6 +232,10 @@ class StreamPoolScheduler:
         self._rr = 0
         #: stream handle -> tid of the task most recently placed on it
         self._stream_tail: dict[int, Optional[int]] = {h: None for h in self.pool}
+        #: every completion event this scheduler created (released by
+        #: :meth:`shutdown`; a long-lived driver otherwise accumulates
+        #: one event-table entry per finished task, forever)
+        self._events: list[int] = []
 
     # -- submission ------------------------------------------------------------
     def begin_task(self, label: str,
@@ -276,6 +281,7 @@ class StreamPoolScheduler:
         event = self.driver.cuEventCreate()
         self.driver.cuEventRecord(event, task.stream)
         task.done_event = event
+        self._events.append(event)
         self.graph.mark_issued(task.tid)
         self._note(task, "end")
 
@@ -360,3 +366,36 @@ class StreamPoolScheduler:
     @property
     def pending(self) -> int:
         return self.graph.pending
+
+    def release_events(self) -> int:
+        """Destroy every completion event recorded so far; returns how
+        many were released.  Only valid after a join (taskwait) — a
+        pending task's ``done_event`` must stay live until synchronised.
+        A long-lived serving scheduler calls this between drains so the
+        shared driver's event table stays bounded."""
+        released = 0
+        for event in self._events:
+            try:
+                self.driver.cuEventDestroy(event)
+                released += 1
+            except CudaError:
+                pass
+        self._events.clear()
+        return released
+
+    def shutdown(self) -> None:
+        """Release the pool: drain each pool stream and destroy its
+        handle.  Per-request schedulers in a long-lived serving process
+        must not accumulate stream handles (and their drain horizons) in
+        a shared driver's stream table; standalone runs never bother —
+        process teardown reclaims everything.  Safe on a lost device:
+        the driver's errors are absorbed, the handles are forgotten."""
+        for handle in self.pool:
+            try:
+                self.driver.cuStreamSynchronize(handle)
+                self.driver.cuStreamDestroy(handle)
+            except CudaError:
+                pass
+        self.release_events()
+        self.pool.clear()
+        self._stream_tail.clear()

@@ -1,0 +1,23 @@
+"""Offload-as-a-service: the persistent multi-tenant serving runtime.
+
+A long-lived :class:`OffloadServer` owns one compile cache and one
+N-device registry and multiplexes many client sessions over them, with
+deterministic request admission, compatible-request batching, per-tenant
+quotas and quota/pressure-driven eviction of idle warm state.  See
+DESIGN.md §11 for the architecture.
+"""
+
+from repro.serving.quota import QuotaError, QuotaManager, TenantQuota
+from repro.serving.scheduler import AdmissionQueue
+from repro.serving.server import (
+    OffloadServer, Request, ServingStats, percentile,
+)
+from repro.serving.session import (
+    ResidentBuffer, Session, SessionDataEnv, content_digest,
+)
+
+__all__ = [
+    "AdmissionQueue", "OffloadServer", "QuotaError", "QuotaManager",
+    "Request", "ResidentBuffer", "ServingStats", "Session",
+    "SessionDataEnv", "TenantQuota", "content_digest", "percentile",
+]

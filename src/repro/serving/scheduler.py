@@ -1,0 +1,77 @@
+"""Request admission and batching for the offload server.
+
+Admission is deterministic: every request carries the total-order key
+``(arrival, session id, per-session sequence)`` — simulated arrival time
+first, with the session id as a stable tie-break so two requests
+admitted at the same instant always dispatch in the same order no matter
+how the caller interleaved the ``submit`` calls.  One queue per device
+(sessions are sticky to a device), dispatch always serves the globally
+smallest key.
+
+Batching groups *compatible* requests: same compiled program (same
+source-hash cache key), already arrived, capped at ``max_batch``.  Batch
+members share one admission decision and dispatch back-to-back onto the
+device's serving stream pool; requests of the same session never reorder
+— once a session's earlier request is skipped over, its later requests
+are barred from the batch.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+
+class AdmissionQueue:
+    """Per-device queues of admitted requests in deterministic key order."""
+
+    def __init__(self, num_devices: int):
+        self._q: dict[int, list] = {k: [] for k in range(num_devices)}
+
+    def push(self, req) -> int:
+        """Insert by admission key; returns the queue depth after."""
+        q = self._q[req.session.device]
+        keys = [r.key for r in q]
+        q.insert(bisect.bisect_right(keys, req.key), req)
+        return len(q)
+
+    def depth(self, device: int) -> int:
+        return len(self._q[device])
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._q.values())
+
+    def head_device(self) -> Optional[int]:
+        """The device whose head request has the globally smallest
+        admission key (ties: lowest device ordinal); None when empty."""
+        best = None
+        best_key = None
+        for dev, q in self._q.items():
+            if q and (best_key is None or q[0].key < best_key):
+                best, best_key = dev, q[0].key
+        return best
+
+    def head_arrival(self, device: int) -> float:
+        return self._q[device][0].arrival
+
+    def pop_batch(self, device: int, now: float, max_batch: int) -> list:
+        """Remove and return the head request plus every compatible
+        follower: same program key, arrived by ``now``, same-session FIFO
+        preserved, at most ``max_batch`` members."""
+        q = self._q[device]
+        head = q[0]
+        batch = [head]
+        remaining = []
+        #: sessions with a skipped (incompatible) request — their later
+        #: requests must stay queued to preserve per-session order
+        barred: set[int] = set()
+        for r in q[1:]:
+            if (len(batch) < max_batch and r.arrival <= now
+                    and r.program_key == head.program_key
+                    and r.session.sid not in barred):
+                batch.append(r)
+            else:
+                remaining.append(r)
+                barred.add(r.session.sid)
+        self._q[device] = remaining
+        return batch

@@ -1,0 +1,595 @@
+"""The persistent offload server (offload-as-a-service).
+
+One :class:`OffloadServer` owns the long-lived state a fleet of client
+sessions multiplexes over:
+
+* one **compile cache** (:mod:`repro.ompi.cache`): source-hash ->
+  compiled program; the first request for a program pays the full OMPi +
+  nvcc pipeline, every later request (any session, any tenant) binds the
+  cached images,
+* one **device registry**: N simulated Jetson boards sharing a virtual
+  clock and one activity ring, each with its own driver, memory arena
+  and fault domain,
+* one **admission queue** per device with deterministic ordering and
+  compatible-request batching (:mod:`repro.serving.scheduler`),
+* per-tenant **quotas** (:mod:`repro.serving.quota`) and quota/pressure
+  driven **eviction** of idle sessions' warm state.
+
+Each executed request gets a private data environment, ICV state and
+interpreter machine bound to the shared registry through a *leased*
+:class:`~repro.hostrt.ort.Ort`; the request rides one task of the
+device's serving stream pool with a ``(INOUT, session id)`` dependence,
+so a session's requests run FIFO while different sessions overlap on
+the modelled timeline.  Completion events are synchronised only after
+every queued request has dispatched, keeping cross-device overlap
+visible in the latency numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront.errors import CFrontError
+from repro.cuda.nvcc import NvccError
+from repro.cfront.interp import Machine
+from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.driver import DEVICE_MEM_BASE
+from repro.cuda.errors import CudaError
+from repro.faults.recovery import DeviceLost, OffloadFailure
+from repro.hostrt.cudadev_host import CudadevModule
+from repro.hostrt.mapping import MappingError
+from repro.hostrt.ort import DEVICE_MEM_STRIDE, Ort
+from repro.mem import MemoryError_
+from repro.ompi.cache import GLOBAL_COMPILE_CACHE, CompileCache, source_key
+from repro.ompi.config import OmpiConfig
+from repro.prof.activity import (
+    DeviceRecorder, ServingActivity, resolve_profile,
+)
+from repro.prof.ompt import OmptRegistry
+from repro.rt_async.taskgraph import (
+    DEP_INOUT, OffloadTaskError, StreamPoolScheduler,
+)
+from repro.serving.quota import QuotaError, QuotaManager, TenantQuota
+from repro.serving.scheduler import AdmissionQueue
+from repro.serving.session import (
+    ResidentBuffer, Session, SessionDataEnv, content_digest,
+)
+from repro.timing.clock import VirtualClock
+
+#: request heap default: enough for the small serving workloads; callers
+#: size it per request like the bench harness sizes standalone runs
+DEFAULT_HEAP = 64 << 20
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile (the convention latency SLOs use)."""
+    if not values:
+        return 0.0
+    xs = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(xs)))
+    return float(xs[min(rank, len(xs)) - 1])
+
+
+@dataclass
+class Request:
+    """One submitted offload job and, after :meth:`OffloadServer.drain`,
+    its outcome."""
+
+    seq: int                       # server-wide submission number
+    session: Session
+    source: str
+    name: str
+    program_key: str               # compile-cache key (batch compatibility)
+    arrival: float                 # simulated admission time
+    session_seq: int               # per-session FIFO position
+    seed_arrays: Optional[dict] = None
+    outputs: tuple = ()
+    heap_capacity: int = DEFAULT_HEAP
+    status: str = "queued"         # 'queued' | 'done' | 'failed'
+    result: dict = field(default_factory=dict)
+    stdout: str = ""
+    exit_code: int = 0
+    error: Optional[str] = None
+    latency: float = 0.0           # arrival -> completion, simulated
+    done_time: float = 0.0
+    batch_size: int = 0
+    task: object = None
+    #: host wall-clock bracketing time-to-first-launch: dispatch start
+    #: and the first OMPT ``submit`` of this request (None: no launch)
+    dispatch_wall: Optional[float] = None
+    first_launch_wall: Optional[float] = None
+
+    @property
+    def key(self) -> tuple:
+        """Deterministic admission order: arrival time, then session id
+        (the stable tie-break), then per-session sequence."""
+        return (self.arrival, self.session.sid, self.session_seq)
+
+    @property
+    def ttfl(self) -> Optional[float]:
+        """Wall seconds from dispatch to the first kernel submission —
+        the cold/warm compile-cache metric."""
+        if self.dispatch_wall is None or self.first_launch_wall is None:
+            return None
+        return self.first_launch_wall - self.dispatch_wall
+
+
+@dataclass
+class ServingStats:
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejections: int = 0
+    evictions: int = 0             # idle sessions whose warm state was shed
+    evicted_bytes: int = 0
+    reuse_hits: int = 0            # HtoD transfers elided by digest match
+    reuse_bytes: int = 0
+    latencies: list = field(default_factory=list)
+    #: batch size -> how many batches dispatched at that size
+    batches: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejections": self.rejections,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "reuse_hits": self.reuse_hits,
+            "reuse_bytes": self.reuse_bytes,
+            "latency_p50_s": percentile(self.latencies, 50),
+            "latency_p95_s": percentile(self.latencies, 95),
+            "latency_p99_s": percentile(self.latencies, 99),
+            "batch_histogram": {str(k): v
+                                for k, v in sorted(self.batches.items())},
+        }
+
+
+class OffloadServer:
+    """A long-lived multi-tenant offload service over a shared device
+    registry (see module docstring)."""
+
+    def __init__(
+        self,
+        num_devices: int = 1,
+        device: DeviceProperties = JETSON_NANO_GPU,
+        config: Optional[OmpiConfig] = None,
+        compile_cache: Optional[CompileCache] = None,
+        launch_mode: str = "auto",
+        profile=None,
+        faults=None,
+        recovery=None,
+        max_batch: int = 8,
+        pool_size: int = 4,
+        max_resident_fraction: float = 0.5,
+        default_quota: Optional[TenantQuota] = None,
+        compact_logs: bool = True,
+    ):
+        num_devices = int(num_devices)
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.config = config or OmpiConfig()
+        self.compile_cache = (compile_cache if compile_cache is not None
+                              else GLOBAL_COMPILE_CACHE)
+        self.launch_mode = launch_mode
+        self.max_batch = int(max_batch)
+        self.pool_size = int(pool_size)
+        self.max_resident_fraction = float(max_resident_fraction)
+        self.compact_logs = compact_logs
+        self.clock = VirtualClock()
+        self.prof, self.prof_path = resolve_profile(profile)
+        self.ompt = OmptRegistry()
+        from repro.devrt import build_intrinsics
+        intrinsics = build_intrinsics()
+        # faults: one spec for every device, or {ordinal: spec} so tests
+        # can fault one tenant's device while its neighbours stay healthy
+        fault_map = (faults if isinstance(faults, dict)
+                     else {k: faults for k in range(num_devices)})
+        self.devices = [
+            CudadevModule(
+                None, device, clock=self.clock,
+                launch_mode=launch_mode,
+                fastpath=self.config.kernel_fastpath,
+                profile=(DeviceRecorder(self.prof, k)
+                         if self.prof is not None else False),
+                faults=fault_map.get(k), recovery=recovery, ordinal=k,
+                ompt=self.ompt,
+                gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
+                intrinsics=intrinsics,
+            )
+            for k in range(num_devices)
+        ]
+        for k, mod in enumerate(self.devices):
+            # second-level OOM pressure valve: shed idle sessions' warm
+            # state on this device before an allocation gives up
+            mod.evict_hook = (
+                lambda nbytes, dev=k: self.evict_idle(dev, need=int(nbytes)))
+        self.quotas = QuotaManager(default_quota)
+        self.queue = AdmissionQueue(num_devices)
+        self.sessions: dict[int, Session] = {}
+        self.stats = ServingStats()
+        self._sched: dict[int, StreamPoolScheduler] = {}
+        self._device_resident = {k: 0 for k in range(num_devices)}
+        self._next_sid = 0
+        self._next_req = 0
+        self._current_request: Optional[Request] = None
+        self.closed = False
+        # TTFL probe: the first kernel submission of the executing request
+        self.ompt.set_callback("submit", self._on_submit)
+
+    # -- lifecycle ------------------------------------------------------------
+    def __enter__(self) -> "OffloadServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Graceful shutdown: close every session (draining their pending
+        requests), release the serving stream pools, export the trace."""
+        if self.closed:
+            return
+        for sid in list(self.sessions):
+            self.close_session(self.sessions[sid])
+        for sched in self._sched.values():
+            sched.shutdown()
+        self._sched.clear()
+        self.closed = True
+        if self.prof is not None and self.prof_path:
+            from repro.prof.chrome import write_chrome_trace
+            write_chrome_trace(self.prof, self.prof_path)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    # -- sessions -------------------------------------------------------------
+    def open_session(self, tenant: str = "default",
+                     device: Optional[int] = None) -> Session:
+        if self.closed:
+            raise RuntimeError("server is closed")
+        try:
+            self.quotas.admit_session(tenant)
+        except QuotaError as exc:
+            self.stats.rejections += 1
+            self._note("reject", tenant=tenant, detail=str(exc))
+            raise
+        if device is None:
+            # least-loaded placement, lowest ordinal on ties
+            counts = {k: 0 for k in range(self.num_devices)}
+            for s in self.sessions.values():
+                counts[s.device] += 1
+            device = min(counts, key=lambda k: (counts[k], k))
+        if not 0 <= int(device) < self.num_devices:
+            self.quotas.release_session(tenant)
+            raise ValueError(f"no such device {device}")
+        session = Session(sid=self._next_sid, tenant=tenant,
+                          device=int(device))
+        self._next_sid += 1
+        self.sessions[session.sid] = session
+        self._note("session_open", session=session.sid, tenant=tenant,
+                   device=session.device)
+        return session
+
+    def close_session(self, session: Session) -> None:
+        """Graceful teardown: drain the session's pending requests, free
+        its parked device state deterministically, return fully-idle
+        arena blocks to the driver, release its quota slot."""
+        if session.closed:
+            return
+        if session.pending > 0:
+            self.drain()
+        freed = self._free_resident(session)
+        self.devices[session.device].trim_arena()
+        self.quotas.release_session(session.tenant)
+        self.sessions.pop(session.sid, None)
+        session.closed = True
+        self._note("session_close", session=session.sid,
+                   tenant=session.tenant, device=session.device,
+                   nbytes=freed)
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, session: Session, source: str, name: str = "prog",
+               seed_arrays: Optional[dict] = None, outputs: tuple = (),
+               heap_capacity: int = DEFAULT_HEAP,
+               arrival: Optional[float] = None) -> Request:
+        """Admit one offload job for the session; execution happens at
+        the next :meth:`drain`.  ``arrival`` is the simulated admission
+        time (default: now) — the load benches use it to model open-loop
+        arrival processes on the virtual clock."""
+        if self.closed:
+            raise RuntimeError("server is closed")
+        if session.closed:
+            raise RuntimeError(f"session {session.sid} is closed")
+        try:
+            self.quotas.admit_pending(session.tenant)
+        except QuotaError as exc:
+            self.stats.rejections += 1
+            self._note("reject", session=session.sid, tenant=session.tenant,
+                       detail=str(exc))
+            raise
+        req = Request(
+            seq=self._next_req, session=session, source=source, name=name,
+            program_key=source_key(source, name, self.config),
+            arrival=(self.clock.now() if arrival is None
+                     else float(arrival)),
+            session_seq=session.submitted,
+            seed_arrays=seed_arrays, outputs=tuple(outputs),
+            heap_capacity=heap_capacity,
+        )
+        self._next_req += 1
+        session.submitted += 1
+        session.pending += 1
+        depth = self.queue.push(req)
+        self._note("enqueue", session=session.sid, tenant=session.tenant,
+                   request=req.seq, program=name, queue_depth=depth,
+                   device=session.device, t_start=req.arrival)
+        return req
+
+    # -- execution ------------------------------------------------------------
+    def drain(self) -> list[Request]:
+        """Run every admitted request to completion; returns them in
+        dispatch order.  Dispatch picks the globally smallest admission
+        key, batches compatible requests, and defers every completion
+        sync until all queues are empty — so requests on different
+        devices (and different sessions' requests on one device's pool
+        streams) overlap on the modelled timeline."""
+        inflight: list[Request] = []
+        while len(self.queue):
+            k = self.queue.head_device()
+            arrival = self.queue.head_arrival(k)
+            if arrival > self.clock.now():
+                self.clock.advance_to(arrival)
+            batch = self.queue.pop_batch(k, self.clock.now(), self.max_batch)
+            self.stats.batches[len(batch)] = (
+                self.stats.batches.get(len(batch), 0) + 1)
+            self._note("batch", device=k, batch=len(batch),
+                       program=batch[0].name,
+                       queue_depth=self.queue.depth(k))
+            for req in batch:
+                self.quotas.release_pending(req.session.tenant)
+                req.session.pending -= 1
+                self._note("admit", device=k, session=req.session.sid,
+                           tenant=req.session.tenant, request=req.seq,
+                           program=req.name, batch=len(batch),
+                           queue_depth=self.queue.depth(k))
+                self._execute(req, len(batch))
+                inflight.append(req)
+        for req in inflight:
+            mod = self.devices[req.session.device]
+            task = req.task
+            if (req.status == "done" and task is not None
+                    and getattr(task, "done_event", None) is not None):
+                done = mod.driver.cuEventSynchronize(task.done_event)
+            else:
+                done = self.clock.now()
+            req.done_time = done
+            req.latency = done - req.arrival
+            sess = req.session
+            sess.busy = False
+            sess.last_active = max(sess.last_active, done)
+            if req.status == "done":
+                self.stats.latencies.append(req.latency)
+            if self.prof is not None:
+                self.prof.emit(ServingActivity(
+                    op="request", session=sess.sid, tenant=sess.tenant,
+                    request=req.seq, program=req.name,
+                    batch=req.batch_size, device=sess.device,
+                    t_start=req.arrival, t_end=done,
+                    detail=req.status if req.status != "done"
+                    else (req.error or ""),
+                ))
+        for sched in self._sched.values():
+            try:
+                sched.taskwait()
+            except OffloadTaskError:
+                pass  # failures already surfaced on their requests
+            sched.release_events()
+        if self.compact_logs:
+            for mod in self.devices:
+                mod.driver.log.compact()
+        return inflight
+
+    def _sched_for(self, k: int) -> Optional[StreamPoolScheduler]:
+        """The device's serving stream pool — None once the device is
+        lost, in which case requests run task-less and recover through
+        the module's host-fallback path."""
+        sched = self._sched.get(k)
+        if sched is None and not self.devices[k].lost:
+            try:
+                self.devices[k].initialize()
+            except (CudaError, DeviceLost):
+                return None
+            sched = StreamPoolScheduler(self.devices[k].driver,
+                                        pool_size=self.pool_size)
+            self._sched[k] = sched
+        return sched
+
+    def _execute(self, req: Request, batch_size: int) -> None:
+        """Run one request on its session's device: compile (cached),
+        lease the registry to a fresh machine, route the module onto the
+        request's serving-pool stream, execute, capture outputs.  The
+        completion sync is deferred to the caller."""
+        session = req.session
+        session.busy = True
+        req.batch_size = batch_size
+        req.dispatch_wall = time.perf_counter()
+        self._current_request = req
+        mod = self.devices[session.device]
+        sched = self._sched_for(session.device)
+        ort = None
+        task = None
+        try:
+            if sched is not None:
+                # the (INOUT, sid) dependence chains this session's
+                # requests FIFO on the serving pool while other sessions'
+                # chains land on other pool streams and overlap; it is
+                # cut before the compile so even a compile failure
+                # poisons the chain
+                task = sched.begin_task(f"req{req.seq}:s{session.sid}",
+                                        deps=[(DEP_INOUT, session.sid)])
+                req.task = task
+                if task.dead:
+                    req.status = "failed"
+                    req.error = ("cancelled: an earlier request of this "
+                                 "session failed")
+                    self.stats.cancelled += 1
+                    return
+            prog = self.compile_cache.get(req.source, req.name, self.config)
+            machine = Machine(prog.host_unit,
+                              heap_capacity=req.heap_capacity)
+            if task is not None:
+                mod.base_stream = task.stream
+            dataenvs = {
+                j: SessionDataEnv(m,
+                                  session if j == session.device else None,
+                                  self if j == session.device else None)
+                for j, m in enumerate(self.devices)
+            }
+            ort = Ort(machine, clock=self.clock, devices=self.devices,
+                      dataenvs=dataenvs, ompt=self.ompt,
+                      profile=self.prof if self.prof is not None else False,
+                      default_device=session.device)
+            prog.bind(ort, seed_arrays=req.seed_arrays)
+            req.exit_code = machine.run()
+            # join request-internal nowait tasks and release their pool
+            # streams before the request's own completion event is cut
+            ort.shutdown()
+            if task is not None:
+                sched.end_task(task)
+            req.stdout = machine.output()
+            for out_name in req.outputs:
+                if out_name in machine.globals:
+                    req.result[out_name] = (
+                        machine.global_array(out_name).copy())
+            req.status = "done"
+            self.stats.completed += 1
+        except (CFrontError, NvccError, MappingError, MemoryError_,
+                CudaError, DeviceLost, OffloadFailure, OffloadTaskError,
+                QuotaError) as exc:
+            req.status = "failed"
+            req.error = f"{type(exc).__name__}: {exc}"
+            self.stats.failed += 1
+            if task is not None and not task.dead:
+                sched.fail_task(task, exc)
+        finally:
+            self._current_request = None
+            mod.base_stream = None
+            if ort is not None:
+                try:
+                    ort.shutdown()
+                except (OffloadTaskError, CudaError, DeviceLost):
+                    pass
+            session.requests += 1
+
+    def _on_submit(self, event=None, **kw) -> None:
+        req = self._current_request
+        if req is not None and req.first_launch_wall is None:
+            req.first_launch_wall = time.perf_counter()
+
+    # -- warm state accounting (called by SessionDataEnv) --------------------
+    def try_park(self, session: Session, device_module,
+                 entry) -> bool:
+        """Adopt a dying map entry into the session's warm pool if the
+        tenant quota and the device resident watermark allow it (evicting
+        colder idle sessions first); False tells the caller to free."""
+        if session.closed or self.closed:
+            return False
+        k = session.device
+        size = entry.size
+        if self.quotas.resident_over(session.tenant, size):
+            # tenant quota is global: shed the tenant's coldest idle
+            # session on any device
+            self.evict_idle(None, tenant=session.tenant, need=size)
+            if self.quotas.resident_over(session.tenant, size):
+                return False
+        cap = int(device_module.driver.gmem.capacity
+                  * self.max_resident_fraction)
+        if self._device_resident[k] + size > cap:
+            self.evict_idle(k, need=self._device_resident[k] + size - cap)
+            if self._device_resident[k] + size > cap:
+                return False
+        data = device_module.driver.gmem.copy_out(entry.dev_addr, size)
+        session.park(ResidentBuffer(entry.host_addr, size, entry.dev_addr,
+                                    content_digest(data)))
+        session.resident_bytes += size
+        self.quotas.charge_resident(session.tenant, size)
+        self._device_resident[k] += size
+        return True
+
+    def note_borrow(self, session: Session, size: int) -> None:
+        session.resident_bytes -= size
+        self.quotas.uncharge_resident(session.tenant, size)
+        self._device_resident[session.device] -= size
+
+    def note_reuse(self, session: Session, size: int) -> None:
+        self.stats.reuse_hits += 1
+        self.stats.reuse_bytes += size
+        self._note("reuse", session=session.sid, tenant=session.tenant,
+                   device=session.device, nbytes=size)
+
+    def evict_idle(self, device: Optional[int], tenant: Optional[str] = None,
+                   need: int = 0) -> int:
+        """Shed idle sessions' parked buffers, coldest
+        (:attr:`Session.last_active`, then sid) first, until ``need``
+        bytes are freed (0: evict everything idle).  ``device`` limits
+        victims to one device (memory-pressure eviction); ``None`` spans
+        the registry (tenant-quota eviction).  Busy sessions — one of
+        their requests is executing or in flight — are never touched.
+        Returns the bytes freed."""
+        victims = sorted(
+            (s for s in self.sessions.values()
+             if (device is None or s.device == device) and not s.busy
+             and s.resident
+             and (tenant is None or s.tenant == tenant)),
+            key=lambda s: (s.last_active, s.sid))
+        freed = 0
+        trimmed: set[int] = set()
+        for s in victims:
+            n = self._free_resident(s)
+            freed += n
+            trimmed.add(s.device)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += n
+            self._note("evict", device=s.device, session=s.sid,
+                       tenant=s.tenant, nbytes=n)
+            if need and freed >= need:
+                break
+        for k in trimmed:
+            self.devices[k].trim_arena()
+        return freed
+
+    def _free_resident(self, session: Session) -> int:
+        mod = self.devices[session.device]
+        freed = 0
+        for buf in session.resident.values():
+            try:
+                mod.mem_free(buf.dev_addr)
+            except (CudaError, DeviceLost):
+                pass  # a lost device reclaims nothing; forget the handle
+            self.quotas.uncharge_resident(session.tenant, buf.size)
+            self._device_resident[session.device] -= buf.size
+            freed += buf.size
+        session.resident.clear()
+        session.resident_bytes = 0
+        return freed
+
+    # -- observability --------------------------------------------------------
+    def _note(self, op: str, *, device: Optional[int] = None,
+              session: int = -1, tenant: str = "", request: int = -1,
+              program: str = "", batch: int = 0, queue_depth: int = 0,
+              nbytes: int = 0, detail: str = "",
+              t_start: Optional[float] = None) -> None:
+        if self.prof is None:
+            return
+        t = self.clock.now() if t_start is None else t_start
+        self.prof.emit(ServingActivity(
+            op=op, session=session, tenant=tenant, request=request,
+            program=program, batch=batch, queue_depth=queue_depth,
+            nbytes=nbytes, detail=detail, device=device,
+            t_start=t, t_end=t,
+        ))

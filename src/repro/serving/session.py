@@ -1,0 +1,146 @@
+"""Client sessions and their warm device-resident state.
+
+A session is one client's sticky binding to a device: its requests run
+in admission order on that device, and between requests the session may
+keep *resident buffers* — device allocations parked with a content
+digest so the next request mapping the same ``(host address, size)``
+range can skip both the allocation and (digest permitting) the HtoD
+transfer.  Parking is quota-checked by the owning server; eviction under
+memory pressure frees exactly these buffers, never the state of a
+request in flight.
+
+:class:`SessionDataEnv` is the hook layer: a
+:class:`~repro.hostrt.mapping.DataEnv` whose allocation/retirement side
+goes through the session pool, while the OpenMP mapping semantics
+(refcounts, copy-back decisions, interval lookup) stay entirely in the
+base class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hostrt.mapping import (
+    MAP_FROM, MAP_TO, MAP_TOFROM, DataEnv, MapEntry, MappingError,
+)
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class ResidentBuffer:
+    """One parked device allocation a session keeps warm between
+    requests.  ``digest`` hashes the device bytes at park time; a later
+    map whose host bytes hash the same skips the HtoD transfer (this
+    models a runtime that tracks device writes — the simulator reads the
+    device bytes back at zero modelled cost to compute it)."""
+
+    host_addr: int
+    size: int
+    dev_addr: int
+    digest: str = ""
+
+
+@dataclass
+class Session:
+    """One client's state on the server (see module docstring)."""
+
+    sid: int
+    tenant: str
+    device: int
+    #: (host_addr, size) -> parked buffer available for the next request
+    resident: dict[tuple[int, int], ResidentBuffer] = field(
+        default_factory=dict)
+    resident_bytes: int = 0
+    #: simulated completion time of the session's last finished request
+    #: (the LRU key eviction orders victims by)
+    last_active: float = 0.0
+    #: a request of this session is currently executing or in flight —
+    #: its device state must not be evicted
+    busy: bool = False
+    closed: bool = False
+    #: requests submitted so far (the per-session FIFO sequence)
+    submitted: int = 0
+    #: requests admitted but not yet executed
+    pending: int = 0
+    #: requests executed (any outcome)
+    requests: int = 0
+    #: maps that found a parked buffer (allocation skipped)
+    warm_borrows: int = 0
+    #: maps that also skipped the HtoD transfer (digest matched)
+    reuse_hits: int = 0
+
+    def borrow(self, host_addr: int, size: int) -> Optional[ResidentBuffer]:
+        """Take a parked buffer for this exact range, if one is warm."""
+        buf = self.resident.pop((host_addr, size), None)
+        if buf is not None:
+            self.warm_borrows += 1
+        return buf
+
+    def park(self, buf: ResidentBuffer) -> None:
+        self.resident[(buf.host_addr, buf.size)] = buf
+
+
+class SessionDataEnv(DataEnv):
+    """A device data environment that recycles the session's parked
+    buffers.  With ``session=None`` it is exactly a :class:`DataEnv`
+    (used for the devices a request's session is *not* bound to)."""
+
+    def __init__(self, device_module, session: Optional[Session] = None,
+                 server=None):
+        super().__init__(device_module)
+        self.session = session
+        #: the owning :class:`~repro.serving.server.OffloadServer`, which
+        #: arbitrates parking against tenant/device quotas
+        self.server = server
+
+    # -- enter: borrow instead of alloc --------------------------------------
+    def map_enter(self, host_addr: int, size: int, map_type: int) -> MapEntry:
+        if self.session is None:
+            return super().map_enter(host_addr, size, map_type)
+        if size <= 0:
+            raise MappingError(f"mapping of non-positive size {size}")
+        entry = self.find(host_addr)
+        if entry is not None:
+            if host_addr + size > entry.host_addr + entry.size:
+                raise MappingError(
+                    "mapped section extends beyond an existing entry"
+                )
+            entry.refcount += 1
+            return entry
+        buf = self.session.borrow(host_addr, size)
+        if buf is None:
+            return super().map_enter(host_addr, size, map_type)
+        if self.server is not None:
+            # borrowed bytes leave the parked pool: uncharge now, and
+            # try_park re-charges if the buffer is parked again at exit
+            self.server.note_borrow(self.session, buf.size)
+        entry = MapEntry(host_addr, size, buf.dev_addr)
+        if map_type in (MAP_TO, MAP_TOFROM):
+            host_bytes = self.device.host_mem.copy_out(host_addr, size)
+            if content_digest(host_bytes) == buf.digest:
+                # device copy already holds these bytes: transfer elided
+                self.session.reuse_hits += 1
+                if self.server is not None:
+                    self.server.note_reuse(self.session, size)
+            else:
+                self.device.write(buf.dev_addr, host_addr, size)
+        # alloc/from entries leave device contents undefined on entry, so
+        # a stale parked image is fine — only the allocation is reused
+        self._install(entry)
+        return entry
+
+    # -- exit: park instead of free ------------------------------------------
+    def _release_entry(self, entry: MapEntry, map_type: int) -> None:
+        if self.session is None or self.server is None:
+            super()._release_entry(entry, map_type)
+            return
+        if map_type in (MAP_FROM, MAP_TOFROM):
+            self.device.read(entry.host_addr, entry.dev_addr, entry.size)
+        if self.server.try_park(self.session, self.device, entry):
+            return
+        self.device.mem_free(entry.dev_addr)

@@ -65,6 +65,10 @@ def merge_interval_length(intervals: Iterable[tuple[float, float]]) -> float:
 @dataclass
 class EventLog:
     events: list[RunEvent] = field(default_factory=list)
+    #: kind -> (seconds, count, bytes) folded out of ``events`` by
+    #: :meth:`compact` — lets a long-lived driver keep exact per-kind
+    #: totals without holding every event object alive
+    _carry: dict = field(default_factory=dict)
 
     def add(self, kind: str, seconds: float, detail: str = "", nbytes: int = 0,
             kernel: Optional[str] = None, stream: Optional[int] = None,
@@ -72,11 +76,32 @@ class EventLog:
         self.events.append(RunEvent(kind, seconds, detail, nbytes, kernel,
                                     stream, t_start, t_end))
 
+    def compact(self) -> int:
+        """Fold the live events into per-kind ``(seconds, count, bytes)``
+        carry totals and drop the event objects; returns how many were
+        folded.  ``total()``/``count()`` keep including the carried
+        history, while the span-based views (:meth:`overlapped_time`,
+        :attr:`wall_time`) only see events logged since — a serving
+        runtime compacts between drains so the log stays bounded over
+        thousands of requests."""
+        folded = len(self.events)
+        for e in self.events:
+            sec, cnt, nby = self._carry.get(e.kind, (0.0, 0, 0))
+            self._carry[e.kind] = (sec + e.seconds, cnt + 1, nby + e.bytes)
+        self.events.clear()
+        return folded
+
+    def _carried_seconds(self, kinds: Optional[set] = None) -> float:
+        return sum(sec for kind, (sec, _c, _b) in self._carry.items()
+                   if kinds is None or kind in kinds)
+
     def total(self, *kinds: str) -> float:
         if not kinds:
-            return sum(e.seconds for e in self.events)
+            return (sum(e.seconds for e in self.events)
+                    + self._carried_seconds())
         wanted = set(kinds)
-        return sum(e.seconds for e in self.events if e.kind in wanted)
+        return (sum(e.seconds for e in self.events if e.kind in wanted)
+                + self._carried_seconds(wanted))
 
     @property
     def kernel_time(self) -> float:
@@ -140,7 +165,9 @@ class EventLog:
         return self.measured_time / overlapped
 
     def count(self, kind: str) -> int:
-        return sum(1 for e in self.events if e.kind == kind)
+        carried = self._carry.get(kind, (0.0, 0, 0))[1]
+        return sum(1 for e in self.events if e.kind == kind) + carried
 
     def clear(self) -> None:
         self.events.clear()
+        self._carry.clear()

@@ -35,6 +35,16 @@ def test_profiling_example(capsys, monkeypatch, tmp_path):
     assert trace.exists()
 
 
+def test_serving_example(capsys, monkeypatch, tmp_path):
+    trace = tmp_path / "serving_trace.json"
+    monkeypatch.setattr(sys, "argv", ["examples/serving.py", str(trace)])
+    runpy.run_path("examples/serving.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "warm-state reuse" in out
+    assert "both verified" in out
+    assert trace.exists()
+
+
 def test_cuda_vs_openmp_example_small(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/cuda_vs_openmp.py", "96"])
     runpy.run_path("examples/cuda_vs_openmp.py", run_name="__main__")

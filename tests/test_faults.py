@@ -370,3 +370,65 @@ def test_compiled_program_registers_hostfn_fallbacks(offload_prog):
     # every registered fallback exists in the translated host program
     for fn in fallbacks.values():
         assert fn in run.machine.globals
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant fault isolation on the serving runtime
+# ---------------------------------------------------------------------------
+def test_serving_devlost_does_not_poison_other_sessions():
+    """A lost device in one session's launch must not leak into a
+    concurrent session bound to another device: the healthy neighbour
+    completes bitwise-correct, its device records zero fault events, and
+    the victim's request still finishes via host fallback."""
+    import numpy as np
+
+    from repro.serving import OffloadServer
+
+    n = 64
+    src = f"""
+float a[{n}], b[{n}], c[{n}];
+int main(void) {{
+  #pragma omp target teams distribute parallel for map(to: a, b) map(from: c)
+  for (int i = 0; i < {n}; i++) c[i] = a[i] * 2.0f + b[i];
+  return 0;
+}}
+"""
+    seeds = {
+        "a": np.random.default_rng(1).random(n, dtype=np.float32),
+        "b": np.random.default_rng(2).random(n, dtype=np.float32),
+    }
+    expect = (seeds["a"] * np.float32(2.0) + seeds["b"]).tobytes()
+
+    server = OffloadServer(num_devices=2, faults={0: "devlost"})
+    victim = server.open_session("victim", device=0)
+    neighbour = server.open_session("neighbour", device=1)
+    r_victim = server.submit(victim, src, name="vadd", seed_arrays=seeds,
+                             outputs=("c",), arrival=0.0)
+    r_neighbour = server.submit(neighbour, src, name="vadd",
+                                seed_arrays=seeds, outputs=("c",),
+                                arrival=0.0)
+    server.drain()
+
+    # the victim's region recovered onto the host and is still correct
+    assert r_victim.status == "done"
+    assert server.devices[0].lost
+    assert server.devices[0].fault_stats.get("device_lost") == 1
+    assert np.asarray(r_victim.result["c"]).tobytes() == expect
+
+    # the neighbour's device never saw a fault and computed on-device
+    assert r_neighbour.status == "done"
+    assert not server.devices[1].lost
+    assert not server.devices[1].fault_stats
+    assert np.asarray(r_neighbour.result["c"]).tobytes() == expect
+
+    # later requests keep both tenants alive: the victim reruns on the
+    # host path, the neighbour stays on its healthy device
+    r2v = server.submit(victim, src, name="vadd", seed_arrays=seeds,
+                        outputs=("c",))
+    r2n = server.submit(neighbour, src, name="vadd", seed_arrays=seeds,
+                        outputs=("c",))
+    server.drain()
+    assert r2v.status == "done" and r2n.status == "done"
+    assert np.asarray(r2v.result["c"]).tobytes() == expect
+    assert np.asarray(r2n.result["c"]).tobytes() == expect
+    server.close()
