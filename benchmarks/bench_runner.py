@@ -21,6 +21,15 @@ more than 10% wall-clock.
 once sharded across 4 simulated devices (``shard(4)`` on the target
 construct, ``num_devices=4``) and exits non-zero unless the sharded
 output is bit-identical and every device launched a shard.
+``--host-fastpath`` times the host-heavy gemm/mvt/atax variants
+(``repro.bench.hostinit``) under ``REPRO_HOST_FASTPATH=off`` vs ``on``
+and writes ``BENCH_host_fastpath.json``; each workload must be
+bit-identical across modes (outputs, stdout and simulated time) and at
+least two of the three must clear a 10x wall-clock speedup.  The
+artifact also records the persistent compile cache serving the second
+compilation of every source from disk (no cfront parse, no codegen).
+``--host-fastpath-check`` is the CI smoke variant: smaller sizes, one
+shared speedup floor of 3x.
 ``--serving-check`` delegates to ``bench_serving.py --check``: a 64
 session x 4 device load test against the persistent offload server,
 failing on p99 latency above the checked-in budget, output divergence
@@ -152,6 +161,127 @@ def shard_check(app_name: str = "gemm", n: int = 128,
     }
 
 
+#: full-run speedup floor (acceptance: >= 2 of 3 workloads clear it)
+HOST_FASTPATH_SPEEDUP = 10.0
+#: smoke-run floor: small sizes leave less host work to amortise
+HOST_FASTPATH_CHECK_SPEEDUP = 3.0
+
+
+def host_fastpath_point(name: str, n: int | None, disk_root: str) -> dict:
+    """One host-heavy workload under host_fastpath off vs on.
+
+    Both modes compile through one CompileCache backed by a disk tier
+    rooted at ``disk_root``; the config fingerprint excludes runtime
+    knobs, so the second mode's compilation must be served from cache —
+    the artifact records the hit counters as proof that a warm cache
+    skips the entire cfront parse/outline/codegen pipeline.
+    """
+    from repro.bench.hostinit import HOST_WORKLOADS
+    from repro.ompi.cache import CompileCache
+    from repro.ompi.config import OmpiConfig
+    from repro.ompi.diskcache import DiskCompileCache
+
+    w = HOST_WORKLOADS[name]
+    n = n or w.default_n
+    source = w.source(n)
+    entry: dict = {"benchmark": name, "size": n, "modes": {}}
+    outputs: dict = {}
+    stdout: dict = {}
+    # fresh in-memory tier per mode (simulates two processes), shared disk
+    for mode in ("off", "on"):
+        cache = CompileCache(disk=DiskCompileCache(disk_root))
+        prog = cache.get(source, f"{name}_host",
+                         OmpiConfig(host_fastpath=mode))
+        t0 = time.perf_counter()
+        run = prog.run(launch_mode="sample",
+                       heap_capacity=w.heap_capacity(n))
+        wall = time.perf_counter() - t0
+        entry["modes"][mode] = {
+            "wall_s": round(wall, 4),
+            "simulated_s": run.log.measured_time,
+            "compile_cache": {k: cache.stats[k]
+                              for k in ("hits", "misses", "compiles",
+                                        "disk_hits", "disk_misses")},
+        }
+        outputs[mode] = {
+            o: np.asarray(run.machine.global_array(o)).copy()
+            for o in w.outputs
+        }
+        stdout[mode] = run.stdout
+    entry["identical_output"] = bool(all(
+        np.array_equal(outputs["off"][o], outputs["on"][o])
+        for o in w.outputs))
+    entry["identical_stdout"] = stdout["off"] == stdout["on"]
+    entry["identical_simulated_time"] = (
+        entry["modes"]["off"]["simulated_s"]
+        == entry["modes"]["on"]["simulated_s"])
+    entry["speedup"] = round(
+        entry["modes"]["off"]["wall_s"]
+        / max(entry["modes"]["on"]["wall_s"], 1e-9), 2)
+    # the second mode's compile must have come from the disk tier
+    entry["second_compile_from_disk"] = (
+        entry["modes"]["on"]["compile_cache"]["compiles"] == 0
+        and entry["modes"]["on"]["compile_cache"]["disk_hits"] == 1)
+    return entry
+
+
+def host_fastpath_run(check: bool, output: str | None) -> int:
+    import tempfile
+
+    from repro.bench.hostinit import CHECK_SIZES, HOST_WORKLOADS
+
+    floor = (HOST_FASTPATH_CHECK_SPEEDUP if check
+             else HOST_FASTPATH_SPEEDUP)
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        for name in HOST_WORKLOADS:
+            n = CHECK_SIZES[name] if check else None
+            print(f"[bench] host fastpath {name}"
+                  f" n={n or HOST_WORKLOADS[name].default_n} ...", flush=True)
+            entry = host_fastpath_point(name, n, root)
+            print(f"[bench]   off {entry['modes']['off']['wall_s']:.2f}s  "
+                  f"on {entry['modes']['on']['wall_s']:.2f}s  "
+                  f"speedup {entry['speedup']}x  "
+                  f"identical={entry['identical_output']}  "
+                  f"disk_warm={entry['second_compile_from_disk']}")
+            results.append(entry)
+
+    out = {
+        "metric": "wall-clock of the OMPi pipeline per host_fastpath mode",
+        "launch_mode": "sample",
+        "speedup_floor": floor,
+        "floor_mode": "all" if check else "2-of-3",
+        "results": results,
+    }
+    out_path = Path(output) if output else (
+        Path(__file__).resolve().parent.parent / "BENCH_host_fastpath.json")
+    out_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+    failures = []
+    cleared = 0
+    for entry in results:
+        label = f"{entry['benchmark']}:{entry['size']}"
+        for key in ("identical_output", "identical_stdout",
+                    "identical_simulated_time"):
+            if not entry[key]:
+                failures.append(f"{label}: {key} is False between modes")
+        if not entry["second_compile_from_disk"]:
+            failures.append(f"{label}: second compile not served from "
+                            f"the disk cache")
+        if entry["speedup"] >= floor:
+            cleared += 1
+        elif check:
+            failures.append(f"{label}: speedup {entry['speedup']}x below "
+                            f"the {floor}x smoke floor")
+    if not check and cleared < 2:
+        failures.append(f"only {cleared}/3 workloads cleared the "
+                        f"{floor}x speedup floor (need 2)")
+    for msg in failures:
+        print(f"[bench] FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def parse_points(specs: list[str]) -> list[tuple[str, int]]:
     points = []
     for spec in specs:
@@ -183,7 +313,19 @@ def main(argv=None) -> int:
                     help="serving load-test smoke: 64 sessions x 4 devices "
                          "on the offload server; fail on p99 budget "
                          "regression or divergence from standalone runs")
+    ap.add_argument("--host-fastpath", action="store_true",
+                    help="time the host-heavy gemm/mvt/atax variants under "
+                         "host_fastpath off vs on and write "
+                         "BENCH_host_fastpath.json; fail unless outputs "
+                         "are bit-identical and 2 of 3 clear 10x")
+    ap.add_argument("--host-fastpath-check", action="store_true",
+                    help="CI smoke variant of --host-fastpath: smaller "
+                         "sizes, 3x floor on every workload")
     args = ap.parse_args(argv)
+
+    if args.host_fastpath or args.host_fastpath_check:
+        return host_fastpath_run(check=args.host_fastpath_check,
+                                 output=args.output)
 
     if args.serving_check:
         sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -80,9 +80,11 @@ def run_ompi(app: AppSpec, n: int, launch_mode: str = "sample",
              device: DeviceProperties = JETSON_NANO_GPU,
              binary_mode: str = "cubin",
              fastpath: Optional[str] = None,
+             host_fastpath: Optional[str] = None,
              profile=None) -> tuple[BenchResult, Machine]:
     config = OmpiConfig(block_shape=app.block_shape, binary_mode=binary_mode,
-                        kernel_fastpath=fastpath, profile=profile)
+                        kernel_fastpath=fastpath,
+                        host_fastpath=host_fastpath, profile=profile)
     prog = OmpiCompiler(config).compile(app.omp_source(n), _prog_name(app, n))
     run = prog.run(device=device, launch_mode=launch_mode,
                    seed_arrays=app.seed(n),

@@ -11,7 +11,6 @@ builtin struct.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -73,9 +72,11 @@ _DTYPES = {
 }
 
 
-@lru_cache(maxsize=None)
-def _cached_dtype(kind: str, signed: bool) -> np.dtype:
-    return np.dtype(_DTYPES[(kind, signed)])
+# precomputed (kind, signed) -> np.dtype: the interpreter fallback path
+# resolves a dtype on every scalar load/store, so this lookup is hot — the
+# dict probe is inlined at the call site in BasicType.dtype (no wrapper
+# frame at all) and the domain is small and closed
+_DTYPE_CACHE = {key: np.dtype(value) for key, value in _DTYPES.items()}
 
 
 _U64 = np.dtype(np.uint64)
@@ -94,7 +95,7 @@ class BasicType(CType):
         return _SIZES[self.kind]
 
     def dtype(self) -> np.dtype:
-        return _cached_dtype(self.kind, self.signed or self.is_floating)
+        return _DTYPE_CACHE[(self.kind, self.signed or self.is_floating)]
 
     def __str__(self) -> str:
         prefix = "" if self.signed or self.kind in ("float", "double", "void") else "unsigned "

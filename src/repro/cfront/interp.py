@@ -118,6 +118,27 @@ NativeFn = Callable[["Machine", list, SourceLoc], object]
 _HOST_BASE = 0x10000
 _DEVICE_BASE_HINT = 0x2_0000_0000
 
+_UNSEEN_CONST = object()
+_NOT_CONST = object()
+
+
+def _const_foldable(expr: A.Expr) -> bool:
+    """True when ``expr`` is built purely from literals (no environment,
+    memory, or side effects) — its value can be memoized per AST node."""
+    for n in expr.walk():
+        if isinstance(n, (A.IntLit, A.FloatLit, A.CharLit, A.Cond, A.Binary)):
+            continue
+        if isinstance(n, A.Unary):
+            if n.op in ("-", "+", "!", "~"):
+                continue
+            return False
+        if isinstance(n, A.Cast):
+            if isinstance(n.type, BasicType) and not n.type.is_void:
+                continue
+            return False
+        return False
+    return True
+
 
 class Machine:
     """Executes one translation unit."""
@@ -127,7 +148,10 @@ class Machine:
         unit: A.TranslationUnit,
         natives: dict[str, NativeFn] | None = None,
         heap_capacity: int = 1 << 30,
+        host_fastpath: str | None = None,
     ):
+        from repro.cfront.hostcompile import resolve_host_fastpath
+
         self.unit = unit
         self.heap = LinearMemory(heap_capacity, base=_HOST_BASE, name="host")
         self.spaces: list[LinearMemory] = [self.heap]
@@ -138,6 +162,14 @@ class Machine:
         self.globals: dict[str, object] = {}
         self._string_pool: dict[str, Ptr] = {}
         self._rand_state = 1
+        self.host_fastpath = resolve_host_fastpath(host_fastpath)
+        self.host_stats: dict[str, int] = {
+            "loop_fast": 0, "loop_fallback": 0,
+            "fn_fast": 0, "fn_fallback": 0, "verified_regions": 0,
+        }
+        self._hc_loop_plans: dict[int, tuple] = {}
+        self._hc_fn_plans: dict[int, tuple] = {}
+        self._consts: dict[int, object] = {}
         self._load_globals()
 
     # -- setup -------------------------------------------------------------
@@ -263,7 +295,13 @@ class Machine:
     def load_value(self, mem: LinearMemory, addr: int, ctype: CType):
         if isinstance(ctype, BasicType):
             raw = mem.load(addr, ctype.dtype())
-            return float(raw) if ctype.is_floating else int(raw)
+            if ctype.is_floating:
+                # C99 typed floats: a ``float`` cell loads as np.float32 so
+                # float-only expressions round per operation like real
+                # hardware (and the simulated GPU); ``double`` stays a
+                # Python float.
+                return raw if ctype.kind == "float" else float(raw)
+            return int(raw)
         if isinstance(ctype, PointerType):
             return self.make_ptr(int(mem.load(addr, np.uint64)), ctype.pointee)
         if isinstance(ctype, ArrayType):
@@ -304,6 +342,15 @@ class Machine:
             if native is not None:
                 return native(self, args, loc)
             raise InterpError(f"call to undefined function {fn.name!r}", loc)
+        if self.host_fastpath != "off":
+            from repro.cfront.hostcompile import maybe_call_compiled
+
+            done, result = maybe_call_compiled(self, fn, args, loc)
+            if done:
+                return result
+        return self._call_interpreted(fn, args, loc)
+
+    def _call_interpreted(self, fn: FuncValue, args: list, loc: SourceLoc | None = None):
         defn = fn.defn
         if len(args) != len(defn.params):
             raise InterpError(
@@ -405,14 +452,14 @@ class Machine:
                 self.store_value(self.heap, addr, d.type, value)
 
     def _exec_for(self, stmt: A.For, env: list[dict]) -> None:
-        from repro.cfront.vectorize import try_vectorize_for
+        from repro.cfront.hostcompile import exec_for_fastpath
 
         scope: dict[str, object] = {}
         env.append(scope)
         try:
             if stmt.init is not None:
                 self.exec_stmt(stmt.init, env)
-            if try_vectorize_for(self, stmt, env):
+            if self.host_fastpath != "off" and exec_for_fastpath(self, stmt, env):
                 return
             while stmt.cond is None or self._truthy(self.eval(stmt.cond, env)):
                 try:
@@ -478,7 +525,27 @@ class Machine:
             return self.load_value(binding.mem, binding.addr, binding.ctype)
         return binding
 
+    def _eval_const_memo(self, expr: A.Expr, env: list[dict], raw):
+        """Memoize literal-only subtrees by node identity (the AST is owned
+        by this Machine's unit, so ids are stable for the Machine's life)."""
+        memo = self._consts
+        key = id(expr)
+        cached = memo.get(key, _UNSEEN_CONST)
+        if cached is _UNSEEN_CONST:
+            if _const_foldable(expr):
+                value = raw(expr, env)
+                memo[key] = value
+                return value
+            memo[key] = _NOT_CONST
+            return raw(expr, env)
+        if cached is _NOT_CONST:
+            return raw(expr, env)
+        return cached
+
     def _eval_unary(self, expr: A.Unary, env: list[dict]):
+        return self._eval_const_memo(expr, env, self._eval_unary_raw)
+
+    def _eval_unary_raw(self, expr: A.Unary, env: list[dict]):
         op = expr.op
         if op == "&":
             mem, addr, ctype = self.lvalue(expr.operand, env)
@@ -505,6 +572,9 @@ class Machine:
         raise InterpError(f"bad unary operator {op}", expr.loc)
 
     def _eval_binary(self, expr: A.Binary, env: list[dict]):
+        return self._eval_const_memo(expr, env, self._eval_binary_raw)
+
+    def _eval_binary_raw(self, expr: A.Binary, env: list[dict]):
         op = expr.op
         if op == "&&":
             if not self._truthy(self.eval(expr.left, env)):
@@ -521,6 +591,13 @@ class Machine:
     def apply_binop(self, op: str, lhs, rhs, loc=None):
         if isinstance(lhs, Ptr) or isinstance(rhs, Ptr):
             return self._pointer_binop(op, lhs, rhs, loc)
+        # usual arithmetic conversions for typed floats: float op float stays
+        # np.float32 (numpy semantics), but anything wider on either side
+        # promotes both operands to double
+        if isinstance(lhs, np.float32) or isinstance(rhs, np.float32):
+            if isinstance(lhs, float) or isinstance(rhs, float):
+                lhs = float(lhs)
+                rhs = float(rhs)
         if op in ("==", "!=", "<", ">", "<=", ">="):
             return int(_COMPARE[op](lhs, rhs))
         if op == "+":
@@ -642,6 +719,9 @@ class Machine:
         return self.load_value(mem, addr, ctype)
 
     def _eval_cast(self, expr: A.Cast, env: list[dict]):
+        return self._eval_const_memo(expr, env, self._eval_cast_raw)
+
+    def _eval_cast_raw(self, expr: A.Cast, env: list[dict]):
         value = self.eval(expr.operand, env)
         target = expr.type
         if isinstance(target, PointerType):
@@ -655,10 +735,9 @@ class Machine:
                     return value.addr
                 return int(value)
             if target.is_floating:
-                v = float(value)
                 if target.kind == "float":
-                    return float(np.float32(v))
-                return v
+                    return np.float32(value)
+                return float(value)
             if target.is_void:
                 return None
         raise InterpError(f"unsupported cast to {target}", expr.loc)
@@ -721,7 +800,7 @@ _COMPARE = {
 
 _EVAL_DISPATCH = {
     A.IntLit: lambda m, e, env: e.value,
-    A.FloatLit: lambda m, e, env: float(np.float32(e.value)) if e.single else e.value,
+    A.FloatLit: lambda m, e, env: np.float32(e.value) if e.single else e.value,
     A.CharLit: lambda m, e, env: e.value,
     A.StringLit: lambda m, e, env: m._string_literal(e.value),
     A.Ident: Machine._eval_ident,

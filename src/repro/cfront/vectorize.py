@@ -1,50 +1,32 @@
-"""Affine-loop vectorizer for the host interpreter.
+"""Affine-loop vectorizer — compatibility shim over ``cfront.hostcompile``.
 
-Tree-walking a 2048x2048 initialisation loop is prohibitively slow in
-Python, so canonical affine loops are executed with numpy instead (the HPC
-guide's first rule: vectorize the hot loops).  The transformation is
-deliberately conservative — anything outside the recognised shape falls
-back to the tree-walking interpreter, so correctness never depends on this
-module, only speed.
+This module used to hold the original single-loop numpy vectorizer.  The
+host fast path (``cfront/hostcompile.py``) generalizes it to multi-statement
+bodies, nested loops, scalar accumulators and whole functions, with exact
+tree-walk semantics; this shim keeps the historical entry point alive for
+callers and tests that import it directly.
 
-Recognised shape::
-
-    for (i = start; i < stop; i += step)        # or <=, i++, ++i
-        A[f(i)] = expr(i);                      # one or more assignments
-
-where every array subscript and every value subexpression is built from
-literals, loop-invariant scalars, ``i`` and elementwise operators/math
-calls.  Reads of an array that is also written must use an index
-expression textually identical to the write (the SAXPY/Polybench pattern
-``y[i] = a * x[i] + y[i]``), which guarantees the loop has no loop-carried
-dependence and is safe to execute as one vector operation.
+``try_vectorize_for`` always runs with ``on``-mode analysis semantics
+(transcendental math calls are vectorizable) regardless of the machine's
+configured ``host_fastpath`` mode, matching the old vectorizer's behaviour.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.cfront import astnodes as A
-from repro.cfront.ctypes_ import ArrayType, BasicType, PointerType
-from repro.cfront.unparse import unparse
+from repro.cfront.hostcompile import (
+    _Bail,
+    _BailDry,
+    _analyze_loop,
+    _exec_loop,
+    _validate_loop,
+    Frame,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cfront.interp import Machine
-
-
-class _Bail(Exception):
-    """Internal: pattern not vectorizable; fall back to interpretation."""
-
-
-_NP_MATH = {
-    "sqrt": np.sqrt, "sqrtf": np.sqrt, "fabs": np.abs, "fabsf": np.abs,
-    "exp": np.exp, "expf": np.exp, "log": np.log, "logf": np.log,
-    "sin": np.sin, "sinf": np.sin, "cos": np.cos, "cosf": np.cos,
-    "floor": np.floor, "floorf": np.floor, "ceil": np.ceil, "ceilf": np.ceil,
-    "pow": np.power, "powf": np.power, "fmin": np.minimum, "fmax": np.maximum,
-}
 
 
 def try_vectorize_for(machine: "Machine", stmt: A.For, env: list[dict]) -> bool:
@@ -54,290 +36,18 @@ def try_vectorize_for(machine: "Machine", stmt: A.For, env: list[dict]) -> bool:
     loop variable at its final value); False to fall back.
     """
     try:
-        plan = _analyze(machine, stmt, env)
+        spec = _analyze_loop(stmt, allow_approx=True, top=True)
     except _Bail:
         return False
-    if plan is None:
+    if spec is None:
         return False
+    frame = Frame(machine, env)
     try:
-        return _execute(machine, plan, env)
+        _validate_loop(frame, spec, {})
+        _exec_loop(machine, frame, spec, run_init=False)
+    except _BailDry:
+        return False
     except _Bail:
         return False
-
-
-def _analyze(machine: "Machine", stmt: A.For, env: list[dict]):
-    if stmt.cond is None or stmt.body is None:
-        return None
-    var = _loop_var(stmt)
-    if var is None:
-        return None
-    # bounds
-    if not (isinstance(stmt.cond, A.Binary) and stmt.cond.op in ("<", "<=")):
-        return None
-    if not (isinstance(stmt.cond.left, A.Ident) and stmt.cond.left.name == var):
-        return None
-    if _mentions(stmt.cond.right, var):
-        return None
-    step = _loop_step(stmt.step, var)
-    if step is None or step <= 0:
-        return None
-    stmts = stmt.body.body if isinstance(stmt.body, A.Compound) else [stmt.body]
-    assigns: list[A.Assign] = []
-    for s in stmts:
-        if not (isinstance(s, A.ExprStmt) and isinstance(s.expr, A.Assign)):
-            return None
-        if not isinstance(s.expr.target, A.Index):
-            return None
-        assigns.append(s.expr)
-    if not assigns:
-        return None
-    # dependence safety: reads of written bases must match the write index
-    write_keys = {}
-    for a in assigns:
-        base_key = _base_key(a.target)
-        if base_key is None:
-            return None
-        write_keys[base_key] = unparse(a.target).strip()
-    for a in assigns:
-        for node in a.value.walk():
-            if isinstance(node, A.Index):
-                key = _base_key(node)
-                if key in write_keys and unparse(node).strip() != write_keys[key]:
-                    return None
-        if a.op is not None:
-            pass  # compound assignment reads the target at the same index
-    return (var, stmt.cond, step, assigns)
-
-
-def _loop_var(stmt: A.For) -> Optional[str]:
-    init = stmt.init
-    if isinstance(init, A.ExprStmt) and isinstance(init.expr, A.Assign) \
-            and init.expr.op is None and isinstance(init.expr.target, A.Ident):
-        return init.expr.target.name
-    if isinstance(init, A.DeclStmt) and len(init.decls) == 1 \
-            and init.decls[0].init is not None:
-        return init.decls[0].name
-    # init may be absent when i was set before the loop; accept cond's var
-    if init is None and isinstance(stmt.cond, A.Binary) \
-            and isinstance(stmt.cond.left, A.Ident):
-        return stmt.cond.left.name
-    return None
-
-
-def _loop_step(step: Optional[A.Expr], var: str) -> Optional[int]:
-    if step is None:
-        return None
-    if isinstance(step, A.Unary) and step.op in ("++", "p++") \
-            and isinstance(step.operand, A.Ident) and step.operand.name == var:
-        return 1
-    if isinstance(step, A.Assign) and isinstance(step.target, A.Ident) \
-            and step.target.name == var:
-        if step.op == "+" and isinstance(step.value, A.IntLit):
-            return step.value.value
-        if step.op is None and isinstance(step.value, A.Binary) \
-                and step.value.op == "+" \
-                and isinstance(step.value.left, A.Ident) \
-                and step.value.left.name == var \
-                and isinstance(step.value.right, A.IntLit):
-            return step.value.right.value
-    return None
-
-
-def _mentions(expr: A.Expr, var: str) -> bool:
-    return any(isinstance(n, A.Ident) and n.name == var for n in expr.walk())
-
-
-def _base_key(index: A.Index):
-    """Identity of the outermost array base of an index chain, or None."""
-    base = index.base
-    while isinstance(base, A.Index):
-        base = base.base
-    if isinstance(base, A.Ident):
-        return base.name
-    return None
-
-
-#: compound-assignment operators foldable as a sequential reduction
-_REDUCE_UFUNC = {"+": np.add, "-": np.subtract, "*": np.multiply,
-                 "/": np.divide}
-
-
-def _execute(machine: "Machine", plan, env: list[dict]) -> bool:
-    var, cond, step, assigns = plan
-    from repro.cfront.interp import VarBinding
-
-    start = int(machine.eval(A.Ident(var), env))
-    stop = int(machine.eval(cond.right, env))
-    stop_excl = stop + 1 if cond.op == "<=" else stop
-    iv = np.arange(start, stop_excl, step, dtype=np.int64)
-    ctx = _Ctx(machine, env, var, iv)
-    # Dry pass: compile every address/value vector without storing anything,
-    # so an unsupported construct bails *before* memory is modified and the
-    # scalar fallback sees pristine state.  Compilation is side-effect free:
-    # only gathers (reads) are performed.  Destinations that collapse onto
-    # fewer cells than iterations carry a dependence between iterations:
-    # the only such shape executed here is the single-cell reduction
-    # ``acc[inv] op= expr(i)`` (e.g. the gemm k-loop); everything else with
-    # duplicate destinations falls back to the tree-walker.
-    for a in assigns:
-        _, addrs, ctype = ctx.addr_vec(a.target)
-        if not isinstance(ctype, BasicType):
-            raise _Bail()
-        ctx.value_vec(a.value)
-        uniq = np.unique(addrs).size
-        if uniq == addrs.size:
-            continue
-        reads_target = any(
-            isinstance(n, A.Index) and _base_key(n) == _base_key(a.target)
-            for n in a.value.walk())
-        if reads_target:
-            raise _Bail()       # stale gather of a multiply-written cell
-        if a.op is not None and (
-                uniq != 1 or len(assigns) != 1
-                or a.op not in _REDUCE_UFUNC or ctype.is_integer):
-            raise _Bail()
-        # plain assigns with duplicate destinations scatter in lane order,
-        # so the last iteration wins — same as the sequential loop
-    # Real pass: re-evaluate in statement order (a statement may read what a
-    # previous one just wrote, always at the same index) and scatter.
-    for a in assigns:
-        mem, addrs, ctype = ctx.addr_vec(a.target)
-        assert isinstance(ctype, BasicType)
-        dtype = ctype.dtype()
-        value = ctx.value_vec(a.value)
-        if np.isscalar(value) or getattr(value, "ndim", 1) == 0:
-            value = np.full(iv.shape, value)
-        if a.op is not None and addrs.size and np.unique(addrs).size == 1:
-            # single-cell reduction: left-fold in the target dtype so the
-            # per-iteration rounding matches the scalar loop exactly
-            old = mem.gather(addrs[:1], dtype)
-            seq = np.concatenate(
-                [old, np.asarray(value).astype(dtype, casting="unsafe")])
-            total = _REDUCE_UFUNC[a.op].accumulate(seq)[-1:]
-            mem.scatter(addrs[:1], dtype, total.astype(dtype))
-            continue
-        if a.op is not None:
-            old = mem.gather(addrs, dtype)
-            value = _apply_np(a.op, old, value)
-        if ctype.is_integer:
-            value = np.trunc(value) if np.asarray(value).dtype.kind == "f" else value
-        mem.scatter(addrs, dtype, np.asarray(value).astype(dtype, casting="unsafe"))
-    # leave the loop variable at its final value
-    final = start + len(iv) * step
-    for scope in reversed(env):
-        if var in scope:
-            binding = scope[var]
-            break
-    else:
-        binding = machine.globals[var]
-    assert isinstance(binding, VarBinding)
-    machine.store_value(binding.mem, binding.addr, binding.ctype, final)
+    frame.flush()
     return True
-
-
-class _Ctx:
-    def __init__(self, machine: "Machine", env: list[dict], var: str, iv: np.ndarray):
-        self.machine = machine
-        self.env = env
-        self.var = var
-        self.iv = iv
-
-    def addr_vec(self, index: A.Index):
-        """Vector of byte addresses for an index chain."""
-        from repro.cfront.interp import Ptr
-
-        base = index.base
-        idx = self.value_vec(index.index)
-        idx = np.asarray(idx, dtype=np.int64)
-        if isinstance(base, A.Index):
-            mem, addrs, ctype = self.addr_vec(base)
-            if not isinstance(ctype, ArrayType):
-                raise _Bail()
-            elem = ctype.elem
-            return mem, addrs + np.asarray(idx) * elem.sizeof(), elem
-        if _mentions(base, self.var):
-            raise _Bail()
-        ptr = self.machine.eval(base, self.env)
-        if not isinstance(ptr, Ptr):
-            raise _Bail()
-        elem = ptr.ctype
-        addrs = ptr.addr + np.asarray(idx, dtype=np.int64) * elem.sizeof()
-        if np.isscalar(addrs) or addrs.ndim == 0:
-            addrs = np.full(self.iv.shape, addrs, dtype=np.int64)
-        return ptr.mem, addrs, elem
-
-    def value_vec(self, expr: A.Expr):
-        if isinstance(expr, A.IntLit):
-            return expr.value
-        if isinstance(expr, A.FloatLit):
-            return float(np.float32(expr.value)) if expr.single else expr.value
-        if isinstance(expr, A.Ident):
-            if expr.name == self.var:
-                return self.iv
-            value = self.machine.eval(expr, self.env)
-            if not isinstance(value, (int, float)):
-                raise _Bail()
-            return value
-        if isinstance(expr, A.Binary):
-            lhs = self.value_vec(expr.left)
-            rhs = self.value_vec(expr.right)
-            return _apply_np(expr.op, lhs, rhs)
-        if isinstance(expr, A.Unary):
-            if expr.op == "-":
-                return -self.value_vec(expr.operand)
-            if expr.op == "+":
-                return self.value_vec(expr.operand)
-            if expr.op == "~":
-                return ~np.asarray(self.value_vec(expr.operand), dtype=np.int64)
-            raise _Bail()
-        if isinstance(expr, A.Cast):
-            if not isinstance(expr.type, BasicType):
-                raise _Bail()
-            value = np.asarray(self.value_vec(expr.operand))
-            if expr.type.is_integer:
-                return np.trunc(value).astype(np.int64) if value.dtype.kind == "f" \
-                    else value.astype(np.int64)
-            return value.astype(expr.type.dtype())
-        if isinstance(expr, A.Index):
-            mem, addrs, ctype = self.addr_vec(expr)
-            if not isinstance(ctype, BasicType):
-                raise _Bail()
-            return mem.gather(addrs, ctype.dtype())
-        if isinstance(expr, A.Call) and isinstance(expr.func, A.Ident) \
-                and expr.func.name in _NP_MATH:
-            args = [np.asarray(self.value_vec(a), dtype=np.float64) for a in expr.args]
-            return _NP_MATH[expr.func.name](*args)
-        if isinstance(expr, A.Cond):
-            cond = np.asarray(self.value_vec(expr.cond))
-            return np.where(cond != 0, self.value_vec(expr.then), self.value_vec(expr.other))
-        raise _Bail()
-
-
-def _apply_np(op: str, lhs, rhs):
-    lhs = np.asarray(lhs)
-    rhs = np.asarray(rhs)
-    if op == "+":
-        return lhs + rhs
-    if op == "-":
-        return lhs - rhs
-    if op == "*":
-        return lhs * rhs
-    if op == "/":
-        if lhs.dtype.kind in "iu" and rhs.dtype.kind in "iu":
-            # C truncating division
-            return (np.sign(lhs) * np.sign(rhs) *
-                    (np.abs(lhs) // np.abs(rhs))).astype(np.int64)
-        return lhs / rhs
-    if op == "%":
-        r = np.abs(lhs) % np.abs(rhs)
-        return np.where(lhs >= 0, r, -r).astype(np.int64)
-    if op in ("<", ">", "<=", ">=", "==", "!="):
-        fn = {"<": np.less, ">": np.greater, "<=": np.less_equal,
-              ">=": np.greater_equal, "==": np.equal, "!=": np.not_equal}[op]
-        return fn(lhs, rhs).astype(np.int64)
-    if op in ("<<", ">>", "&", "|", "^"):
-        li = lhs.astype(np.int64)
-        ri = rhs.astype(np.int64)
-        return {"<<": li << ri, ">>": li >> ri, "&": li & ri,
-                "|": li | ri, "^": li ^ ri}[op]
-    raise _Bail()

@@ -14,6 +14,7 @@ views, not copies, per the HPC guide's "views, not copies" rule.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,13 @@ import numpy as np
 
 class MemoryError_(Exception):
     """Out-of-memory or invalid access in a simulated memory space."""
+
+
+def content_digest(data: bytes | bytearray | memoryview | np.ndarray) -> str:
+    """sha256 hex digest of a buffer (dirty-tracking / resync gates)."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).view(np.uint8)
+    return hashlib.sha256(data).hexdigest()
 
 
 def _strides(n: int, step: int) -> np.ndarray:
@@ -197,6 +205,25 @@ class LinearMemory:
         raw = np.ascontiguousarray(values, dtype=dt).view(np.uint8).reshape(-1, dt.itemsize)
         idx = offs[:, None] + np.arange(dt.itemsize, dtype=np.int64)[None, :]
         self.buf[idx.reshape(-1)] = raw.reshape(-1)
+
+    def snapshot_blocks(self) -> dict[int, np.ndarray]:
+        """Copies of all allocated blocks, keyed by address (verify mode)."""
+        out: dict[int, np.ndarray] = {}
+        for addr, size in self._allocated.items():
+            off = addr - self.base
+            out[addr] = self.buf[off : off + size].copy()
+        return out
+
+    def restore_blocks(self, blocks: dict[int, np.ndarray]) -> None:
+        """Restore block contents taken by :meth:`snapshot_blocks`.
+
+        Only block *contents* are restored; the allocation map is left as
+        is (verify mode snapshots/restores around a region that must not
+        leak allocations either way).
+        """
+        for addr, data in blocks.items():
+            off = addr - self.base
+            self.buf[off : off + data.size] = data
 
     def copy_out(self, addr: int, size: int) -> bytes:
         off = self._check(addr, size)

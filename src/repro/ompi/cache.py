@@ -17,10 +17,14 @@ embedding application, between sessions of different tenants.
   program is re-bound to the caller's full config on every hit, so two
   callers differing only in runtime knobs share one compilation.
 
-The cache is in-memory (one process); it is the first step toward the
-ROADMAP's persistent on-disk compile cache — the key derivation is
-already content-addressed, so an on-disk layer only has to serialise
-:class:`~repro.ompi.compiler.CompiledProgram`.
+The in-memory map serves one process; an optional persistent tier
+(:class:`repro.ompi.diskcache.DiskCompileCache`) extends the same keys
+across processes and sessions: an in-memory miss consults the disk
+store before compiling, and every fresh compilation is written back.
+The entry pickled to disk carries a *canonical* config reduced to the
+fingerprint fields — runtime knobs (fastpath, profiling, fault
+injection, recorder objects) never reach the pickle, and every hit is
+re-bound to the caller's full config exactly like an in-memory hit.
 """
 
 from __future__ import annotations
@@ -63,15 +67,24 @@ class CompileCache:
     ``max_entries`` bounds the cache with LRU eviction (None: unbounded —
     the CLI compiles one program per process; a serving runtime should
     set a bound matched to its program population).
+
+    ``disk`` attaches a persistent tier
+    (:class:`repro.ompi.diskcache.DiskCompileCache`): in-memory misses
+    consult it before compiling, fresh compilations are written back.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None, disk=None):
         self.max_entries = max_entries
+        self.disk = disk
         self._cache: dict[str, CompiledProgram] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        #: host wall-clock spent inside OmpiCompiler.compile (misses only)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        #: actual OmpiCompiler.compile invocations (misses both tiers)
+        self.compiles = 0
+        #: host wall-clock spent inside OmpiCompiler.compile (compiles only)
         self.compile_wall_s = 0.0
 
     def __len__(self) -> int:
@@ -94,9 +107,14 @@ class CompileCache:
             self._cache[key] = self._cache.pop(key)
         else:
             self.misses += 1
-            t0 = time.perf_counter()
-            prog = OmpiCompiler(config).compile(source, name)
-            self.compile_wall_s += time.perf_counter() - t0
+            prog = self._load_disk(key) if self.disk is not None else None
+            if prog is None:
+                t0 = time.perf_counter()
+                prog = OmpiCompiler(config).compile(source, name)
+                self.compiles += 1
+                self.compile_wall_s += time.perf_counter() - t0
+                if self.disk is not None:
+                    self._store_disk(key, prog)
             if (self.max_entries is not None
                     and len(self._cache) >= self.max_entries):
                 self._cache.pop(next(iter(self._cache)))
@@ -104,18 +122,50 @@ class CompileCache:
             self._cache[key] = prog
         return replace(prog, config=config)
 
+    def _load_disk(self, key: str) -> Optional[CompiledProgram]:
+        prog = self.disk.load(key)
+        if prog is None:
+            self.disk_misses += 1
+            return None
+        if not isinstance(prog, CompiledProgram):
+            # foreign object under our key: treat as a corrupt miss
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return prog
+
+    def _store_disk(self, key: str, prog: CompiledProgram) -> None:
+        # persist with a canonical codegen-only config so runtime objects
+        # (recorders, fault injectors) never reach the pickle
+        canon = OmpiConfig(binary_mode=prog.config.binary_mode,
+                           arch=prog.config.arch,
+                           mw_block_threads=prog.config.mw_block_threads,
+                           default_num_threads=prog.config.default_num_threads,
+                           block_shape=prog.config.block_shape)
+        try:
+            self.disk.store(key, replace(prog, config=canon))
+        except Exception:
+            # a full disk or unpicklable image must not fail compilation
+            pass
+
     def clear(self) -> None:
         self._cache.clear()
 
     @property
     def stats(self) -> dict:
-        return {
+        out = {
             "entries": len(self._cache),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "compiles": self.compiles,
             "compile_wall_s": self.compile_wall_s,
         }
+        if self.disk is not None:
+            out["disk_hits"] = self.disk_hits
+            out["disk_misses"] = self.disk_misses
+            out["disk"] = self.disk.stats
+        return out
 
 
 #: process-wide default cache (what ``compile_cached`` uses when the

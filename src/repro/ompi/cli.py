@@ -26,8 +26,9 @@ from repro.cuda.device import (
 from repro.cuda.nvcc import compile_device
 from repro.cuda.ptx.jit import JitCache
 from repro.cuda.ptx.ptxwriter import module_to_ptx
-from repro.ompi.cache import compile_cached
+from repro.ompi.cache import CompileCache, GLOBAL_COMPILE_CACHE
 from repro.ompi.config import OmpiConfig
+from repro.ompi.diskcache import DiskCompileCache, default_root
 
 DEVICES = {
     "nano2gb": JETSON_NANO_GPU,
@@ -80,7 +81,35 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "REPRO_NUM_DEVICES).  device(k) routes to "
                              "device k, shard(n) splits target teams "
                              "distribute across n devices")
+    parser.add_argument("--host-fastpath", choices=("on", "off", "verify"),
+                        default=None,
+                        help="closure-compiled host execution: on (default), "
+                             "off (pure tree-walk), or verify (run both and "
+                             "fail on any divergence; see also "
+                             "REPRO_HOST_FASTPATH)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the persistent compile cache "
+                             "(REPRO_CACHE_DIR or ~/.cache/repro-ompi)")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print compile-cache hit/miss/evict counters "
+                             "(in-memory and on-disk tiers) after the run")
     return parser
+
+
+def _print_cache_stats(cache: CompileCache) -> None:
+    s = cache.stats
+    print("ompicc: compile cache: "
+          f"memory hits={s['hits']} misses={s['misses']} "
+          f"evictions={s['evictions']} compiles={s['compiles']} "
+          f"wall={s['compile_wall_s'] * 1e3:.1f}ms", file=sys.stderr)
+    if cache.disk is not None:
+        d = s["disk"]
+        print("ompicc: disk cache: "
+              f"hits={s['disk_hits']} misses={s['disk_misses']} "
+              f"stores={d['stores']} evictions={d['evictions']} "
+              f"corrupt_dropped={d['corrupt_dropped']} "
+              f"entries={d['entries']} bytes={d['size_bytes']} "
+              f"[{d['root']}]", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,12 +129,18 @@ def main(argv: list[str] | None = None) -> int:
                         arch=args.arch, block_shape=shape,
                         profile=args.profile,
                         faults=args.faults, recovery=args.recovery,
-                        num_devices=args.num_devices)
+                        num_devices=args.num_devices,
+                        host_fastpath=args.host_fastpath)
+    # the process-wide compile cache: a repeated ompicc invocation in one
+    # process (tests, embedders) reuses the compiled program, and the
+    # serving runtime shares the same cache.  The CLI additionally attaches
+    # the persistent tier so a second *process* skips codegen too.
+    cache = GLOBAL_COMPILE_CACHE
+    if not args.no_disk_cache:
+        cache = CompileCache(disk=DiskCompileCache(default_root()))
+        cache._cache = GLOBAL_COMPILE_CACHE._cache  # share the warm tier
     try:
-        # the process-wide compile cache: a repeated ompicc invocation in
-        # one process (tests, embedders) reuses the compiled program, and
-        # the serving runtime shares the same cache
-        program = compile_cached(source, name, config)
+        program = cache.get(source, name, config)
     except Exception as exc:
         print(f"ompicc: {exc}", file=sys.stderr)
         return 1
@@ -123,9 +158,13 @@ def main(argv: list[str] | None = None) -> int:
                     program.images[kernel_name].to_bytes())
         print(f"ompicc: generated sources written to {out}/", file=sys.stderr)
 
+    how = ("  [from disk cache]" if cache.disk is not None and cache.disk_hits
+           else "  [from memory cache]" if cache.hits else "")
     print(f"ompicc: compiled {len(program.plans)} kernel(s): "
-          + ", ".join(f"{p.kernel_name} [{p.mode}]" for p in program.plans),
-          file=sys.stderr)
+          + ", ".join(f"{p.kernel_name} [{p.mode}]" for p in program.plans)
+          + how, file=sys.stderr)
+    if args.cache_stats:
+        _print_cache_stats(cache)
     if args.no_run:
         return 0
 
@@ -146,7 +185,9 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
     if run.profile is not None:
         from repro.prof.report import summary
-        print(summary(run.profile), file=sys.stderr)
+        print(summary(run.profile,
+                      compile_cache=cache if args.cache_stats else None),
+              file=sys.stderr)
         if isinstance(args.profile, str):
             print(f"ompicc: chrome trace written to {args.profile}",
                   file=sys.stderr)

@@ -133,8 +133,11 @@ class CompiledProgram:
         faults=None,
         recovery=None,
         num_devices: Optional[int] = None,
+        host_fastpath: Optional[str] = None,
     ) -> ProgramRun:
-        machine = Machine(self.host_unit, heap_capacity=heap_capacity)
+        machine = Machine(self.host_unit, heap_capacity=heap_capacity,
+                          host_fastpath=host_fastpath if host_fastpath
+                          is not None else self.config.host_fastpath)
         ort = Ort(machine, device=device, clock=clock, jit_cache=jit_cache,
                   launch_mode=launch_mode,
                   fastpath=self.config.kernel_fastpath,

@@ -30,6 +30,13 @@ class OmpiConfig:
     #: 'verify' runs both the compiled fast path and the tree-walk reference
     #: on every launch and fails if memory, stdout or stats diverge.
     kernel_fastpath: Optional[str] = None
+    #: closure-compiled *host* execution ('on'/'off'/'verify'); None defers
+    #: to the REPRO_HOST_FASTPATH environment variable, defaulting to 'on'.
+    #: Loop nests and whole functions of the recognised C subset run as
+    #: vectorized numpy plans (cfront/hostcompile.py); 'verify' runs every
+    #: compiled region against the tree-walk interpreter and fails on any
+    #: memory or result divergence.
+    host_fastpath: Optional[str] = None
     #: activity profiling (repro.prof): None defers to REPRO_PROFILE;
     #: True/'on' enables recording; a string enables recording *and* names
     #: the Chrome-trace JSON written when the program finishes; an int sets

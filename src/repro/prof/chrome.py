@@ -212,21 +212,30 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
     return events
 
 
-def chrome_trace(recorder: ActivityRecorder) -> dict:
-    """The full Trace Event Format object."""
+def chrome_trace(recorder: ActivityRecorder, compile_cache=None) -> dict:
+    """The full Trace Event Format object.  ``compile_cache`` (a
+    :class:`repro.ompi.cache.CompileCache`) embeds its hit/miss/evict
+    counters — both the in-memory and the persistent tier — into the
+    trace's ``otherData`` metadata, so a saved trace records how much of
+    it ran against warm compilations."""
+    other = {
+        "generator": "repro.prof",
+        "dropped_records": recorder.dropped,
+    }
+    if compile_cache is not None:
+        other["compile_cache"] = compile_cache.stats
     return {
         "traceEvents": trace_events(recorder),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "generator": "repro.prof",
-            "dropped_records": recorder.dropped,
-        },
+        "otherData": other,
     }
 
 
 def write_chrome_trace(recorder: ActivityRecorder,
-                       path: Union[str, Path]) -> Path:
+                       path: Union[str, Path],
+                       compile_cache=None) -> Path:
     """Serialise the trace to ``path``; returns the written path."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(recorder), indent=1) + "\n")
+    path.write_text(json.dumps(chrome_trace(recorder, compile_cache),
+                               indent=1) + "\n")
     return path

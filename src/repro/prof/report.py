@@ -16,12 +16,32 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
 
 
-def summary(recorder: ActivityRecorder) -> str:
+def _cache_lines(compile_cache) -> list[str]:
+    """Compile-cache counter lines (in-memory tier, plus disk if attached)."""
+    s = compile_cache.stats
+    lines = [f"compile cache: hits={s['hits']} misses={s['misses']} "
+             f"evictions={s['evictions']} compiles={s['compiles']} "
+             f"({s['compile_wall_s'] * 1e3:.1f} ms compiling)"]
+    if compile_cache.disk is not None:
+        d = s["disk"]
+        lines.append(f"disk cache: hits={s['disk_hits']} "
+                     f"misses={s['disk_misses']} stores={d['stores']} "
+                     f"evictions={d['evictions']} entries={d['entries']} "
+                     f"({_fmt_bytes(d['size_bytes'])})")
+    return lines
+
+
+def summary(recorder: ActivityRecorder, compile_cache=None) -> str:
     """Human-readable profile summary: activity counts, device-time
-    totals, transfer volumes/bandwidth, memory peak, per-kernel table."""
+    totals, transfer volumes/bandwidth, memory peak, per-kernel table.
+    ``compile_cache`` (a :class:`repro.ompi.cache.CompileCache`) appends
+    its hit/miss/evict counters for both tiers."""
     lines = ["=== repro.prof summary ==="]
     if not len(recorder):
-        return lines[0] + "\n(no activity recorded)"
+        lines.append("(no activity recorded)")
+        if compile_cache is not None:
+            lines.extend(_cache_lines(compile_cache))
+        return "\n".join(lines)
     counts = Counter(r.kind for r in recorder)
     lines.append("activities: " + ", ".join(
         f"{kind}={n}" for kind, n in sorted(counts.items())))
@@ -72,6 +92,9 @@ def summary(recorder: ActivityRecorder) -> str:
         waited = sum(r.waited_s for r in syncs)
         lines.append(f"host synchronisations: {len(syncs)}, "
                      f"blocked {waited * 1e3:.3f} ms (modelled)")
+
+    if compile_cache is not None:
+        lines.extend(_cache_lines(compile_cache))
 
     lines.append("")
     lines.append(format_metrics_table(kernel_metrics(recorder)))

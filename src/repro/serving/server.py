@@ -241,7 +241,14 @@ class OffloadServer:
         self.closed = True
         if self.prof is not None and self.prof_path:
             from repro.prof.chrome import write_chrome_trace
-            write_chrome_trace(self.prof, self.prof_path)
+            write_chrome_trace(self.prof, self.prof_path,
+                               compile_cache=self.compile_cache)
+
+    def summary(self) -> dict:
+        """Serving counters plus the shared compile cache's hit/miss/evict
+        stats (both tiers) — the dict the load-test artifact records."""
+        return {**self.stats.summary(),
+                "compile_cache": self.compile_cache.stats}
 
     @property
     def num_devices(self) -> int:

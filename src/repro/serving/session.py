@@ -18,17 +18,15 @@ base class.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hostrt.mapping import (
     MAP_FROM, MAP_TO, MAP_TOFROM, DataEnv, MapEntry, MappingError,
 )
-
-
-def content_digest(data: bytes) -> str:
-    return hashlib.sha256(data).hexdigest()
+# one digest implementation serves every gate that elides a transfer:
+# the serving warm-remap check here and Ort._resync_device's skip
+from repro.mem import content_digest  # noqa: F401  (re-exported)
 
 
 @dataclass

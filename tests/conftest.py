@@ -5,7 +5,16 @@ and a GPU simulator whose per-example wall time varies wildly with machine
 load, and a wall-clock deadline would make correctness tests flaky.
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Keep the persistent compile cache out of the real ~/.cache during
+    tests: every test gets a throwaway REPRO_CACHE_DIR unless it sets
+    its own."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
 
 settings.register_profile(
     "repro",
