@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Heterogeneous device backends: a Nano and a V100 in one registry.
+
+``repro.devices`` names simulated backends (``nano``, ``nano4gb``,
+``tx2``, ``v100``); a registry spec — ``OmpiConfig(devices="nano,v100")``,
+``ompicc --devices nano,v100`` or ``REPRO_DEVICES`` — builds one device
+module per named backend.  This example shows:
+
+1. **mixed routing** — ``device(0)`` runs on the Nano, ``device(1)`` on
+   the V100; kernels compile once (sm_53) and retarget to sm_70 at bind
+   time, and the modelled times reflect each device's timing model;
+2. **throughput-balanced sharding** — ``shard(2)`` splits the team
+   space by per-device throughput (the V100 takes the lion's share)
+   instead of equally; the merged result stays bit-identical to a
+   single-Nano run while the modelled wall-clock drops.
+
+Run:  python3 examples/heterogeneous.py
+"""
+
+import numpy as np
+
+from repro.devices import BACKENDS
+from repro.ompi.compiler import OmpiCompiler
+from repro.ompi.config import OmpiConfig
+
+N = 48
+
+ROUTED = r'''
+float x[4096], y[4096];
+
+int main(void)
+{
+    int i;
+    #pragma omp target teams distribute parallel for device(0) map(tofrom: x)
+    for (i = 0; i < 4096; i++) x[i] = 2.0f * i;
+    #pragma omp target teams distribute parallel for device(1) map(tofrom: y)
+    for (i = 0; i < 4096; i++) y[i] = 3.0f * i;
+    return 0;
+}
+'''
+
+GEMM = r'''
+float A[%N%][%N%], B[%N%][%N%], C[%N%][%N%];
+
+int main(void)
+{
+    int i, j, k;
+    #pragma omp target teams distribute parallel for num_teams(16) shard(2) \
+        map(to: A, B) map(tofrom: C)
+    for (i = 0; i < %N%; i++)
+        for (j = 0; j < %N%; j++) {
+            float acc = 0.0f;
+            for (k = 0; k < %N%; k++)
+                acc += A[i][k] * B[k][j];
+            C[i][j] = acc;
+        }
+    return 0;
+}
+'''.replace("%N%", str(N))
+
+
+def main() -> None:
+    print("known backends:")
+    seen = set()
+    for backend in BACKENDS.values():
+        if backend.name in seen:
+            continue
+        seen.add(backend.name)
+        p = backend.props
+        print(f"  {backend.name:8s} {p.arch}  "
+              f"{p.multiprocessor_count:3d} SM x {p.cores_per_mp:3d} cores  "
+              f"{p.memory_bandwidth_gbps:6.1f} GB/s  — {backend.description}")
+
+    # 1. mixed device(k) routing
+    prog = OmpiCompiler(OmpiConfig(profile=True)).compile(ROUTED, "routed")
+    run = prog.run(devices="nano,v100")
+    per_dev = {}
+    for rec in run.profile.records():
+        if rec.kind == "kernel":
+            per_dev.setdefault(rec.device, 0.0)
+            per_dev[rec.device] += rec.t_end - rec.t_start
+    print("\nmixed routing (same kernel, one per device):")
+    for k, mod in enumerate(run.ort.devices):
+        t = per_dev.get(k, 0.0)
+        print(f"  device({k}) = {mod.backend.name:5s} [{mod.backend.arch}]  "
+              f"kernel time {t * 1e6:8.1f} us")
+
+    # 2. throughput-balanced shard(2) vs the single-Nano baseline
+    gemm = OmpiCompiler(OmpiConfig()).compile(GEMM, "gemm")
+    single = gemm.run(num_devices=1)
+    mixed = gemm.run(devices="nano,v100")
+    c0 = single.machine.global_array("C")
+    c1 = mixed.machine.global_array("C")
+    print("\nsharded GEMM on nano+v100:")
+    print(f"  bit-identical to single Nano: {np.array_equal(c0, c1)}")
+    print(f"  modelled time: single nano {single.measured_time * 1e6:8.1f} us"
+          f"  ->  mixed shard {mixed.measured_time * 1e6:8.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ peak; ~14 GB/s sustained is what memcpy-style benchmarks observe).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,22 @@ class DeviceProperties:
     clock_rate_khz: int
     memory_bandwidth_gbps: float        # sustained, GB/s
     l2_cache_size: int                  # bytes
+    #: kernels the hardware can execute concurrently (Jetson boards: 1 —
+    #: a single compute engine, so kernels serialise; HW queues on larger
+    #: parts let independent streams' kernels overlap)
+    concurrent_kernels: int = 1
+    #: independent DMA paths (copy engines); discrete boards have 2+
+    copy_engines: int = 1
+    #: sustained host<->device copy bandwidth, GB/s.  Shared-memory Tegra
+    #: boards copy through one LPDDR4 (read + write the same DRAM ≈ half
+    #: the raw rate); discrete boards are bounded by the PCIe link.
+    copy_bandwidth_gbps: float = 6.8
+    #: simulated global-memory arena bound, bytes (None: total memory
+    #: minus the OS reservation).  Large-HBM parts cap the arena so the
+    #: simulator never backs tens of GB and per-device address windows
+    #: (DEVICE_MEM_STRIDE) stay disjoint; the full total_global_mem is
+    #: still what cuDeviceTotalMem reports.
+    arena_bytes: Optional[int] = None
 
     @property
     def cores(self) -> int:
@@ -92,6 +109,33 @@ JETSON_TX2_GPU = DeviceProperties(
     clock_rate_khz=1300000,
     memory_bandwidth_gbps=40.0,
     l2_cache_size=512 * 1024,
+)
+
+
+#: Tesla V100 (SXM2 16GB) — the differently shaped target of the
+#: heterogeneous device-backend subsystem: 80 Volta SMs against the
+#: Nano's single Maxwell SM, HBM2 instead of shared LPDDR4, real
+#: concurrent-kernel capacity, PCIe-bounded host copies.  Numbers from
+#: the V100 datasheet / Davis et al.'s OpenMP-on-V100 assessment.
+TESLA_V100_GPU = DeviceProperties(
+    name="Tesla V100-SXM2-16GB",
+    compute_capability=(7, 0),
+    multiprocessor_count=80,
+    cores_per_mp=64,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_block_dim=(1024, 1024, 64),
+    max_grid_dim=(2147483647, 65535, 65535),
+    shared_mem_per_block=48 * 1024,
+    named_barriers_per_block=16,
+    total_global_mem=16 * 1024 * 1024 * 1024,
+    clock_rate_khz=1380000,
+    memory_bandwidth_gbps=810.0,        # ~90% of the 900 GB/s HBM2 peak
+    l2_cache_size=6 * 1024 * 1024,
+    concurrent_kernels=32,              # HW queue depth (128 in CUDA caps)
+    copy_engines=2,
+    copy_bandwidth_gbps=12.0,           # PCIe gen3 x16 sustained
+    arena_bytes=3 * 1024 * 1024 * 1024, # sim arena; fits DEVICE_MEM_STRIDE
 )
 
 

@@ -114,12 +114,14 @@ class CudaDriver:
         self.jit_cache = jit_cache
         self.launch_mode = launch_mode
         self.sample_threshold = sample_threshold_threads
-        capacity = gmem_capacity or (device.total_global_mem - RESERVED_MEM)
+        capacity = gmem_capacity or device.arena_bytes or \
+            (device.total_global_mem - RESERVED_MEM)
         # multi-device registries hand each driver a disjoint base so the
         # host interpreter's space_of() can tell the address spaces apart
         self.gmem = LinearMemory(capacity, base=gmem_base, name="gmem")
         self.gpu_model = GpuTimingModel(device)
-        self.host_model = HostModel()
+        self.host_model = HostModel(
+            memcpy_bandwidth_gbps=device.copy_bandwidth_gbps)
         #: activity recorder (None: profiling disabled, hooks cost one
         #: identity check) and the Chrome-trace path requested, if any
         self.prof, self.prof_path = resolve_profile(profile)
@@ -131,7 +133,10 @@ class CudaDriver:
         self.faults = faults
         if faults is not None:
             faults.bind(self.faultlog)
-        self.streams = StreamTable(self.clock, recorder=self.prof)
+        self.streams = StreamTable(
+            self.clock, recorder=self.prof,
+            engine_lanes={"compute": device.concurrent_kernels,
+                          "copy": device.copy_engines})
         #: high-water mark of device bytes allocated (the profiler's
         #: memory track; also maintained with profiling disabled — it is
         #: a single max() per allocation)
@@ -148,6 +153,9 @@ class CudaDriver:
             intrinsics = build_intrinsics()
         self.intrinsics = intrinsics
         self.last_kernel_stats: Optional[KernelStats] = None
+        #: modelled seconds of the most recent kernel (the shard planner's
+        #: observed-throughput input)
+        self.last_kernel_seconds: float = 0.0
 
     # -- fault injection hook -----------------------------------------------------
     def _fault(self, api: str, nbytes: int = 0) -> None:
@@ -858,6 +866,7 @@ class CudaDriver:
                 local_accesses=stats.local_accesses,
             ))
         self.last_kernel_stats = stats
+        self.last_kernel_seconds = breakdown.total_s
         return stats
 
     def _prepare_params(self, kernel: KernelIR, raw: list) -> list:

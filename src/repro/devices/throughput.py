@@ -1,0 +1,127 @@
+"""Throughput-aware shard planning.
+
+``shard(n)`` splits a target region's block range across the registry.
+The classic split is equal-sized contiguous ranges; on a heterogeneous
+registry (a Nano next to a V100) that leaves the fast device idle most
+of the wall-clock.  :func:`plan_shards` instead apportions blocks in
+proportion to per-device *throughput weights* — a calibrated hint
+(cores x clock) before any kernel has run, refined by observed
+blocks-per-modelled-second after each launch (:class:`ThroughputTracker`
+EWMA).
+
+Bit-stability contract: the merge copy-back diffs bytes, so *any*
+contiguous partition of ``range(total_blocks)`` yields bit-identical
+results; only modelled time changes.  Uniform weights (and ``None``)
+reproduce the legacy ceil-split exactly, so homogeneous registries keep
+their historical shard boundaries byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: weights within 5% of each other are treated as uniform -> legacy split
+_UNIFORM_TOL = 1.05
+
+
+def equal_split(total_blocks: int, n: int) -> list[tuple[int, int]]:
+    """The legacy ceil split: n contiguous ranges of ceil(total/n) blocks
+    (trailing shards may be empty)."""
+    per = -(-total_blocks // n)
+    out = []
+    for i in range(n):
+        blo = min(i * per, total_blocks)
+        bhi = min(blo + per, total_blocks)
+        out.append((blo, bhi))
+    return out
+
+
+def plan_shards(
+    total_blocks: int,
+    weights: Optional[Sequence[float]] = None,
+    n: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` block ranges, one per device.
+
+    ``weights`` are relative throughputs (blocks/second, any scale); the
+    i-th device receives a block count proportional to ``weights[i]``
+    via largest-remainder apportionment, keeping ranges contiguous and
+    in device order.  ``weights=None`` (or effectively uniform weights)
+    falls back to :func:`equal_split`.
+    """
+    if weights is None:
+        if n is None:
+            raise ValueError("plan_shards needs weights or n")
+        return equal_split(total_blocks, n)
+    n = len(weights)
+    if n <= 0:
+        raise ValueError("plan_shards needs at least one device")
+    ws = [max(0.0, float(w)) for w in weights]
+    positive = [w for w in ws if w > 0.0]
+    if not positive or (len(positive) == n
+                        and max(positive) <= min(positive) * _UNIFORM_TOL):
+        return equal_split(total_blocks, n)
+    total_w = sum(ws)
+    # largest-remainder (Hamilton) apportionment of total_blocks
+    quotas = [total_blocks * w / total_w for w in ws]
+    counts = [int(q) for q in quotas]
+    short = total_blocks - sum(counts)
+    # hand leftover blocks to the largest fractional parts; ties go to
+    # the lower device index for determinism
+    order = sorted(range(n), key=lambda i: (-(quotas[i] - counts[i]), i))
+    for i in order[:short]:
+        counts[i] += 1
+    out = []
+    lo = 0
+    for c in counts:
+        out.append((lo, lo + c))
+        lo += c
+    return out
+
+
+class ThroughputTracker:
+    """EWMA of observed per-device throughput (blocks per modelled second).
+
+    Seeded lazily by a calibrated hint so the very first shard plan on a
+    heterogeneous registry is already unequal; each finished kernel
+    refines the estimate.  alpha=0.4 weighs recent launches heavily —
+    the workloads here are short suites, not long-running services.
+    """
+
+    def __init__(self, hint: float = 0.0, alpha: float = 0.4):
+        self.hint = float(hint)
+        self.alpha = float(alpha)
+        self.observed: Optional[float] = None
+        self.samples = 0
+
+    def note(self, blocks: int, seconds: float) -> None:
+        """Record one kernel: ``blocks`` executed in modelled ``seconds``."""
+        if blocks <= 0 or seconds <= 0.0:
+            return
+        rate = blocks / seconds
+        if self.observed is None:
+            self.observed = rate
+        else:
+            self.observed += self.alpha * (rate - self.observed)
+        self.samples += 1
+
+    @property
+    def weight(self) -> float:
+        """Current best throughput estimate (observed, else hint, else 1)."""
+        if self.observed is not None:
+            return self.observed
+        return self.hint if self.hint > 0.0 else 1.0
+
+
+def registry_weights(trackers: Sequence[ThroughputTracker]) -> list[float]:
+    """Consistent-scale weights for one planning decision.
+
+    Calibrated hints (core-cycles/second) and observed rates
+    (blocks/modelled-second) live on different scales; mixing them in one
+    weight vector would let whichever device observed first dwarf — or be
+    dwarfed by — its unobserved peers.  Observed rates are used only once
+    *every* participating device has them; until then the plan runs on
+    hints alone."""
+    if all(t.observed is not None for t in trackers):
+        return [t.observed for t in trackers]
+    return [t.hint if t.hint > 0.0 else 1.0 for t in trackers]

@@ -34,6 +34,7 @@ from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
 from repro.cuda.driver import CudaDriver, CUfunction
 from repro.cuda.errors import CudaError, CUresult
 from repro.cuda.ptx.jit import JitCache
+from repro.devices.throughput import ThroughputTracker
 from repro.faults.injector import resolve_faults
 from repro.faults.recovery import (
     DeviceLost, OffloadFailure, is_lost, is_transient, resolve_recovery,
@@ -61,10 +62,19 @@ class CudadevModule(DeviceModule):
         ompt=None,
         gmem_base: Optional[int] = None,
         intrinsics=None,
+        backend=None,
     ):
         self.host_mem = host_mem
         #: this module's position in the owning Ort's device registry
         self.ordinal = int(ordinal)
+        #: the DeviceBackend this module realises (None on the legacy
+        #: homogeneous path, where every module is the same Nano)
+        self.backend = backend
+        #: observed blocks/modelled-second, seeding the shard planner;
+        #: calibrated hint first, refined after every launch
+        hint = (backend.calibrated_throughput() if backend is not None
+                else 0.0)
+        self.throughput = ThroughputTracker(hint=hint)
         self.recovery = resolve_recovery(recovery)
         # The module — not the raw driver — resolves the fault spec (and
         # the REPRO_FAULTS environment variable): faults model *hardware*
@@ -403,6 +413,13 @@ class CudadevModule(DeviceModule):
                                              src_addr, size, stream=stream))
 
     @property
+    def shard_weight(self) -> float:
+        """Relative throughput weight the shard planner uses for this
+        device: observed kernel rate when available, else the backend's
+        calibrated hint, else 1.0 (→ the uniform/legacy split)."""
+        return self.throughput.weight
+
+    @property
     def shard_stream(self) -> int:
         """The per-device stream sharded launches are placed on (created
         on first use; non-default so shards across devices overlap)."""
@@ -480,6 +497,11 @@ class CudadevModule(DeviceModule):
             if exc.injected or is_transient(exc):
                 raise OffloadFailure(kernel_name, exc) from exc
             raise
+        if block_range is not None:
+            blocks = max(0, int(block_range[1]) - int(block_range[0]))
+        else:
+            blocks = gx * gy * gz
+        self.throughput.note(blocks, self.driver.last_kernel_seconds)
         if self.driver.stdout:
             self.stdout.extend(self.driver.stdout)
             self.driver.stdout.clear()

@@ -81,7 +81,7 @@ class Ort:
     def __init__(
         self,
         machine: Machine,
-        device: DeviceProperties = JETSON_NANO_GPU,
+        device: Optional[DeviceProperties] = None,
         clock: Optional[VirtualClock] = None,
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
@@ -94,6 +94,7 @@ class Ort:
         dataenvs: Optional[dict] = None,
         ompt: Optional[OmptRegistry] = None,
         default_device: int = 0,
+        backends=None,
     ):
         self.machine = machine
         if devices is not None:
@@ -114,7 +115,23 @@ class Ort:
                 mod.lease_host(machine.heap)
         else:
             self.clock = clock or VirtualClock()
-            if num_devices is None:
+            # Heterogeneous registry resolution (repro.devices): an
+            # explicit ``backends`` list/spec wins; an explicit ``device``
+            # profile or ``num_devices`` keeps the homogeneous path;
+            # otherwise the REPRO_DEVICES environment variable may name a
+            # mixed registry, and only then does REPRO_NUM_DEVICES apply.
+            from repro.devices import parse_devices, resolve_backends
+            if backends is not None:
+                backs = parse_devices(backends)
+            elif num_devices is None and device is None:
+                backs = resolve_backends()
+            else:
+                backs = None
+            if device is None:
+                device = JETSON_NANO_GPU
+            if backs is not None:
+                num_devices = len(backs)
+            elif num_devices is None:
                 num_devices = int(os.environ.get("REPRO_NUM_DEVICES", "")
                                   or "1")
             num_devices = int(num_devices)
@@ -133,7 +150,9 @@ class Ort:
             #: offload devices (0..n-1); the initial device is id n
             self.devices = [
                 CudadevModule(
-                    machine.heap, device, clock=self.clock,
+                    machine.heap,
+                    backs[k].props if backs is not None else device,
+                    clock=self.clock,
                     jit_cache=jit_cache,
                     launch_mode=launch_mode, fastpath=fastpath,
                     profile=(DeviceRecorder(self.prof, k)
@@ -142,6 +161,7 @@ class Ort:
                     ompt=self.ompt,
                     gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
                     intrinsics=intrinsics,
+                    backend=backs[k] if backs is not None else None,
                 )
                 for k in range(num_devices)
             ]
@@ -760,6 +780,33 @@ class Ort:
                 raise InterpError(str(exc), loc) from exc
         return 0
 
+    def _plan_shard_ranges(self, total_blocks: int,
+                           devices: list[int]) -> list[tuple[int, int]]:
+        """Contiguous per-device block ranges for one sharded launch.
+
+        The default balance mode weighs each device by its measured
+        throughput (calibrated hint until the first kernel completes,
+        observed blocks/modelled-second after); ``REPRO_SHARD_BALANCE=
+        equal`` forces the classic equal split.  On a homogeneous
+        registry the weights are uniform and the planner reproduces the
+        legacy ceil-split exactly, so shard boundaries — and therefore
+        every byte of the merge — are unchanged."""
+        from repro.devices.throughput import (
+            equal_split, plan_shards, registry_weights,
+        )
+        mode = os.environ.get("REPRO_SHARD_BALANCE", "throughput").lower()
+        names = {getattr(self.devices[k].backend, "name", None)
+                 for k in devices}
+        if mode == "equal" or len(names) < 2:
+            # homogeneous registry (or balancing disabled): the classic
+            # equal split, byte-for-byte — observed rates on identical
+            # devices drift a little (fixed overheads amortise differently
+            # across shard sizes) and must not move legacy boundaries
+            return equal_split(total_blocks, len(devices))
+        weights = registry_weights(
+            [self.devices[k].throughput for k in devices])
+        return plan_shards(total_blocks, weights)
+
     def _shard_offload(self, machine, args, loc) -> int:
         """Launch one ``target teams distribute`` region as per-device
         shards: the linear team-block range is split contiguously, each
@@ -778,10 +825,9 @@ class Ort:
         threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
         if not scope.failed:
             total_blocks = teams[0] * teams[1] * teams[2]
-            per = -(-total_blocks // len(scope.devices))  # ceil division
+            ranges = self._plan_shard_ranges(total_blocks, scope.devices)
             for i, k in enumerate(scope.devices):
-                blo = min(i * per, total_blocks)
-                bhi = min(blo + per, total_blocks)
+                blo, bhi = ranges[i]
                 if blo >= bhi:
                     continue
                 module = self.devices[k]

@@ -49,14 +49,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ptx", action="store_true",
                         help="emit PTX kernel images (JIT at launch); "
                              "default is cubin mode")
-    parser.add_argument("--arch", default="sm_53",
-                        help="cubin target architecture (default sm_53)")
+    parser.add_argument("--arch", default=None,
+                        help="cubin target architecture (default sm_53, or "
+                             "the primary backend's arch with --devices)")
     parser.add_argument("--keep", metavar="DIR", default=None,
                         help="write generated host/kernel sources to DIR")
     parser.add_argument("--no-run", action="store_true",
                         help="compile only, do not execute")
-    parser.add_argument("--device", choices=sorted(DEVICES), default="nano2gb",
-                        help="board to run on (default nano2gb)")
+    parser.add_argument("--device", choices=sorted(DEVICES), default=None,
+                        help="board to run on (default nano2gb, or the "
+                             "REPRO_DEVICES registry when that is set)")
     parser.add_argument("--cache", metavar="DIR", default=None,
                         help="JIT compilation cache directory (ptx mode)")
     parser.add_argument("--time", action="store_true",
@@ -81,6 +83,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "REPRO_NUM_DEVICES).  device(k) routes to "
                              "device k, shard(n) splits target teams "
                              "distribute across n devices")
+    parser.add_argument("--devices", default=None, metavar="SPEC",
+                        help="heterogeneous device registry: comma-separated "
+                             "backend names, e.g. 'nano,v100' (see also "
+                             "REPRO_DEVICES).  device(k) routes to the k-th "
+                             "named backend; shard(n) load-balances by "
+                             "per-device throughput.  Overrides "
+                             "--num-devices; kernels compile for the first "
+                             "backend's transformation set and retarget per "
+                             "device at bind time")
     parser.add_argument("--host-fastpath", choices=("on", "off", "verify"),
                         default=None,
                         help="closure-compiled host execution: on (default), "
@@ -125,12 +136,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.block_shape:
         parts = [int(v) for v in args.block_shape.split(",")]
         shape = tuple(parts + [1] * (3 - len(parts)))[:3]
+    backends = None
+    if args.devices:
+        from repro.devices import UnknownBackendError, parse_devices
+        try:
+            backends = parse_devices(args.devices)
+        except UnknownBackendError as exc:
+            print(f"ompicc: {exc}", file=sys.stderr)
+            return 2
     config = OmpiConfig(binary_mode="ptx" if args.ptx else "cubin",
-                        arch=args.arch, block_shape=shape,
+                        arch=args.arch or "sm_53", block_shape=shape,
                         profile=args.profile,
                         faults=args.faults, recovery=args.recovery,
                         num_devices=args.num_devices,
-                        host_fastpath=args.host_fastpath)
+                        host_fastpath=args.host_fastpath,
+                        devices=args.devices)
+    if backends is not None and args.arch is None:
+        # compile for the primary (first) backend's transformation set;
+        # bind retargets the images for the rest of the registry
+        config = backends[0].specialize(config)
     # the process-wide compile cache: a repeated ompicc invocation in one
     # process (tests, embedders) reuses the compiled program, and the
     # serving runtime shares the same cache.  The CLI additionally attaches
@@ -169,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     cache = JitCache(args.cache) if args.cache else None
-    run = program.run(device=DEVICES[args.device], jit_cache=cache)
+    run = program.run(device=DEVICES[args.device] if args.device else None,
+                      jit_cache=cache)
     sys.stdout.write(run.stdout)
     if args.time:
         print("--- modelled events ---", file=sys.stderr)

@@ -25,7 +25,7 @@ from repro.cfront.errors import CFrontError
 from repro.cfront.interp import Machine
 from repro.cfront.parser import parse_translation_unit
 from repro.cfront.unparse import unparse
-from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
+from repro.cuda.device import DeviceProperties
 from repro.cuda.nvcc import compile_device
 from repro.cuda.ptx.jit import JitCache
 from repro.devrt.api import DEVICE_LIBRARY_HEADER
@@ -85,16 +85,46 @@ class CompiledProgram:
     def host_source(self) -> str:
         return unparse(self.host_unit)
 
+    def image_for_arch(self, kernel_name: str, arch: Optional[str]):
+        """The kernel's image, retargeted for ``arch`` when needed.
+
+        A cubin is architecture-specific: binding a program compiled for
+        sm_53 to a registry that also holds an sm_70 device re-assembles
+        the kernel's (unmutated) portable IR for that arch, mirroring how
+        real OMPi ships one kernel file per *target* and compiles per
+        device.  Retargeted images memoise under ``name@arch`` in the
+        shared ``images`` dict so repeated binds are free; PTX images are
+        arch-agnostic and pass through (the JIT keys on device arch)."""
+        image = self.images[kernel_name]
+        from repro.cuda.ptx.images import CubinImage, assemble_cubin
+        if (arch and isinstance(image, CubinImage) and image.arch != arch):
+            key = f"{kernel_name}@{arch}"
+            cached = self.images.get(key)
+            if cached is None:
+                cached = assemble_cubin(image.module, arch,
+                                        linked=image.linked)
+                self.images[key] = cached
+            return cached
+        return image
+
     def bind(self, ort: Ort, seed_arrays: Optional[dict] = None) -> None:
         """Attach this program to a runtime: register the kernel images
-        with every device module, install the ``*_hostfn`` fallback twins
+        with every device module (retargeted to each device's arch on a
+        heterogeneous registry), install the ``*_hostfn`` fallback twins
         on the initial device, seed global arrays and give declare-target
         globals their device residence.  Shared by :meth:`run` and by the
         serving runtime, which drives a leased :class:`Ort` itself."""
         machine = ort.machine
-        for kernel_name, image in self.images.items():
+        for kernel_name in self.kernel_sources:
             for module in ort.devices:
-                module.register_kernel_image(kernel_name, image)
+                # per-arch retargeting is a registry-backend feature; on
+                # the classic single-profile path the raw image is bound
+                # as-is and a mismatched cubin still fails at load time
+                arch = (module.driver.device_props.arch
+                        if getattr(module, "backend", None) is not None
+                        else None)
+                module.register_kernel_image(
+                    kernel_name, self.image_for_arch(kernel_name, arch))
         for plan in self.plans:
             ort.host_device.register_fallback(plan.kernel_name,
                                               plan.kernel_name + "_hostfn")
@@ -121,7 +151,7 @@ class CompiledProgram:
 
     def run(
         self,
-        device: DeviceProperties = JETSON_NANO_GPU,
+        device: Optional[DeviceProperties] = None,
         clock: Optional[VirtualClock] = None,
         jit_cache: Optional[JitCache] = None,
         launch_mode: str = "auto",
@@ -134,6 +164,7 @@ class CompiledProgram:
         recovery=None,
         num_devices: Optional[int] = None,
         host_fastpath: Optional[str] = None,
+        devices=None,
     ) -> ProgramRun:
         machine = Machine(self.host_unit, heap_capacity=heap_capacity,
                           host_fastpath=host_fastpath if host_fastpath
@@ -147,7 +178,9 @@ class CompiledProgram:
                   recovery=recovery if recovery is not None
                   else self.config.recovery,
                   num_devices=num_devices if num_devices is not None
-                  else self.config.num_devices)
+                  else self.config.num_devices,
+                  backends=devices if devices is not None
+                  else self.config.devices)
         if ompt:
             for event, fn in ompt.items():
                 ort.ompt.set_callback(event, fn)
@@ -156,7 +189,10 @@ class CompiledProgram:
         ort.taskwait()  # implicit join of outstanding nowait tasks at exit
         if ort.prof is not None and ort.prof_path:
             from repro.prof.chrome import write_chrome_trace
-            write_chrome_trace(ort.prof, ort.prof_path)
+            names = {k: m.backend.name for k, m in enumerate(ort.devices)
+                     if getattr(m, "backend", None) is not None}
+            write_chrome_trace(ort.prof, ort.prof_path,
+                               device_names=names or None)
         return ProgramRun(machine, ort, exit_code)
 
 

@@ -56,6 +56,14 @@ class OmpiConfig:
     #: domain; device(k) routes to device k and shard(n) splits a target
     #: teams distribute across the first n healthy devices.
     num_devices: Optional[int] = None
+    #: heterogeneous device registry: a spec ("nano,v100"), a sequence of
+    #: backend names / DeviceBackend objects, or None (defer to
+    #: REPRO_DEVICES, else the homogeneous num_devices path).  Overrides
+    #: num_devices when set; device(k) then routes to the k-th named
+    #: backend.  Runtime-only: the registry shape never changes generated
+    #: code, so it stays out of the compile-cache fingerprint (the
+    #: per-device *arch* enters via image retargeting at bind time).
+    devices: object = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

@@ -63,9 +63,19 @@ def _meta(pid: int, name: str, tid: int = None, tname: str = None) -> list[dict]
     return events
 
 
-def trace_events(recorder: ActivityRecorder) -> list[dict]:
-    """The ``traceEvents`` array for the recorded activities."""
+def trace_events(recorder: ActivityRecorder,
+                 device_names: dict = None) -> list[dict]:
+    """The ``traceEvents`` array for the recorded activities.
+
+    ``device_names`` (ordinal -> backend name, e.g. ``{0: 'nano',
+    1: 'v100'}``) labels a heterogeneous registry's per-device tracks;
+    without it the classic ``dev<k>`` naming applies."""
     events: list[dict] = []
+    names = device_names or {}
+
+    def dev_label(dev: int) -> str:
+        name = names.get(dev)
+        return f"dev{dev}:{name}" if name else f"dev{dev}"
     events += _meta(PID_STREAMS, "device streams")
     events += _meta(PID_ENGINES, "device engines",
                     TID_ENGINE_COMPUTE, "engine:compute")
@@ -84,7 +94,7 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
             named_serving.add(tid)
             events.append({"ph": "M", "pid": PID_SERVING, "tid": tid,
                            "name": "thread_name",
-                           "args": {"name": f"dev{tid} requests"}})
+                           "args": {"name": f"{dev_label(tid)} requests"}})
         return tid
 
     def stream_tid(stream, device) -> int:
@@ -93,7 +103,8 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
         tid = dev * 1000 + s
         if tid not in named_streams:
             named_streams.add(tid)
-            name = f"stream {s}" if dev == 0 else f"dev{dev} stream {s}"
+            name = (f"stream {s}" if dev == 0 and dev not in names
+                    else f"{dev_label(dev)} stream {s}")
             events.append({"ph": "M", "pid": PID_STREAMS, "tid": tid,
                            "name": "thread_name",
                            "args": {"name": name}})
@@ -103,12 +114,13 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
         # engine 0 = compute, 1 = copy; device 0 keeps tids 0/1
         dev = int(device or 0)
         tid = dev * 2 + engine
-        if dev > 0 and tid not in named_engines:
+        if (dev > 0 or dev in names) and tid not in named_engines:
             named_engines.add(tid)
             ename = "compute" if engine == TID_ENGINE_COMPUTE else "copy"
             events.append({"ph": "M", "pid": PID_ENGINES, "tid": tid,
                            "name": "thread_name",
-                           "args": {"name": f"dev{dev} engine:{ename}"}})
+                           "args": {"name": f"{dev_label(dev)} "
+                                            f"engine:{ename}"}})
         return tid
 
     def span(pid: int, tid: int, name: str, record, args: dict) -> dict:
@@ -212,7 +224,8 @@ def trace_events(recorder: ActivityRecorder) -> list[dict]:
     return events
 
 
-def chrome_trace(recorder: ActivityRecorder, compile_cache=None) -> dict:
+def chrome_trace(recorder: ActivityRecorder, compile_cache=None,
+                 device_names: dict = None) -> dict:
     """The full Trace Event Format object.  ``compile_cache`` (a
     :class:`repro.ompi.cache.CompileCache`) embeds its hit/miss/evict
     counters — both the in-memory and the persistent tier — into the
@@ -225,7 +238,7 @@ def chrome_trace(recorder: ActivityRecorder, compile_cache=None) -> dict:
     if compile_cache is not None:
         other["compile_cache"] = compile_cache.stats
     return {
-        "traceEvents": trace_events(recorder),
+        "traceEvents": trace_events(recorder, device_names=device_names),
         "displayTimeUnit": "ms",
         "otherData": other,
     }
@@ -233,9 +246,11 @@ def chrome_trace(recorder: ActivityRecorder, compile_cache=None) -> dict:
 
 def write_chrome_trace(recorder: ActivityRecorder,
                        path: Union[str, Path],
-                       compile_cache=None) -> Path:
+                       compile_cache=None,
+                       device_names: dict = None) -> Path:
     """Serialise the trace to ``path``; returns the written path."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(recorder, compile_cache),
+    path.write_text(json.dumps(chrome_trace(recorder, compile_cache,
+                                            device_names=device_names),
                                indent=1) + "\n")
     return path

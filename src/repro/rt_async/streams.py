@@ -90,7 +90,8 @@ class StreamTable:
     information invisible at the driver-call level, where a wait is
     instantaneous."""
 
-    def __init__(self, clock: VirtualClock, recorder=None):
+    def __init__(self, clock: VirtualClock, recorder=None,
+                 engine_lanes: dict[str, int] | None = None):
         self.clock = clock
         self.recorder = recorder
         self.streams: dict[int, CudaStream] = {
@@ -99,7 +100,15 @@ class StreamTable:
         self.events: dict[int, CudaEvent] = {}
         self._stream_handles = itertools.count(1)
         self._event_handles = itertools.count(1)
-        self._engine_ready: dict[str, float] = {e: 0.0 for e in ENGINES}
+        #: per-engine availability *lanes*: hardware with N-deep kernel
+        #: queues (device.concurrent_kernels) or multiple copy engines
+        #: exposes N lanes per engine; an operation takes the earliest-free
+        #: lane.  One lane per engine reproduces the classic Jetson
+        #: behaviour exactly (same max(), same assignment).
+        lanes = engine_lanes or {}
+        self._engine_ready: dict[str, list[float]] = {
+            e: [0.0] * max(1, int(lanes.get(e, 1))) for e in ENGINES
+        }
         #: latest completion time of any *destroyed* stream's pending work:
         #: cuStreamDestroy on a busy stream drains it first (CUDA semantics),
         #: so that work still bounds device-wide synchronisation.
@@ -154,8 +163,11 @@ class StreamTable:
         stream = self.get(handle)
         start = max(self.clock.now(), stream.ready_at)
         engine = engine_of(kind)
+        lane = -1
         if engine is not None:
-            start = max(start, self._engine_ready[engine])
+            lanes = self._engine_ready[engine]
+            lane = min(range(len(lanes)), key=lanes.__getitem__)
+            start = max(start, lanes[lane])
         # legacy default-stream synchronisation
         if handle == DEFAULT_STREAM:
             start = max(start, self.all_done_at())
@@ -164,18 +176,21 @@ class StreamTable:
         end = start + cost
         stream.ready_at = end
         if engine is not None:
-            self._engine_ready[engine] = end
+            self._engine_ready[engine][lane] = end
         stream.ops.append(StreamOp(kind, start, end))
         return start, end
 
     def occupy_engine(self, engine: str, until: float) -> None:
-        """Push an engine's availability to ``until`` without placing an
-        operation on any stream (used for peer copies: the remote end of a
-        ``cuMemcpyPeer`` occupies that device's DMA path too)."""
+        """Push an engine lane's availability to ``until`` without placing
+        an operation on any stream (used for peer copies: the remote end
+        of a ``cuMemcpyPeer`` occupies one of that device's DMA paths
+        too).  The earliest-free lane takes the hit."""
         if engine not in self._engine_ready:
             raise StreamError(f"unknown engine {engine!r}")
-        if until > self._engine_ready[engine]:
-            self._engine_ready[engine] = until
+        lanes = self._engine_ready[engine]
+        lane = min(range(len(lanes)), key=lanes.__getitem__)
+        if until > lanes[lane]:
+            lanes[lane] = until
 
     # -- events ---------------------------------------------------------------
     def create_event(self) -> int:

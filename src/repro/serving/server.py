@@ -45,6 +45,7 @@ from repro.hostrt.ort import DEVICE_MEM_STRIDE, Ort
 from repro.mem import MemoryError_
 from repro.ompi.cache import GLOBAL_COMPILE_CACHE, CompileCache, source_key
 from repro.ompi.config import OmpiConfig
+from repro.ompi.diskcache import DiskCompileCache
 from repro.prof.activity import (
     DeviceRecorder, ServingActivity, resolve_profile,
 )
@@ -155,8 +156,8 @@ class OffloadServer:
 
     def __init__(
         self,
-        num_devices: int = 1,
-        device: DeviceProperties = JETSON_NANO_GPU,
+        num_devices: Optional[int] = None,
+        device: Optional[DeviceProperties] = None,
         config: Optional[OmpiConfig] = None,
         compile_cache: Optional[CompileCache] = None,
         launch_mode: str = "auto",
@@ -168,13 +169,42 @@ class OffloadServer:
         max_resident_fraction: float = 0.5,
         default_quota: Optional[TenantQuota] = None,
         compact_logs: bool = True,
+        devices=None,
     ):
+        # heterogeneous registry: an explicit spec ("nano,v100", a list of
+        # names/backends) wins; the REPRO_DEVICES environment variable
+        # applies only when neither a device profile nor a device count
+        # was given explicitly (mirroring Ort's precedence)
+        from repro.devices import resolve_backends
+        if devices is not None:
+            backs = resolve_backends(devices)
+        elif num_devices is None and device is None:
+            backs = resolve_backends()
+        else:
+            backs = None
+        if device is None:
+            device = JETSON_NANO_GPU
+        if backs is not None:
+            num_devices = len(backs)
+        elif num_devices is None:
+            num_devices = 1
         num_devices = int(num_devices)
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.backends = backs
         self.config = config or OmpiConfig()
-        self.compile_cache = (compile_cache if compile_cache is not None
-                              else GLOBAL_COMPILE_CACHE)
+        if compile_cache is not None:
+            self.compile_cache = compile_cache
+        else:
+            # long-lived server: attach the persistent tier when the
+            # operator configured one (REPRO_CACHE_DIR), sharing the
+            # process-wide warm tier either way
+            disk = DiskCompileCache.from_env()
+            if disk is not None:
+                self.compile_cache = CompileCache(disk=disk)
+                self.compile_cache._cache = GLOBAL_COMPILE_CACHE._cache
+            else:
+                self.compile_cache = GLOBAL_COMPILE_CACHE
         self.launch_mode = launch_mode
         self.max_batch = int(max_batch)
         self.pool_size = int(pool_size)
@@ -191,7 +221,8 @@ class OffloadServer:
                      else {k: faults for k in range(num_devices)})
         self.devices = [
             CudadevModule(
-                None, device, clock=self.clock,
+                None, backs[k].props if backs is not None else device,
+                clock=self.clock,
                 launch_mode=launch_mode,
                 fastpath=self.config.kernel_fastpath,
                 profile=(DeviceRecorder(self.prof, k)
@@ -200,6 +231,7 @@ class OffloadServer:
                 ompt=self.ompt,
                 gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
                 intrinsics=intrinsics,
+                backend=backs[k] if backs is not None else None,
             )
             for k in range(num_devices)
         ]
@@ -241,14 +273,27 @@ class OffloadServer:
         self.closed = True
         if self.prof is not None and self.prof_path:
             from repro.prof.chrome import write_chrome_trace
+            names = ({k: b.name for k, b in enumerate(self.backends)}
+                     if self.backends is not None else None)
             write_chrome_trace(self.prof, self.prof_path,
-                               compile_cache=self.compile_cache)
+                               compile_cache=self.compile_cache,
+                               device_names=names)
 
     def summary(self) -> dict:
         """Serving counters plus the shared compile cache's hit/miss/evict
-        stats (both tiers) — the dict the load-test artifact records."""
-        return {**self.stats.summary(),
-                "compile_cache": self.compile_cache.stats}
+        stats (both tiers) — the dict the load-test artifact records.
+        ``compile_cache_disk_hits``/``_misses`` surface the persistent
+        tier's counters (0 when no REPRO_CACHE_DIR tier is attached), and
+        a heterogeneous registry reports its backend names."""
+        out = {**self.stats.summary(),
+               "compile_cache": self.compile_cache.stats,
+               "compile_cache_disk_hits": getattr(
+                   self.compile_cache, "disk_hits", 0),
+               "compile_cache_disk_misses": getattr(
+                   self.compile_cache, "disk_misses", 0)}
+        if self.backends is not None:
+            out["devices"] = [b.name for b in self.backends]
+        return out
 
     @property
     def num_devices(self) -> int:

@@ -84,8 +84,12 @@ class KernelTimeBreakdown:
 
 
 class GpuTimingModel:
-    def __init__(self, device: DeviceProperties):
+    def __init__(self, device: DeviceProperties,
+                 calib: C.ArchCalibration | None = None):
         self.device = device
+        #: per-SM microarchitecture constants; the Maxwell set reproduces
+        #: the historical module-level constants exactly
+        self.calib = calib or C.calibration_for(device.compute_capability)
         self.clock_hz = device.clock_rate_khz * 1e3
         self.dram_cps = C.dram_cycles_per_segment(
             self.clock_hz, device.memory_bandwidth_gbps
@@ -94,14 +98,15 @@ class GpuTimingModel:
     # -- occupancy ------------------------------------------------------------
     def resident_blocks(self, threads_per_block: int, registers_per_thread: int,
                         smem_per_block: int) -> int:
+        cal = self.calib
         if threads_per_block <= 0:
             return 1
-        by_threads = C.MAX_THREADS_PER_SM // threads_per_block
+        by_threads = cal.max_threads_per_sm // threads_per_block
         regs_per_block = max(registers_per_thread, 1) * threads_per_block
-        by_regs = C.REGISTERS_PER_SM // max(regs_per_block, 1)
+        by_regs = cal.registers_per_sm // max(regs_per_block, 1)
         by_smem = (self.device.shared_mem_per_block // smem_per_block
-                   if smem_per_block > 0 else C.MAX_BLOCKS_PER_SM)
-        return max(1, min(by_threads, by_regs, by_smem, C.MAX_BLOCKS_PER_SM))
+                   if smem_per_block > 0 else cal.max_blocks_per_sm)
+        return max(1, min(by_threads, by_regs, by_smem, cal.max_blocks_per_sm))
 
     def occupancy_warps(self, stats: KernelStats) -> tuple[float, int]:
         tpb = stats.block[0] * stats.block[1] * stats.block[2]
@@ -114,28 +119,41 @@ class GpuTimingModel:
 
     # -- the model ------------------------------------------------------------
     def kernel_time(self, stats: KernelStats) -> KernelTimeBreakdown:
+        cal = self.calib
         warps, resident = self.occupancy_warps(stats)
-        issue_eff = min(1.0, max(C.MIN_ISSUE_EFF, warps / C.WARPS_FOR_PEAK))
+        issue_eff = min(1.0, max(cal.min_issue_eff, warps / cal.warps_for_peak))
         # instruction stream: f64 and SFU throughput penalties add to the
         # dispatch count (they occupy issue slots longer)
         eff_instructions = (
             stats.instructions
-            + stats.alu_f64 / 32.0 * (C.F64_PENALTY - 1.0)
-            + stats.special_ops / 32.0 * (C.SFU_PENALTY - 1.0)
+            + stats.alu_f64 / 32.0 * (cal.f64_penalty - 1.0)
+            + stats.special_ops / 32.0 * (cal.sfu_penalty - 1.0)
         )
-        compute_cycles = eff_instructions / (C.IPC_PEAK * issue_eff)
+        compute_cycles = eff_instructions / (cal.ipc_peak * issue_eff)
         bandwidth_cycles = stats.global_transactions * self.dram_cps
         latency_cycles = (
-            stats.global_mem_instructions * C.DRAM_LATENCY_CYCLES
+            stats.global_mem_instructions * cal.dram_latency_cycles
             / max(warps, 1.0)
         )
         extra_cycles = (
-            stats.barriers * C.BARRIER_CYCLES
-            + stats.atomics * C.ATOMIC_CYCLES
-            + stats.divergent_branches * C.DIVERGENCE_CYCLES
-            + stats.shared_accesses / 32.0 * C.SHARED_ACCESS_CYCLES
-            + stats.local_accesses / 32.0 * C.LOCAL_ACCESS_CYCLES
+            stats.barriers * cal.barrier_cycles
+            + stats.atomics * cal.atomic_cycles
+            + stats.divergent_branches * cal.divergence_cycles
+            + stats.shared_accesses / 32.0 * cal.shared_access_cycles
+            + stats.local_accesses / 32.0 * cal.local_access_cycles
         )
+        # multi-SM parts spread the grid's blocks across SMs: per-SM
+        # issue work, outstanding-miss parallelism and block-local extras
+        # all scale with the SMs actually covered by the grid; DRAM
+        # bandwidth is device-wide and does not.  With one SM (the Nano)
+        # the divisor is 1 and every term is bit-identical to the
+        # single-SM model this reproduction was calibrated as.
+        grid_blocks = max(1, stats.grid[0] * stats.grid[1] * stats.grid[2])
+        sms_used = min(self.device.multiprocessor_count, grid_blocks)
+        if sms_used > 1:
+            compute_cycles /= sms_used
+            latency_cycles /= sms_used
+            extra_cycles /= sms_used
         hz = self.clock_hz
         return KernelTimeBreakdown(
             compute_s=compute_cycles / hz,

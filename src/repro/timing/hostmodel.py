@@ -13,11 +13,18 @@ from repro.timing import calibration as C
 
 
 class HostModel:
+    def __init__(self, memcpy_bandwidth_gbps: float | None = None):
+        #: per-device copy bandwidth (DeviceProperties.copy_bandwidth_gbps);
+        #: defaults to the Nano's shared-LPDDR4 calibration constant
+        self.memcpy_bandwidth_gbps = (
+            memcpy_bandwidth_gbps if memcpy_bandwidth_gbps
+            else C.MEMCPY_BANDWIDTH_GBPS)
+
     def memcpy_time(self, nbytes: int) -> float:
         """Host<->device transfer time (either direction)."""
         if nbytes <= 0:
             return C.MEMCPY_LATENCY_S
-        return C.MEMCPY_LATENCY_S + nbytes / (C.MEMCPY_BANDWIDTH_GBPS * 1e9)
+        return C.MEMCPY_LATENCY_S + nbytes / (self.memcpy_bandwidth_gbps * 1e9)
 
     def alloc_time(self) -> float:
         return C.MEM_ALLOC_S
