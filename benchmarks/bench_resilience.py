@@ -1,0 +1,221 @@
+"""Chaos serving load test: the resilience layer under injected faults.
+
+Runs the 64-session x 4-device serving workload twice — once fault-free
+and once under a probabilistic mid-run device-loss plan
+(``devlost:p=0.02,seed=42``: each launch may stickily kill its device,
+with per-device decorrelated draws) — and gates on the resilience
+contract:
+
+* **bit-identity**: every completed request in both runs matches a
+  standalone ``CompiledProgram.run`` of the same program and seed;
+* **no silent degradation**: every request in the chaos run either
+  completes or carries a *typed* rejection (``DeadlineExceeded`` /
+  ``QuotaError``) — zero untyped failures while healthy devices exist;
+* **bounded inflation**: the chaos run's p99 latency stays within the
+  checked-in multiple of the fault-free p99
+  (``benchmarks/resilience_budget.json``).
+
+Reported into ``BENCH_resilience.json``: p50/p99 with and without
+faults, the inflation ratio, retry/migration/breaker/deadline counters,
+and the per-device health scores at the end of the chaos run.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_resilience.py           # full run
+    PYTHONPATH=src python benchmarks/bench_resilience.py --check   # CI gate
+    PYTHONPATH=src python benchmarks/bench_resilience.py --update-budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_serving import (  # noqa: E402
+    BURST_GAP_S, BURST_SIZE, program_mix, standalone_reference,
+)
+
+from repro.ompi.cache import CompileCache  # noqa: E402
+from repro.ompi.config import OmpiConfig  # noqa: E402
+from repro.serving import OffloadServer, percentile  # noqa: E402
+
+#: the chaos plan: every kernel launch may stickily lose its device
+FAULT_SPEC = "devlost:p=0.02,seed=42"
+#: generous per-request deadline budget (simulated seconds) — active so
+#: late completions become typed rejections, loose enough that the
+#: fault-free run never hits it
+DEADLINE_S = 0.25
+#: rejection prefixes that count as *typed* (everything else is silent
+#: degradation and fails the gate)
+TYPED = ("DeadlineExceeded", "QuotaError")
+
+
+def load_test(num_sessions: int, num_devices: int, rounds: int = 2,
+              tenants: int = 8, faults=None,
+              cache: CompileCache | None = None) -> dict:
+    """One serving run; returns metrics plus the raw request outcomes."""
+    config = OmpiConfig()
+    cache = cache if cache is not None else CompileCache()
+    programs = program_mix()
+    wall0 = time.perf_counter()
+    server = OffloadServer(num_devices=num_devices, config=config,
+                           compile_cache=cache, faults=faults,
+                           deadline=DEADLINE_S)
+    sessions = [server.open_session(f"tenant{i % tenants}")
+                for i in range(num_sessions)]
+    requests = []
+    t = 0.0
+    for _ in range(rounds):
+        for start in range(0, len(sessions), BURST_SIZE):
+            for s in sessions[start:start + BURST_SIZE]:
+                if s.closed:
+                    continue
+                p = programs[s.sid % len(programs)]
+                requests.append(server.submit(
+                    s, p.source, name=p.name, seed_arrays=p.seed_arrays,
+                    outputs=p.outputs, arrival=t))
+            t += BURST_GAP_S
+        server.drain()
+        t = max(t, server.clock.now())
+
+    refs = {p.name: standalone_reference(p, cache, config)
+            for p in programs}
+    mismatches = 0
+    untyped = 0
+    for req in requests:
+        if req.status == "done":
+            ref = refs[req.name]
+            for out, arr in req.result.items():
+                if np.asarray(arr).tobytes() != ref[out]:
+                    mismatches += 1
+        elif not (req.status == "rejected"
+                  and (req.error or "").startswith(TYPED)):
+            untyped += 1
+    summary = server.summary()
+    latencies = server.stats.latencies
+    entry = {
+        "sessions": num_sessions,
+        "devices": num_devices,
+        "rounds": rounds,
+        "requests": len(requests),
+        "completed": summary["completed"],
+        "rejected_typed": sum(
+            1 for r in requests if r.status == "rejected"),
+        "untyped_failures": untyped,
+        "output_mismatches": mismatches,
+        "latency_p50_s": percentile(latencies, 50),
+        "latency_p99_s": percentile(latencies, 99),
+        "retries": summary["retries"],
+        "migrations": summary["migrations"],
+        "migrated_bytes": summary["migrated_bytes"],
+        "deadline_rejections": summary["deadline_rejections"],
+        "fault_recovery": summary["fault_recovery"],
+        "device_health": summary["device_health"],
+        "breakers": summary.get("breakers", {}),
+        "lost_devices": [k for k, m in enumerate(server.devices) if m.lost],
+        "wall_s": round(time.perf_counter() - wall0, 3),
+    }
+    server.close()
+    return entry
+
+
+def _budget_path() -> Path:
+    return Path(__file__).resolve().parent / "resilience_budget.json"
+
+
+def check_failures(entry: dict, budget: dict) -> list[str]:
+    failures = []
+    base, chaos = entry["baseline"], entry["chaos"]
+    for label, run in (("baseline", base), ("chaos", chaos)):
+        if run["output_mismatches"]:
+            failures.append(f"{label}: {run['output_mismatches']} outputs "
+                            "diverged from the standalone run")
+        if run["untyped_failures"]:
+            failures.append(f"{label}: {run['untyped_failures']} requests "
+                            "neither completed nor typed-rejected")
+    if base["completed"] != base["requests"]:
+        failures.append(f"baseline: only {base['completed']}/"
+                        f"{base['requests']} requests completed")
+    if not chaos["lost_devices"]:
+        failures.append("chaos: the fault plan lost no device — the run "
+                        "exercised nothing")
+    if chaos["retries"] == 0 and chaos["migrations"] == 0:
+        failures.append("chaos: device loss triggered no failover "
+                        "(no retries, no migrations)")
+    factor = budget.get("p99_inflation_max")
+    if factor is not None and base["latency_p99_s"] > 0:
+        inflation = chaos["latency_p99_s"] / base["latency_p99_s"]
+        if inflation > factor:
+            failures.append(f"chaos p99 inflation {inflation:.2f}x exceeds "
+                            f"budget {factor:.2f}x")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="CI gate: fail on divergence, untyped failures, "
+                         "missing failover, or p99 inflation over budget")
+    ap.add_argument("--sessions", type=int, default=64)
+    ap.add_argument("--devices", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=2)
+    ap.add_argument("--output", default=None,
+                    help="output JSON path (default: BENCH_resilience.json "
+                         "at the repo root)")
+    ap.add_argument("--update-budget", action="store_true",
+                    help="rewrite resilience_budget.json from this run "
+                         "(measured inflation x 1.5 headroom)")
+    args = ap.parse_args(argv)
+
+    cache = CompileCache()   # shared: both runs see identical compiles
+    print(f"[bench] resilience: {args.sessions} sessions x "
+          f"{args.devices} devices, fault-free baseline ...", flush=True)
+    base = load_test(args.sessions, args.devices, rounds=args.rounds,
+                     cache=cache)
+    print(f"[bench]   {base['completed']}/{base['requests']} done  "
+          f"p99 {base['latency_p99_s'] * 1e3:.3f}ms  "
+          f"wall {base['wall_s']}s")
+    print(f"[bench] chaos run under {FAULT_SPEC} ...", flush=True)
+    chaos = load_test(args.sessions, args.devices, rounds=args.rounds,
+                      faults=FAULT_SPEC, cache=cache)
+    inflation = (chaos["latency_p99_s"] / base["latency_p99_s"]
+                 if base["latency_p99_s"] else 0.0)
+    print(f"[bench]   {chaos['completed']}/{chaos['requests']} done, "
+          f"{chaos['rejected_typed']} typed rejections, "
+          f"{chaos['untyped_failures']} untyped  "
+          f"lost {chaos['lost_devices']}  retries {chaos['retries']}  "
+          f"migrations {chaos['migrations']}")
+    print(f"[bench]   p99 {chaos['latency_p99_s'] * 1e3:.3f}ms "
+          f"({inflation:.2f}x fault-free)  wall {chaos['wall_s']}s")
+
+    entry = {"fault_spec": FAULT_SPEC, "deadline_s": DEADLINE_S,
+             "p99_inflation": round(inflation, 4),
+             "baseline": base, "chaos": chaos}
+    out_path = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_resilience.json")
+    out_path.write_text(json.dumps(entry, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+    if args.update_budget:
+        budget = {"p99_inflation_max": round(max(inflation, 1.0) * 1.5, 2),
+                  "source": f"{args.sessions} sessions x "
+                            f"{args.devices} devices, {FAULT_SPEC}"}
+        _budget_path().write_text(json.dumps(budget, indent=2) + "\n")
+        print(f"[bench] wrote {_budget_path()}")
+
+    budget = {}
+    if _budget_path().exists():
+        budget = json.loads(_budget_path().read_text())
+    failures = check_failures(entry, budget) if args.check else []
+    for msg in failures:
+        print(f"[bench] FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

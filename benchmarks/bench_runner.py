@@ -34,6 +34,11 @@ shared speedup floor of 3x.
 session x 4 device load test against the persistent offload server,
 failing on p99 latency above the checked-in budget, output divergence
 from standalone runs, or missing batching/eviction/warm-TTFL wins.
+``--resilience-check`` delegates to ``bench_resilience.py --check``: the
+same load shape fault-free vs under ``devlost:p=0.02``, failing on
+output divergence, requests that neither complete nor carry a typed
+rejection, missing failover, or chaos p99 inflation over the checked-in
+budget.
 """
 
 from __future__ import annotations
@@ -313,6 +318,10 @@ def main(argv=None) -> int:
                     help="serving load-test smoke: 64 sessions x 4 devices "
                          "on the offload server; fail on p99 budget "
                          "regression or divergence from standalone runs")
+    ap.add_argument("--resilience-check", action="store_true",
+                    help="chaos serving smoke: the 64x4 load test fault-free "
+                         "vs devlost:p=0.02; fail on divergence, untyped "
+                         "failures, or p99 inflation over budget")
     ap.add_argument("--host-fastpath", action="store_true",
                     help="time the host-heavy gemm/mvt/atax variants under "
                          "host_fastpath off vs on and write "
@@ -326,6 +335,14 @@ def main(argv=None) -> int:
     if args.host_fastpath or args.host_fastpath_check:
         return host_fastpath_run(check=args.host_fastpath_check,
                                  output=args.output)
+
+    if args.resilience_check:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_resilience
+        res_args = ["--check"]
+        if args.output:
+            res_args += ["--output", args.output]
+        return bench_resilience.main(res_args)
 
     if args.serving_check:
         sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Serving-tier resilience: surviving a device loss without lying.
+
+A 2-device :class:`~repro.serving.OffloadServer` serves two sessions
+while device 0 carries a fault plan that kills it on its first kernel
+launch (a mid-run sticky ``devlost``).  The resilience layer reacts
+instead of silently host-degrading:
+
+* the circuit breaker for device 0 trips permanently open,
+* the in-flight request retries with backoff on the healthy device 1
+  and completes bit-identically,
+* the affected session live-migrates (warm buffers included,
+  digest-verified) and later submissions route around the dead device,
+* every request either completes or is rejected with a typed error —
+  here a 1 ns deadline demonstrates the :class:`DeadlineExceeded` path.
+
+Run:  python3 examples/serving_resilience.py [trace.json]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.serving import DeadlineExceeded, OffloadServer
+
+N = 256
+
+VADD = f"""
+float a[{N}], b[{N}], c[{N}];
+int main() {{
+    for (int i = 0; i < {N}; i++) {{ a[i] = i; b[i] = 2 * i; c[i] = 0; }}
+    #pragma omp target teams distribute parallel for \\
+            map(to: a, b) map(from: c)
+    for (int i = 0; i < {N}; i++)
+        c[i] = a[i] + b[i];
+    return 0;
+}}
+"""
+
+
+def main() -> None:
+    trace_path = sys.argv[1] if len(sys.argv) > 1 else "resilience_trace.json"
+    server = OffloadServer(
+        num_devices=2,
+        profile=trace_path,
+        # device 0 dies on its first kernel launch; device 1 is healthy
+        faults={0: "device_unavailable@cuLaunchKernel:count=1,sticky=1"},
+    )
+    with server:
+        victim = server.open_session(tenant="alice", device=0)
+        healthy = server.open_session(tenant="bob", device=1)
+        r0 = server.submit(victim, VADD, name="vadd", outputs=("c",))
+        r1 = server.submit(healthy, VADD, name="vadd", outputs=("c",))
+        server.drain()
+
+        expect = np.arange(N, dtype=np.float32) * 3.0
+        for req in (r0, r1):
+            assert req.status == "done", req.error
+            assert np.array_equal(np.asarray(req.result["c"]), expect)
+        print(f"device 0 lost mid-launch: request {r0.seq} failed over to "
+              f"device {r0.device} after {r0.retries} retry, "
+              f"result verified bit-identical")
+        print(f"session {victim.sid} migrated to device {victim.device} "
+              f"({victim.migrations} migration)")
+
+        # later work routes around the open breaker without faulting
+        r2 = server.submit(victim, VADD, name="vadd", outputs=("c",))
+        server.drain()
+        assert r2.status == "done" and r2.device == 1
+        summary = server.summary()
+        print(f"breakers: {summary['breakers']['states']}  "
+              f"health: {summary['device_health']}  "
+              f"recovery: {summary['fault_recovery']}")
+
+        # deadlines reject instead of serving late: a 1 ns budget cannot
+        # cover any modelled offload
+        try:
+            server.submit(victim, VADD, name="vadd", outputs=("c",),
+                          arrival=server.clock.now(),
+                          deadline=server.clock.now())
+        except DeadlineExceeded as exc:
+            print(f"unmeetable deadline rejected at admission: {exc}")
+
+        for s in (victim, healthy):
+            server.close_session(s)
+    print(f"chrome trace written to {trace_path} "
+          f"(resilience track: pid 5, open chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

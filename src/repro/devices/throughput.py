@@ -92,6 +92,7 @@ class ThroughputTracker:
         self.hint = float(hint)
         self.alpha = float(alpha)
         self.observed: Optional[float] = None
+        self.peak: Optional[float] = None
         self.samples = 0
 
     def note(self, blocks: int, seconds: float) -> None:
@@ -103,6 +104,8 @@ class ThroughputTracker:
             self.observed = rate
         else:
             self.observed += self.alpha * (rate - self.observed)
+        if self.peak is None or self.observed > self.peak:
+            self.peak = self.observed
         self.samples += 1
 
     @property
@@ -111,6 +114,18 @@ class ThroughputTracker:
         if self.observed is not None:
             return self.observed
         return self.hint if self.hint > 0.0 else 1.0
+
+    def relative_performance(self) -> float:
+        """Current throughput relative to this device's own peak EWMA,
+        in ``(0, 1]``.  Scale-free: comparing observed to *peak observed*
+        (not to the calibrated hint, which lives on a different unit
+        scale) means a slow device at its usual speed scores 1.0, while
+        any device running below its own best — hot, contended,
+        retry-delayed — scores below 1.0.  ``1.0`` with no observations
+        yet (nothing to compare)."""
+        if self.observed is None or not self.peak:
+            return 1.0
+        return min(1.0, self.observed / self.peak)
 
 
 def registry_weights(trackers: Sequence[ThroughputTracker]) -> list[float]:

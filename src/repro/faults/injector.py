@@ -44,13 +44,24 @@ POISON_EXEMPT = ("cuDevicePrimaryCtxReset", "cuDeviceGet", "cuDeviceGet*",
 class FaultLog:
     """Counters + event list for injected faults and recovery actions."""
 
-    def __init__(self, clock=None, recorder=None, path: Optional[str] = None):
+    #: default size cap for the jsonl sink (one rotated generation is
+    #: kept, so peak disk use is ~2x this)
+    MAX_LOG_BYTES = 4 * 1024 * 1024
+
+    def __init__(self, clock=None, recorder=None, path: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
         self.clock = clock
         self.recorder = recorder
         self.path = path if path is not None else os.environ.get(
             "REPRO_FAULTS_LOG") or None
+        if max_bytes is None:
+            max_bytes = int(os.environ.get("REPRO_FAULTS_LOG_MAX_BYTES")
+                            or self.MAX_LOG_BYTES)
+        self.max_bytes = max_bytes
         self.counters: dict[str, int] = {}
         self.events: list[dict] = []
+        self.dropped_lines = 0
+        self._log_size: Optional[int] = None
 
     def note(self, op: str, api: str = "", fault: str = "", attempt: int = 0,
              nbytes: int = 0, detail: str = "") -> None:
@@ -75,10 +86,33 @@ class FaultLog:
             ))
         if self.path:
             try:
-                with open(self.path, "a") as fh:
-                    fh.write(json.dumps(event) + "\n")
+                self._append_line(json.dumps(event) + "\n")
             except OSError:  # pragma: no cover - log file is best-effort
                 pass
+
+    def _append_line(self, line: str) -> None:
+        """Size-capped append: like the in-memory activity ring, the
+        jsonl sink is bounded.  When the cap would be exceeded the
+        current file rotates to ``<path>.1`` (dropping the previous
+        generation, whose lines are counted in :attr:`dropped_lines`) so
+        a long chaos serving run keeps only the most recent events."""
+        if self._log_size is None:
+            try:
+                self._log_size = os.path.getsize(self.path)
+            except OSError:
+                self._log_size = 0
+        if self.max_bytes and self._log_size + len(line) > self.max_bytes:
+            old = self.path + ".1"
+            try:
+                with open(old) as fh:
+                    self.dropped_lines += sum(1 for _ in fh)
+            except OSError:
+                pass
+            os.replace(self.path, old)
+            self._log_size = 0
+        with open(self.path, "a") as fh:
+            fh.write(line)
+        self._log_size += len(line)
 
     def count(self, *ops: str) -> int:
         return sum(self.counters.get(op, 0) for op in ops)

@@ -182,7 +182,19 @@ def _preset_transient(opts: dict) -> FaultPlan:
 
 def _preset_devlost(opts: dict) -> FaultPlan:
     """The device never comes up: ``cuInit`` fails permanently, so every
-    ``target`` region must complete on the host-fallback path."""
+    ``target`` region must complete on the host-fallback path.
+
+    With ``p=`` (e.g. ``devlost:p=0.02,seed=42``) the loss is *mid-run*
+    instead: each kernel launch rolls the dice, and the first hit is a
+    sticky ``CUDA_ERROR_DEVICE_UNAVAILABLE`` — the context is poisoned
+    and the device is gone from that point on (the chaos-serving
+    scenario: a device that was healthy at admission dies under load)."""
+    p = opts.get("p", opts.get("probability"))
+    if p is not None:
+        return FaultPlan([
+            FaultRule("device_unavailable", "cuLaunchKernel",
+                      probability=float(p), sticky=True, times=1),
+        ], seed=int(opts.get("seed", 0)))
     return FaultPlan([
         FaultRule("device_unavailable", "cuInit", probability=1.0),
     ], seed=int(opts.get("seed", 0)))

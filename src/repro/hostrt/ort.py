@@ -95,8 +95,14 @@ class Ort:
         ompt: Optional[OmptRegistry] = None,
         default_device: int = 0,
         backends=None,
+        healthy_fn=None,
     ):
         self.machine = machine
+        #: optional predicate ``(ordinal) -> bool`` consulted when picking
+        #: shard participants — the serving runtime wires its per-device
+        #: circuit breakers here so an open (but not yet lost) device is
+        #: not handed a shard of new work
+        self.healthy_fn = healthy_fn
         if devices is not None:
             # -- leased registry (serving runtime) -----------------------
             # The caller owns the device modules, virtual clock, activity
@@ -157,7 +163,9 @@ class Ort:
                     launch_mode=launch_mode, fastpath=fastpath,
                     profile=(DeviceRecorder(self.prof, k)
                              if self.prof is not None else False),
-                    faults=faults, recovery=recovery, ordinal=k,
+                    faults=(faults.get(k) if isinstance(faults, dict)
+                            else faults),
+                    recovery=recovery, ordinal=k,
                     ompt=self.ompt,
                     gmem_base=DEVICE_MEM_BASE + k * DEVICE_MEM_STRIDE,
                     intrinsics=intrinsics,
@@ -655,7 +663,13 @@ class Ort:
                 "shard cannot appear inside a deferred target task", loc)
         n = int(args[0])
         healthy = [k for k, m in enumerate(self.devices)
-                   if not getattr(m, "lost", False)]
+                   if not getattr(m, "lost", False)
+                   and (self.healthy_fn is None or self.healthy_fn(k))]
+        if not healthy and self.healthy_fn is not None:
+            # every device is breaker-barred but not lost: better to run
+            # the region on barred devices than to host-degrade it
+            healthy = [k for k, m in enumerate(self.devices)
+                       if not getattr(m, "lost", False)]
         if n > 0:
             healthy = healthy[:n]
         devs: list[int] = []

@@ -119,6 +119,7 @@ def _print_cache_stats(cache: CompileCache) -> None:
               f"hits={s['disk_hits']} misses={s['disk_misses']} "
               f"stores={d['stores']} evictions={d['evictions']} "
               f"corrupt_dropped={d['corrupt_dropped']} "
+              f"lock_degraded={d['lock_degraded']} "
               f"entries={d['entries']} bytes={d['size_bytes']} "
               f"[{d['root']}]", file=sys.stderr)
 

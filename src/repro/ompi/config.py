@@ -64,6 +64,17 @@ class OmpiConfig:
     #: code, so it stays out of the compile-cache fingerprint (the
     #: per-device *arch* enters via image retargeting at bind time).
     devices: object = None
+    #: serving: default per-request deadline budget in modelled seconds
+    #: (None defers to REPRO_SERVE_DEADLINE; ''/'off'/0 disables).  The
+    #: offload server applies it as arrival + budget; requests past the
+    #: bound are rejected with a typed DeadlineExceeded.  Runtime-only —
+    #: stays out of the compile-cache fingerprint.
+    serve_deadline: object = None
+    #: serving: per-device circuit-breaker policy — None defers to
+    #: REPRO_BREAKER (else defaults), a BreakerPolicy passes through,
+    #: 'off' disables, or 'threshold=2,cooldown=1e-3' overrides knobs.
+    #: Runtime-only — stays out of the compile-cache fingerprint.
+    breaker: object = None
 
     def block_dims(self, num_threads: int) -> tuple[int, int, int]:
         if self.block_shape is not None:

@@ -76,6 +76,7 @@ class DiskCompileCache:
         self.stores = 0
         self.evictions = 0
         self.corrupt_dropped = 0
+        self.lock_degraded = 0
 
     @classmethod
     def from_env(cls) -> Optional["DiskCompileCache"]:
@@ -88,7 +89,10 @@ class DiskCompileCache:
 
     # -- locking --------------------------------------------------------------
     def _locked(self):
-        return _FileLock(self.root / ".lock")
+        return _FileLock(self.root / ".lock", on_degraded=self._note_degraded)
+
+    def _note_degraded(self) -> None:
+        self.lock_degraded += 1
 
     # -- paths ----------------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -191,6 +195,7 @@ class DiskCompileCache:
             "stores": self.stores,
             "evictions": self.evictions,
             "corrupt_dropped": self.corrupt_dropped,
+            "lock_degraded": self.lock_degraded,
         }
 
     def clear(self) -> None:
@@ -209,8 +214,9 @@ class _FileLock:
     """Exclusive advisory lock on a sentinel file (flock; no-op without
     fcntl).  Reentrant use is not needed — the cache never nests locks."""
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path, on_degraded=None):
         self.path = path
+        self.on_degraded = on_degraded
         self._fh = None
 
     def __enter__(self):
@@ -221,7 +227,17 @@ class _FileLock:
             self._fh = open(self.path, "a+")
             fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
         except OSError:
-            self._fh = None  # degraded: proceed unlocked
+            # degraded: proceed unlocked — but never silently; the store
+            # counts these so `ompicc --cache-stats` surfaces a cache
+            # running without cross-process exclusion
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+            self._fh = None
+            if self.on_degraded is not None:
+                self.on_degraded()
         return self
 
     def __exit__(self, *exc) -> None:

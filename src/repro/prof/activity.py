@@ -260,6 +260,28 @@ class ServingActivity(ActivityRecord):
     detail: str = ""
 
 
+@dataclass
+class ResilienceActivity(ActivityRecord):
+    """One serving-resilience happening: circuit-breaker transitions,
+    session migrations, deadline rejections, retries, planned drains and
+    periodic device-health scores.  Everything is stamped on the virtual
+    clock, so two chaos runs with the same seed produce identical
+    resilience tracks."""
+
+    kind: ClassVar[str] = "resilience"
+
+    #: 'breaker_open' | 'breaker_half_open' | 'breaker_closed' | 'migrate'
+    #: | 'deadline' | 'retry' | 'drain' | 'resume' | 'health'
+    op: str = ""
+    session: int = -1
+    request: int = -1
+    state: str = ""                  # breaker state after a transition
+    target: int = -1                 # migration target device
+    score: float = -1.0              # health score (op == 'health')
+    nbytes: int = 0                  # bytes migrated, if relevant
+    detail: str = ""
+
+
 class ActivityRecorder:
     """Bounded ring buffer of :class:`ActivityRecord` instances."""
 

@@ -23,6 +23,10 @@ Emits the Trace Event Format's JSON object form: ``{"traceEvents": [...],
   (session open/close, enqueue, batch, evict, reject) and an
   ``admission queue`` counter series, above the device tracks that
   executed the work.
+* **pid 5 "resilience"** — per-device degradation/health: circuit-breaker
+  transitions, session migrations, deadline rejections, retries, planned
+  drains (instants) and a ``health dev<k>`` counter series fed by the
+  periodic device-health scores.
 
 All timestamps are the simulated clock in microseconds, so the exported
 trace is deterministic for a given program.
@@ -40,6 +44,7 @@ PID_STREAMS = 1
 PID_ENGINES = 2
 PID_HOST = 3
 PID_SERVING = 4
+PID_RESILIENCE = 5
 
 TID_ENGINE_COMPUTE = 0
 TID_ENGINE_COPY = 1
@@ -85,6 +90,18 @@ def trace_events(recorder: ActivityRecorder,
     named_streams: set[int] = set()
     named_engines: set[int] = set()
     named_serving: set[int] = set()
+    named_resilience: set[int] = set()
+
+    def resilience_tid(device) -> int:
+        tid = int(device if device is not None else 0)
+        if tid not in named_resilience:
+            if not named_resilience:
+                events.extend(_meta(PID_RESILIENCE, "resilience"))
+            named_resilience.add(tid)
+            events.append({"ph": "M", "pid": PID_RESILIENCE, "tid": tid,
+                           "name": "thread_name",
+                           "args": {"name": f"{dev_label(tid)} health"}})
+        return tid
 
     def serving_tid(device) -> int:
         tid = int(device if device is not None else 0)
@@ -219,6 +236,20 @@ def trace_events(recorder: ActivityRecorder,
                     "ts": _us(r.t_start),
                     "args": {"depth": r.queue_depth},
                 })
+        elif r.kind == "resilience":
+            tid = resilience_tid(r.device)
+            if r.op == "health":
+                events.append({
+                    "ph": "C", "pid": PID_RESILIENCE, "tid": tid,
+                    "name": f"health dev{tid}", "ts": _us(r.t_start),
+                    "args": {"score": r.score},
+                })
+            else:
+                events.append(instant(
+                    PID_RESILIENCE, tid, f"resilience:{r.op}", r.t_start,
+                    {"session": r.session, "request": r.request,
+                     "state": r.state, "target": r.target,
+                     "bytes": r.nbytes, "detail": r.detail}))
         # kernel_exec records carry no timeline (pure engine counters);
         # they feed the metrics table, not the trace
     return events

@@ -3,11 +3,17 @@
 A long-lived :class:`OffloadServer` owns one compile cache and one
 N-device registry and multiplexes many client sessions over them, with
 deterministic request admission, compatible-request batching, per-tenant
-quotas and quota/pressure-driven eviction of idle warm state.  See
-DESIGN.md §11 for the architecture.
+quotas and quota/pressure-driven eviction of idle warm state.  The
+resilience layer (:mod:`repro.serving.resilience`) adds per-device
+health scores, circuit breakers, request deadlines and live session
+migration on top.  See DESIGN.md §11 and §15 for the architecture.
 """
 
 from repro.serving.quota import QuotaError, QuotaManager, TenantQuota
+from repro.serving.resilience import (
+    BreakerPolicy, CircuitBreaker, DeadlineExceeded, DeviceHealthMonitor,
+    resolve_breaker, resolve_deadline,
+)
 from repro.serving.scheduler import AdmissionQueue
 from repro.serving.server import (
     OffloadServer, Request, ServingStats, percentile,
@@ -17,7 +23,9 @@ from repro.serving.session import (
 )
 
 __all__ = [
-    "AdmissionQueue", "OffloadServer", "QuotaError", "QuotaManager",
+    "AdmissionQueue", "BreakerPolicy", "CircuitBreaker", "DeadlineExceeded",
+    "DeviceHealthMonitor", "OffloadServer", "QuotaError", "QuotaManager",
     "Request", "ResidentBuffer", "ServingStats", "Session",
     "SessionDataEnv", "TenantQuota", "content_digest", "percentile",
+    "resolve_breaker", "resolve_deadline",
 ]

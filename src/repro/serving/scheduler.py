@@ -54,6 +54,39 @@ class AdmissionQueue:
     def head_arrival(self, device: int) -> float:
         return self._q[device][0].arrival
 
+    def queued_sessions(self, device: int) -> list:
+        """Distinct sessions with queued requests on ``device``, in key
+        order (the route-around migration set)."""
+        seen: list = []
+        for r in self._q[device]:
+            if r.session not in seen:
+                seen.append(r.session)
+        return seen
+
+    def retarget(self, sid: int, device: int,
+                 min_arrival: Optional[float] = None) -> int:
+        """Move a session's queued requests onto ``device``'s queue (the
+        session re-pinned there: migration, retry failover, a planned
+        drain).  ``min_arrival`` floors the moved requests' arrival times
+        — a retried request re-enqueued with a backoff arrival must still
+        dispatch before the session's later queued requests, and the key
+        order ``(arrival, sid, seq)`` only guarantees that when no later
+        request keeps an earlier arrival.  Returns the requests moved."""
+        moved = []
+        for dev, q in self._q.items():
+            keep = []
+            for r in q:
+                (moved if r.session.sid == sid else keep).append(r)
+            self._q[dev] = keep
+        for r in moved:
+            if min_arrival is not None and r.arrival < min_arrival:
+                r.arrival = min_arrival
+        if moved:
+            q = self._q[device]
+            q.extend(moved)
+            q.sort(key=lambda r: r.key)
+        return len(moved)
+
     def pop_batch(self, device: int, now: float, max_batch: int) -> list:
         """Remove and return the head request plus every compatible
         follower: same program key, arrived by ``now``, same-session FIFO

@@ -38,6 +38,7 @@ from repro.cfront.interp import Machine
 from repro.cuda.device import DeviceProperties, JETSON_NANO_GPU
 from repro.cuda.driver import DEVICE_MEM_BASE
 from repro.cuda.errors import CudaError
+from repro.faults.injector import FaultInjector, resolve_faults
 from repro.faults.recovery import DeviceLost, OffloadFailure
 from repro.hostrt.cudadev_host import CudadevModule
 from repro.hostrt.mapping import MappingError
@@ -47,13 +48,17 @@ from repro.ompi.cache import GLOBAL_COMPILE_CACHE, CompileCache, source_key
 from repro.ompi.config import OmpiConfig
 from repro.ompi.diskcache import DiskCompileCache
 from repro.prof.activity import (
-    DeviceRecorder, ServingActivity, resolve_profile,
+    DeviceRecorder, ResilienceActivity, ServingActivity, resolve_profile,
 )
 from repro.prof.ompt import OmptRegistry
 from repro.rt_async.taskgraph import (
     DEP_INOUT, OffloadTaskError, StreamPoolScheduler,
 )
 from repro.serving.quota import QuotaError, QuotaManager, TenantQuota
+from repro.serving.resilience import (
+    CircuitBreaker, DeadlineExceeded, DeviceHealthMonitor, resolve_breaker,
+    resolve_deadline,
+)
 from repro.serving.scheduler import AdmissionQueue
 from repro.serving.session import (
     ResidentBuffer, Session, SessionDataEnv, content_digest,
@@ -89,7 +94,11 @@ class Request:
     seed_arrays: Optional[dict] = None
     outputs: tuple = ()
     heap_capacity: int = DEFAULT_HEAP
-    status: str = "queued"         # 'queued' | 'done' | 'failed'
+    #: absolute simulated-time bound: past it the request is rejected
+    #: with a typed DeadlineExceeded instead of served late (None: no
+    #: deadline; the server default comes from REPRO_SERVE_DEADLINE)
+    deadline: Optional[float] = None
+    status: str = "queued"         # 'queued' | 'done' | 'failed' | 'rejected'
     result: dict = field(default_factory=dict)
     stdout: str = ""
     exit_code: int = 0
@@ -97,6 +106,15 @@ class Request:
     latency: float = 0.0           # arrival -> completion, simulated
     done_time: float = 0.0
     batch_size: int = 0
+    #: device the request actually executed on (completion events are
+    #: synchronised against it even if the session migrated afterwards)
+    device: Optional[int] = None
+    #: failover re-executions consumed (bounded by the server's
+    #: ``max_retries``)
+    retries: int = 0
+    #: the last execution observed a device-originated fault (loss,
+    #: poisoning, host fallback) — set by outcome classification
+    device_fault: bool = False
     task: object = None
     #: host wall-clock bracketing time-to-first-launch: dispatch start
     #: and the first OMPT ``submit`` of this request (None: no launch)
@@ -128,6 +146,10 @@ class ServingStats:
     evicted_bytes: int = 0
     reuse_hits: int = 0            # HtoD transfers elided by digest match
     reuse_bytes: int = 0
+    deadline_rejections: int = 0   # typed DeadlineExceeded outcomes
+    retries: int = 0               # failover re-executions dispatched
+    migrations: int = 0            # sessions re-pinned to another device
+    migrated_bytes: int = 0        # warm bytes moved via cuMemcpyPeer
     latencies: list = field(default_factory=list)
     #: batch size -> how many batches dispatched at that size
     batches: dict = field(default_factory=dict)
@@ -142,6 +164,10 @@ class ServingStats:
             "evicted_bytes": self.evicted_bytes,
             "reuse_hits": self.reuse_hits,
             "reuse_bytes": self.reuse_bytes,
+            "deadline_rejections": self.deadline_rejections,
+            "retries": self.retries,
+            "migrations": self.migrations,
+            "migrated_bytes": self.migrated_bytes,
             "latency_p50_s": percentile(self.latencies, 50),
             "latency_p95_s": percentile(self.latencies, 95),
             "latency_p99_s": percentile(self.latencies, 99),
@@ -170,6 +196,9 @@ class OffloadServer:
         default_quota: Optional[TenantQuota] = None,
         compact_logs: bool = True,
         devices=None,
+        deadline=None,
+        breaker=None,
+        max_retries: int = 2,
     ):
         # heterogeneous registry: an explicit spec ("nano,v100", a list of
         # names/backends) wins; the REPRO_DEVICES environment variable
@@ -218,7 +247,8 @@ class OffloadServer:
         # faults: one spec for every device, or {ordinal: spec} so tests
         # can fault one tenant's device while its neighbours stay healthy
         fault_map = (faults if isinstance(faults, dict)
-                     else {k: faults for k in range(num_devices)})
+                     else {k: self._decorrelate(faults, k)
+                           for k in range(num_devices)})
         self.devices = [
             CudadevModule(
                 None, backs[k].props if backs is not None else device,
@@ -250,8 +280,42 @@ class OffloadServer:
         self._next_req = 0
         self._current_request: Optional[Request] = None
         self.closed = False
+        # -- resilience (repro.serving.resilience) -----------------------
+        #: default relative deadline budget (seconds of modelled time),
+        #: applied as arrival + budget at submit; explicit Request
+        #: deadlines are absolute and win
+        self.deadline_budget = resolve_deadline(
+            deadline if deadline is not None else self.config.serve_deadline)
+        policy = resolve_breaker(
+            breaker if breaker is not None else self.config.breaker)
+        #: per-device circuit breakers (None: breaker disabled via 'off')
+        self.breakers = ([CircuitBreaker(k, policy, note=self._rnote)
+                          for k in range(num_devices)]
+                         if policy is not None else None)
+        self.health = DeviceHealthMonitor(self.devices, self.clock)
+        self.max_retries = int(max_retries)
+        #: devices under a planned drain (excluded from placement/routing)
+        self._draining: set[int] = set()
+        #: sessions whose task chain was poisoned by a *device* fault —
+        #: their cancelled successors are failover-retried; program-error
+        #: poisonings (compile errors etc.) are not
+        self._session_fault: set[int] = set()
         # TTFL probe: the first kernel submission of the executing request
         self.ompt.set_callback("submit", self._on_submit)
+
+    @staticmethod
+    def _decorrelate(faults, k: int):
+        """One shared fault spec must not fire identically on every
+        device: device ``k`` re-seeds the resolved plan with ``seed + k``
+        (device 0 keeps the spec's own seed).  Explicitly-passed
+        FaultInjector objects are the caller's to seed and pass through
+        untouched, as do per-device ``{ordinal: spec}`` maps."""
+        if k == 0:
+            return faults
+        inj = resolve_faults(faults)   # None consults REPRO_FAULTS
+        if inj is None or inj is faults:
+            return faults
+        return FaultInjector(inj.plan, seed=inj.seed + k)
 
     # -- lifecycle ------------------------------------------------------------
     def __enter__(self) -> "OffloadServer":
@@ -291,6 +355,26 @@ class OffloadServer:
                    self.compile_cache, "disk_hits", 0),
                "compile_cache_disk_misses": getattr(
                    self.compile_cache, "disk_misses", 0)}
+        # PR 4's per-device recovery machinery, aggregated: injections,
+        # retries, evictions, host fallbacks, resync skips, device losses
+        recovery: dict[str, int] = {}
+        for mod in self.devices:
+            for op, count in mod.fault_stats.items():
+                recovery[op] = recovery.get(op, 0) + count
+        out["fault_recovery"] = dict(sorted(recovery.items()))
+        out["faults_log_dropped"] = sum(
+            mod.faultlog.dropped_lines for mod in self.devices)
+        out["device_health"] = [round(self.health.score(k), 4)
+                                for k in range(self.num_devices)]
+        if self.breakers is not None:
+            out["breakers"] = {
+                "states": [b.state for b in self.breakers],
+                "opens": sum(b.opens for b in self.breakers),
+                "closes": sum(b.closes for b in self.breakers),
+                "probes": sum(b.probes for b in self.breakers),
+            }
+        if self._draining:
+            out["draining"] = sorted(self._draining)
         if self.backends is not None:
             out["devices"] = [b.name for b in self.backends]
         return out
@@ -311,10 +395,17 @@ class OffloadServer:
             self._note("reject", tenant=tenant, detail=str(exc))
             raise
         if device is None:
-            # least-loaded placement, lowest ordinal on ties
-            counts = {k: 0 for k in range(self.num_devices)}
+            # least-loaded placement over routable (healthy, not
+            # breaker-open, not draining) devices, lowest ordinal on
+            # ties; with nothing routable, fall back to the full registry
+            candidates = [k for k in range(self.num_devices)
+                          if self._routable(k)]
+            if not candidates:
+                candidates = list(range(self.num_devices))
+            counts = {k: 0 for k in candidates}
             for s in self.sessions.values():
-                counts[s.device] += 1
+                if s.device in counts:
+                    counts[s.device] += 1
             device = min(counts, key=lambda k: (counts[k], k))
         if not 0 <= int(device) < self.num_devices:
             self.quotas.release_session(tenant)
@@ -348,15 +439,42 @@ class OffloadServer:
     def submit(self, session: Session, source: str, name: str = "prog",
                seed_arrays: Optional[dict] = None, outputs: tuple = (),
                heap_capacity: int = DEFAULT_HEAP,
-               arrival: Optional[float] = None) -> Request:
+               arrival: Optional[float] = None,
+               deadline: Optional[float] = None) -> Request:
         """Admit one offload job for the session; execution happens at
         the next :meth:`drain`.  ``arrival`` is the simulated admission
         time (default: now) — the load benches use it to model open-loop
-        arrival processes on the virtual clock."""
+        arrival processes on the virtual clock.  ``deadline`` is an
+        absolute simulated-time bound (default: arrival plus the server's
+        deadline budget, if one is configured); a request past it is
+        rejected with a typed :class:`DeadlineExceeded` instead of
+        silently served late."""
         if self.closed:
             raise RuntimeError("server is closed")
         if session.closed:
             raise RuntimeError(f"session {session.sid} is closed")
+        when = self.clock.now() if arrival is None else float(arrival)
+        if deadline is not None:
+            deadline = float(deadline)
+        elif self.deadline_budget is not None:
+            deadline = when + self.deadline_budget
+        if deadline is not None and deadline <= when:
+            # admission-time enforcement: the bound is already unmeetable
+            self.stats.deadline_rejections += 1
+            self._rnote("deadline", device=session.device,
+                        session=session.sid,
+                        detail=f"rejected at admission: deadline "
+                               f"{deadline:.6f} <= arrival {when:.6f}")
+            raise DeadlineExceeded(
+                f"deadline {deadline:.6f} is not after arrival {when:.6f}")
+        # a session pinned to an unroutable device (lost, breaker-open,
+        # draining) re-pins before the request enqueues, as long as
+        # somewhere routable exists; an elapsed cooldown keeps the pin —
+        # the request becomes the half-open canary
+        if not self._routable(session.device):
+            target = self._pick_target(exclude=session.device)
+            if target is not None:
+                self.migrate_session(session, target, reason="reroute")
         try:
             self.quotas.admit_pending(session.tenant)
         except QuotaError as exc:
@@ -367,11 +485,10 @@ class OffloadServer:
         req = Request(
             seq=self._next_req, session=session, source=source, name=name,
             program_key=source_key(source, name, self.config),
-            arrival=(self.clock.now() if arrival is None
-                     else float(arrival)),
+            arrival=when,
             session_seq=session.submitted,
             seed_arrays=seed_arrays, outputs=tuple(outputs),
-            heap_capacity=heap_capacity,
+            heap_capacity=heap_capacity, deadline=deadline,
         )
         self._next_req += 1
         session.submitted += 1
@@ -383,16 +500,24 @@ class OffloadServer:
         return req
 
     # -- execution ------------------------------------------------------------
-    def drain(self) -> list[Request]:
+    def drain(self, device: Optional[int] = None) -> list[Request]:
         """Run every admitted request to completion; returns them in
         dispatch order.  Dispatch picks the globally smallest admission
         key, batches compatible requests, and defers every completion
         sync until all queues are empty — so requests on different
         devices (and different sessions' requests on one device's pool
-        streams) overlap on the modelled timeline."""
+        streams) overlap on the modelled timeline.
+
+        ``device=k`` makes this a *planned* drain of device ``k``
+        (:meth:`start_drain`): its sessions migrate off first, and ``k``
+        stays out of placement and routing until :meth:`resume`."""
+        if device is not None:
+            self.start_drain(int(device))
         inflight: list[Request] = []
         while len(self.queue):
             k = self.queue.head_device()
+            if self._route_around(k):
+                continue
             arrival = self.queue.head_arrival(k)
             if arrival > self.clock.now():
                 self.clock.advance_to(arrival)
@@ -402,35 +527,66 @@ class OffloadServer:
             self._note("batch", device=k, batch=len(batch),
                        program=batch[0].name,
                        queue_depth=self.queue.depth(k))
+            #: session -> backoff arrival of a member that just failed
+            #: over; its later members in this batch requeue behind it
+            requeued: dict[int, float] = {}
             for req in batch:
                 self.quotas.release_pending(req.session.tenant)
                 req.session.pending -= 1
+                if req.session.sid in requeued:
+                    if not self._requeue(req, requeued[req.session.sid]):
+                        inflight.append(req)
+                    continue
+                if (req.deadline is not None
+                        and self.clock.now() > req.deadline):
+                    self._reject_deadline(req, "expired before dispatch")
+                    inflight.append(req)
+                    continue
                 self._note("admit", device=k, session=req.session.sid,
                            tenant=req.session.tenant, request=req.seq,
                            program=req.name, batch=len(batch),
                            queue_depth=self.queue.depth(k))
                 self._execute(req, len(batch))
-                inflight.append(req)
+                retry_at = self._maybe_retry(req)
+                if retry_at is not None:
+                    requeued[req.session.sid] = retry_at
+                else:
+                    inflight.append(req)
         for req in inflight:
-            mod = self.devices[req.session.device]
+            sess = req.session
+            dev = req.device if req.device is not None else sess.device
+            mod = self.devices[dev]
             task = req.task
             if (req.status == "done" and task is not None
                     and getattr(task, "done_event", None) is not None):
-                done = mod.driver.cuEventSynchronize(task.done_event)
+                try:
+                    done = mod.driver.cuEventSynchronize(task.done_event)
+                except (CudaError, DeviceLost):
+                    # a *later* request's launch poisoned this context;
+                    # this request's results were already captured —
+                    # only the modelled event time is unreadable
+                    done = self.clock.now()
             else:
                 done = self.clock.now()
             req.done_time = done
             req.latency = done - req.arrival
-            sess = req.session
             sess.busy = False
             sess.last_active = max(sess.last_active, done)
+            if (req.status == "done" and req.deadline is not None
+                    and done > req.deadline):
+                # completion-sync enforcement: the work finished, but
+                # past the bound — the client gets a typed rejection,
+                # never a silently-late result
+                self.stats.completed -= 1
+                self._reject_deadline(req, "completed past deadline",
+                                      t=done)
             if req.status == "done":
                 self.stats.latencies.append(req.latency)
             if self.prof is not None:
                 self.prof.emit(ServingActivity(
                     op="request", session=sess.sid, tenant=sess.tenant,
                     request=req.seq, program=req.name,
-                    batch=req.batch_size, device=sess.device,
+                    batch=req.batch_size, device=dev,
                     t_start=req.arrival, t_end=done,
                     detail=req.status if req.status != "done"
                     else (req.error or ""),
@@ -440,10 +596,19 @@ class OffloadServer:
                 sched.taskwait()
             except OffloadTaskError:
                 pass  # failures already surfaced on their requests
-            sched.release_events()
+            except (CudaError, DeviceLost):
+                pass  # a poisoned/lost device cannot even sync; its
+                # requests already failed (and failed over elsewhere)
+            try:
+                sched.release_events()
+            except (CudaError, DeviceLost):
+                pass
         if self.compact_logs:
             for mod in self.devices:
                 mod.driver.log.compact()
+        if self.prof is not None and inflight:
+            for k in range(self.num_devices):
+                self._rnote("health", device=k, score=self.health.score(k))
         return inflight
 
     def _sched_for(self, k: int) -> Optional[StreamPoolScheduler]:
@@ -451,6 +616,12 @@ class OffloadServer:
         lost, in which case requests run task-less and recover through
         the module's host-fallback path."""
         sched = self._sched.get(k)
+        if sched is not None and self.devices[k].lost:
+            # the pool outlived its device: its streams/events live on a
+            # poisoned context, so stop routing tasks through it — the
+            # module's host-fallback path recovers each request instead
+            self._sched.pop(k)
+            return None
         if sched is None and not self.devices[k].lost:
             try:
                 self.devices[k].initialize()
@@ -471,8 +642,11 @@ class OffloadServer:
         req.batch_size = batch_size
         req.dispatch_wall = time.perf_counter()
         self._current_request = req
-        mod = self.devices[session.device]
-        sched = self._sched_for(session.device)
+        k = session.device
+        req.device = k
+        mod = self.devices[k]
+        fault_before = dict(mod.faultlog.counters)
+        sched = self._sched_for(k)
         ort = None
         task = None
         try:
@@ -505,7 +679,8 @@ class OffloadServer:
             ort = Ort(machine, clock=self.clock, devices=self.devices,
                       dataenvs=dataenvs, ompt=self.ompt,
                       profile=self.prof if self.prof is not None else False,
-                      default_device=session.device)
+                      default_device=session.device,
+                      healthy_fn=self._shard_ok)
             prog.bind(ort, seed_arrays=req.seed_arrays)
             req.exit_code = machine.run()
             # join request-internal nowait tasks and release their pool
@@ -537,11 +712,299 @@ class OffloadServer:
                 except (OffloadTaskError, CudaError, DeviceLost):
                     pass
             session.requests += 1
+            self._record_outcome(req, mod, fault_before)
+
+    #: FaultLog ops that mean the *device* (not the program) degraded
+    _FAULT_OPS = ("device_lost", "fallback", "poison")
+
+    def _record_outcome(self, req: Request, mod, before: dict) -> None:
+        """Classify the request's outcome for the resilience layer: a
+        device-originated degradation (loss, poisoning, host fallback —
+        read as deltas of the device's fault counters across the
+        execution) feeds the circuit breaker and marks the session's
+        task chain as fault-poisoned; a clean completion feeds back as
+        breaker success (closing a half-open probe)."""
+        counters = mod.faultlog.counters
+        delta = sum(counters.get(op, 0) - before.get(op, 0)
+                    for op in self._FAULT_OPS)
+        req.device_fault = delta > 0
+        if req.device_fault and req.status == "failed":
+            self._session_fault.add(req.session.sid)
+        if self.breakers is None:
+            return
+        breaker = self.breakers[req.device]
+        now = self.clock.now()
+        if mod.lost:
+            breaker.trip_lost(now)
+        elif delta > 0:
+            breaker.record_failure(now, detail=f"req{req.seq}")
+        elif req.status == "done":
+            breaker.record_success(now)
 
     def _on_submit(self, event=None, **kw) -> None:
         req = self._current_request
         if req is not None and req.first_launch_wall is None:
             req.first_launch_wall = time.perf_counter()
+
+    # -- resilience: routing, failover, migration, drains ---------------------
+    def _breaker_allows(self, k: int) -> bool:
+        """Passive breaker check — no state transition, so filters (shard
+        participant selection, placement) never consume the probe slot."""
+        return (self.breakers is None
+                or self.breakers[k].allows(self.clock.now()))
+
+    def _routable(self, k: int) -> bool:
+        """May new work land on device ``k``: not lost, not under a
+        planned drain, breaker not holding it open."""
+        return (not self.devices[k].lost and k not in self._draining
+                and self._breaker_allows(k))
+
+    def _shard_ok(self, k: int) -> bool:
+        # the per-request Ort's shard participant filter
+        return k not in self._draining and self._breaker_allows(k)
+
+    def _pick_target(self, exclude: Optional[int] = None) -> Optional[int]:
+        """The healthiest routable device (ties: lowest ordinal),
+        optionally excluding one; None when nowhere is routable."""
+        best = None
+        best_key = None
+        for k in range(self.num_devices):
+            if k == exclude or not self._routable(k):
+                continue
+            key = (-self.health.score(k), k)
+            if best_key is None or key < best_key:
+                best, best_key = k, key
+        return best
+
+    def _route_around(self, k: int) -> bool:
+        """The head-of-queue device is unroutable (lost, draining, or its
+        breaker holds open past the cooldown check): migrate its queued
+        sessions to routable devices.  False when ``k`` may dispatch — a
+        closed/half-open breaker, or nowhere else to go (single device /
+        whole registry down), in which case the legacy per-offload
+        recovery (retry, host fallback) still applies."""
+        t = max(self.clock.now(), self.queue.head_arrival(k))
+        unroutable = self.devices[k].lost or k in self._draining
+        if not unroutable and self.breakers is not None:
+            # active check: an elapsed cooldown flips open -> half_open
+            # here and admits the head request as the canary
+            unroutable = not self.breakers[k].routable(t)
+        if not unroutable:
+            return False
+        if self._pick_target(exclude=k) is None:
+            return False
+        moved = False
+        for sess in self.queue.queued_sessions(k):
+            target = self._pick_target(exclude=k)
+            if target is None:
+                break
+            self.migrate_session(sess, target, reason="route_around")
+            moved = True
+        return moved
+
+    def _reject_deadline(self, req: Request, why: str,
+                         t: Optional[float] = None) -> None:
+        req.status = "rejected"
+        req.error = f"DeadlineExceeded: {why}"
+        self.stats.deadline_rejections += 1
+        self._rnote("deadline", device=req.device
+                    if req.device is not None else req.session.device,
+                    session=req.session.sid, request=req.seq,
+                    t=t, detail=why)
+
+    def _undo_failure(self, req: Request) -> None:
+        """Back out the failure counters :meth:`_execute` charged, ahead
+        of a failover re-execution (the retry re-charges whatever its
+        own outcome is)."""
+        if (req.error or "").startswith("cancelled"):
+            self.stats.cancelled -= 1
+        else:
+            self.stats.failed -= 1
+
+    def _maybe_retry(self, req: Request) -> Optional[float]:
+        """Failover: a request that failed because its *device* failed
+        (directly, or cancelled behind a fault-poisoned session chain)
+        re-executes on another healthy device after a backoff, bounded by
+        ``max_retries`` and the request deadline.  Returns the retry
+        arrival time when the request was re-enqueued, else None (the
+        request's current outcome stands)."""
+        if req.status != "failed":
+            return None
+        sid = req.session.sid
+        cancelled = (req.error or "").startswith("cancelled")
+        if not (req.device_fault or (cancelled
+                                     and sid in self._session_fault)):
+            return None                     # program error: not retryable
+        if req.retries >= self.max_retries:
+            return None
+        failed_dev = req.device
+        target = self._pick_target(exclude=failed_dev)
+        if target is None:
+            # nowhere healthy to fail over.  With the whole registry gone
+            # the contract degrades to PR 4's: complete on the host, not
+            # stay failed — so retry in place when the device can still
+            # serve the request through its host-fallback path.
+            mod = self.devices[req.session.device]
+            if not (mod.lost and getattr(mod.recovery, "host_fallback",
+                                         True)):
+                return None                 # a routable device may heal
+            target = req.session.device
+        rec = self.devices[0].recovery
+        backoff = rec.backoff_s * (rec.backoff_factor ** req.retries)
+        retry_at = self.clock.now() + backoff
+        if req.deadline is not None and retry_at > req.deadline:
+            self._undo_failure(req)
+            self._reject_deadline(req, "retry would miss deadline")
+            return None
+        try:
+            self.quotas.admit_pending(req.session.tenant)
+        except QuotaError as exc:
+            self._undo_failure(req)
+            req.status = "rejected"
+            req.error = f"QuotaError: {exc}"
+            self.stats.rejections += 1
+            return None
+        self._undo_failure(req)
+        if req.session.device == failed_dev and target != failed_dev:
+            # the retry must run elsewhere: the failed device's task
+            # chain for this session is poisoned (and the device may be
+            # gone).  min_arrival floors the session's later queued
+            # requests so per-session FIFO survives the backoff.
+            self.migrate_session(req.session, target, reason="retry",
+                                 min_arrival=retry_at)
+        else:
+            # retry in place (or the session already migrated): still
+            # floor any later queued requests behind the backoff arrival
+            self.queue.retarget(sid, req.session.device, retry_at)
+        self._session_fault.discard(sid)
+        req.session.pending += 1
+        req.status = "queued"
+        req.error = None
+        req.result.clear()
+        req.stdout = ""
+        req.exit_code = 0
+        req.task = None
+        req.device_fault = False
+        req.batch_size = 0
+        req.retries += 1
+        req.arrival = retry_at
+        self.stats.retries += 1
+        self.queue.push(req)
+        self._rnote("retry", device=failed_dev, session=sid,
+                    request=req.seq, target=req.session.device,
+                    detail=f"attempt {req.retries}")
+        return retry_at
+
+    def _requeue(self, req: Request, min_arrival: float) -> bool:
+        """Re-enqueue a popped batch member whose session just failed
+        over mid-batch: it runs after the retried head on the new device
+        instead of out of order.  False when it could not be requeued
+        (deadline or quota), with the request carrying its typed
+        rejection."""
+        if req.deadline is not None and min_arrival > req.deadline:
+            self._reject_deadline(req, "failover requeue past deadline")
+            return False
+        try:
+            self.quotas.admit_pending(req.session.tenant)
+        except QuotaError as exc:
+            req.status = "rejected"
+            req.error = f"QuotaError: {exc}"
+            self.stats.rejections += 1
+            return False
+        req.session.pending += 1
+        req.arrival = max(req.arrival, min_arrival)
+        self.queue.push(req)
+        return True
+
+    def migrate_session(self, session: Session, target: int, *,
+                        reason: str = "",
+                        min_arrival: Optional[float] = None) -> int:
+        """Live-migrate a session to ``target``: every parked
+        :class:`ResidentBuffer` moves device-to-device via
+        ``cuMemcpyPeer`` and is digest-verified against its park-time
+        hash (bit-identical or dropped — a dropped buffer simply
+        re-uploads from the host copy on next use), queued requests
+        retarget to the new device's admission queue, and the session
+        re-pins.  Returns the warm bytes moved."""
+        src_k = session.device
+        target = int(target)
+        if target == src_k or session.closed:
+            return 0
+        src = self.devices[src_k]
+        dst = self.devices[target]
+        moved = 0
+        for key in list(session.resident):
+            buf = session.resident[key]
+            dst_addr = None
+            try:
+                dst_addr = dst.mem_alloc(buf.size)
+                src.peer_copy(dst, dst_addr, buf.dev_addr, buf.size)
+                data = dst.driver.gmem.copy_out(dst_addr, buf.size)
+                if content_digest(data) != buf.digest:
+                    raise ValueError(
+                        f"migration digest mismatch for {buf.size} bytes "
+                        f"dev{src_k}->dev{target}")
+            except (CudaError, DeviceLost, MemoryError_, ValueError):
+                # source unreadable, target full, or verify failed: drop
+                # the warm buffer rather than migrate unverified bytes
+                if dst_addr is not None:
+                    try:
+                        dst.mem_free(dst_addr)
+                    except (CudaError, DeviceLost):
+                        pass
+                try:
+                    src.mem_free(buf.dev_addr)
+                except (CudaError, DeviceLost):
+                    pass
+                del session.resident[key]
+                session.resident_bytes -= buf.size
+                self.quotas.uncharge_resident(session.tenant, buf.size)
+                self._device_resident[src_k] -= buf.size
+                continue
+            try:
+                src.mem_free(buf.dev_addr)
+            except (CudaError, DeviceLost):
+                pass
+            buf.dev_addr = dst_addr
+            self._device_resident[src_k] -= buf.size
+            self._device_resident[target] += buf.size
+            moved += buf.size
+        self.queue.retarget(session.sid, target, min_arrival)
+        session.device = target
+        session.migrations += 1
+        self.stats.migrations += 1
+        self.stats.migrated_bytes += moved
+        self._rnote("migrate", device=src_k, session=session.sid,
+                    target=target, nbytes=moved, detail=reason)
+        return moved
+
+    def start_drain(self, device: int) -> None:
+        """Begin a *planned* drain of device ``k``: it leaves placement
+        and routing, and its sessions (warm state included) migrate to
+        routable peers while the device is still healthy — the opposite
+        of reacting to its loss.  :meth:`resume` returns it to service."""
+        k = int(device)
+        if not 0 <= k < self.num_devices:
+            raise ValueError(f"no such device {device}")
+        if k in self._draining:
+            return
+        self._draining.add(k)
+        self._rnote("drain", device=k)
+        for sess in list(self.sessions.values()):
+            if sess.device != k or sess.closed:
+                continue
+            target = self._pick_target(exclude=k)
+            if target is None:
+                break                     # nowhere to go: keep serving on k
+            self.migrate_session(sess, target, reason="drain")
+
+    def resume(self, device: int) -> None:
+        """End a planned drain: the device re-enters placement/routing
+        (existing sessions stay where they migrated to)."""
+        k = int(device)
+        if k in self._draining:
+            self._draining.discard(k)
+            self._rnote("resume", device=k)
 
     # -- warm state accounting (called by SessionDataEnv) --------------------
     def try_park(self, session: Session, device_module,
@@ -644,4 +1107,21 @@ class OffloadServer:
             program=program, batch=batch, queue_depth=queue_depth,
             nbytes=nbytes, detail=detail, device=device,
             t_start=t, t_end=t,
+        ))
+
+    def _rnote(self, op: str, *, device: Optional[int] = None,
+               t: Optional[float] = None, session: int = -1,
+               request: int = -1, state: str = "", target: int = -1,
+               score: float = -1.0, nbytes: int = 0,
+               detail: str = "") -> None:
+        """Emit one resilience-track activity record (breaker
+        transitions, migrations, deadline rejections, retries, drains,
+        health scores); also the breakers' ``note`` callback."""
+        if self.prof is None:
+            return
+        ts = self.clock.now() if t is None else t
+        self.prof.emit(ResilienceActivity(
+            op=op, session=session, request=request, state=state,
+            target=target, score=score, nbytes=nbytes, detail=detail,
+            device=device, t_start=ts, t_end=ts,
         ))

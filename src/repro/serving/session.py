@@ -71,6 +71,9 @@ class Session:
     warm_borrows: int = 0
     #: maps that also skipped the HtoD transfer (digest matched)
     reuse_hits: int = 0
+    #: times this session was re-pinned to another device (breaker
+    #: failover, retry, planned drain)
+    migrations: int = 0
 
     def borrow(self, host_addr: int, size: int) -> Optional[ResidentBuffer]:
         """Take a parked buffer for this exact range, if one is warm."""

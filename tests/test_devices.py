@@ -264,6 +264,27 @@ def test_shard_weight_seeded_by_calibration_then_observed():
     assert registry_weights([a, b]) == [a.observed, b.observed]
 
 
+def test_shard_devlost_on_mixed_registry_degrades_whole_region_to_host():
+    # one shard device of a heterogeneous registry dies mid-shard(n):
+    # the whole region must degrade to the host fallback bit-identically
+    # — no half-sharded result assembled from a poisoned device.
+    prog = OmpiCompiler(OmpiConfig()).compile(SHARD_SRC, "sgemm_lost")
+    single = prog.run(num_devices=1)
+    faulty = prog.run(
+        devices="nano,v100",
+        faults={1: "device_unavailable@cuLaunchKernel:count=1,sticky=1"})
+    assert _digest(single, "c") == _digest(faulty, "c")
+    nano, v100 = faulty.ort.devices
+    # the v100 shard hit the sticky loss and the region fell back ...
+    assert v100.lost
+    assert v100.fault_stats["device_lost"] == 1
+    assert v100.fault_stats["fallback"] == 1
+    # ... while the healthy nano was neither faulted nor lost (dict
+    # faults target exactly one ordinal)
+    assert not nano.lost
+    assert not nano.fault_stats
+
+
 # ---------------------------------------------------------------------------
 # per-arch compile-cache and image separation
 # ---------------------------------------------------------------------------

@@ -225,6 +225,21 @@ def test_stats_shape(tmp_path):
     assert s["disk"]["max_bytes"] == 123
 
 
+def test_degraded_lock_is_counted_not_silent(tmp_path):
+    root = tmp_path / "store"
+    disk = DiskCompileCache(root)
+    # make the lock sentinel unopenable: a directory where the file goes
+    (root / ".lock").mkdir(parents=True)
+    cache = CompileCache(disk=disk)
+    cache.get(SRC, "t")             # load (miss) + store, both degraded
+    assert disk.lock_degraded >= 2
+    assert cache.stats["disk"]["lock_degraded"] == disk.lock_degraded
+    # the store still works unlocked: a fresh cache gets a disk hit
+    c2 = CompileCache(disk=DiskCompileCache(root))
+    c2.get(SRC, "t")
+    assert c2.disk_hits == 1
+
+
 def test_memory_tier_still_wins_when_warm(tmp_path):
     disk = DiskCompileCache(tmp_path / "store")
     cache = CompileCache(disk=disk)

@@ -45,6 +45,18 @@ def test_serving_example(capsys, monkeypatch, tmp_path):
     assert trace.exists()
 
 
+def test_serving_resilience_example(capsys, monkeypatch, tmp_path):
+    trace = tmp_path / "resilience_trace.json"
+    monkeypatch.setattr(sys, "argv",
+                        ["examples/serving_resilience.py", str(trace)])
+    runpy.run_path("examples/serving_resilience.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "failed over to device 1" in out
+    assert "result verified bit-identical" in out
+    assert "unmeetable deadline rejected at admission" in out
+    assert trace.exists()
+
+
 def test_cuda_vs_openmp_example_small(capsys, monkeypatch):
     monkeypatch.setattr(sys, "argv", ["examples/cuda_vs_openmp.py", "96"])
     runpy.run_path("examples/cuda_vs_openmp.py", run_name="__main__")

@@ -84,6 +84,14 @@ def test_spec_presets():
     assert devlost.rules[0].api == "cuInit"
     oom = FaultPlan.parse("oom:count=2")
     assert oom.rules[0].count == 2
+    # the probabilistic variant models mid-run loss: a sticky launch
+    # fault instead of failing device discovery outright
+    midrun = FaultPlan.parse("devlost:p=0.02,seed=42")
+    rule = midrun.rules[0]
+    assert rule.api == "cuLaunchKernel"
+    assert rule.kind == "device_unavailable"
+    assert rule.probability == 0.02 and rule.sticky
+    assert midrun.seed == 42
 
 
 def test_spec_errors_and_off():
@@ -205,6 +213,30 @@ def test_fault_log_jsonl_export(tmp_path):
     assert lines and lines[0]["op"] == "inject"
     assert lines[0]["api"] == "cuMemAlloc"
     assert lines[0]["fault"] == "CUDA_ERROR_OUT_OF_MEMORY"
+
+
+def test_fault_log_jsonl_sink_is_size_bounded(tmp_path):
+    path = tmp_path / "faults.jsonl"
+    drv = make_driver(faults=resolve_faults("transfer@cuMemcpy*:p=1.0"))
+    drv.faultlog.path = str(path)
+    drv.faultlog.max_bytes = 512     # tiny cap to force rotation
+    addr = None
+    for _ in range(40):
+        try:
+            if addr is None:
+                addr = drv.cuMemAlloc(64)
+            drv.cuMemcpyHtoD(addr, b"\0" * 64)
+        except CudaError:
+            pass
+    assert path.exists()
+    # the live file stays under one rotation's worth of the cap and the
+    # overflow went to the single .1 file (old .1 contents are dropped)
+    assert path.stat().st_size <= 512 + 256
+    assert (tmp_path / "faults.jsonl.1").exists()
+    assert drv.faultlog.dropped_lines > 0
+    # every surviving line is still valid jsonl
+    for line in path.read_text().splitlines():
+        json.loads(line)
 
 
 # ---------------------------------------------------------------------------
