@@ -1,0 +1,425 @@
+"""Deterministic-reduction benchmark gate (DESIGN.md §16).
+
+Three reduction-heavy Polybench workloads — ``correlation``,
+``covariance`` and ``doitgen`` — run through the OMPi pipeline with the
+tree reduction lowering, and a 2048x2048 sum-reduction headline point
+compares the tree lowering against the legacy atomic-merge baseline
+(``reduction_mode='atomic'``).
+
+The gate asserts, per workload:
+
+* outputs match the numpy reference (float32 tolerance — the matrix
+  arithmetic itself is ordinary float work);
+* the ``reduction(+: checksum)`` scalar is **bit-identical** to folding
+  the device-produced matrix sequentially in iteration order (the §16
+  fixed-order combine contract, checked on real float data);
+* a ``shard(2)`` run on two devices is **bit-identical** to the
+  single-device run — outputs and checksum (`==`, not `approx`).
+
+The headline point must show the tree combine strictly beating the
+atomic-merge baseline on modelled time (per-thread atomics serialise in
+the timing model; the tree replaces them with shuffles, shared memory
+and one barrier).  Results land in ``BENCH_reductions.json``.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_reductions.py [--check] [--output P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ompi import OmpiCompiler, OmpiConfig
+
+HEAP = 256 << 20
+
+# ------------------------------------------------------------------ correlation
+
+_CORRELATION = r'''
+float data[{N}][{M}];
+float corr[{M}][{M}], mean[{M}], stddev[{M}];
+double checksum;
+
+int main(void)
+{
+    int i, j, j1, j2;
+    #pragma omp target teams distribute parallel for \
+        map(tofrom: data) map(from: mean, stddev) num_teams({MTEAMS})
+    for (j = 0; j < {M}; j++)
+    {
+        float m, s, d;
+        m = 0.0f;
+        for (i = 0; i < {N}; i++)
+            m += data[i][j];
+        m = m / (float){N};
+        s = 0.0f;
+        for (i = 0; i < {N}; i++)
+        {
+            d = data[i][j] - m;
+            s += d * d;
+        }
+        s = sqrtf(s / (float){N});
+        if (s <= 0.005f)
+            s = 1.0f;
+        mean[j] = m;
+        stddev[j] = s;
+    }
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(tofrom: data) map(to: mean, stddev) num_teams({NMTEAMS})
+    for (i = 0; i < {N}; i++)
+        for (j = 0; j < {M}; j++)
+            data[i][j] = (data[i][j] - mean[j]) / stddev[j];
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: data) map(from: corr) num_teams({MMTEAMS})
+    for (j1 = 0; j1 < {M}; j1++)
+        for (j2 = 0; j2 < {M}; j2++)
+        {
+            float acc;
+            acc = 0.0f;
+            for (i = 0; i < {N}; i++)
+                acc += data[i][j1] * data[i][j2];
+            corr[j1][j2] = acc / (float){N};
+        }
+    checksum = 0.0;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: corr) map(tofrom: checksum) reduction(+: checksum) \
+        num_teams({MMTEAMS}) {SHARD}
+    for (j1 = 0; j1 < {M}; j1++)
+        for (j2 = 0; j2 < {M}; j2++)
+            checksum += (double) corr[j1][j2];
+    return 0;
+}
+'''
+
+
+def correlation_seed(n: int, m: int) -> dict[str, np.ndarray]:
+    i, j = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
+    return {"data": (((i * 13 + j * 7) % 29) / np.float32(29))
+            .astype(np.float32)}
+
+
+def correlation_ref(n: int, m: int, data: np.ndarray) -> np.ndarray:
+    d = data.astype(np.float64)
+    mean = d.mean(axis=0)
+    std = np.sqrt(((d - mean) ** 2).mean(axis=0))
+    std = np.where(std <= 0.005, 1.0, std)
+    norm = (d - mean) / std
+    return ((norm.T @ norm) / n).astype(np.float32)
+
+
+# ------------------------------------------------------------------- covariance
+
+_COVARIANCE = r'''
+float data[{N}][{M}];
+float cov[{M}][{M}], mean[{M}];
+double checksum;
+
+int main(void)
+{
+    int i, j, j1, j2;
+    #pragma omp target teams distribute parallel for \
+        map(to: data) map(from: mean) num_teams({MTEAMS})
+    for (j = 0; j < {M}; j++)
+    {
+        float m;
+        m = 0.0f;
+        for (i = 0; i < {N}; i++)
+            m += data[i][j];
+        mean[j] = m / (float){N};
+    }
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: data, mean) map(from: cov) num_teams({MMTEAMS})
+    for (j1 = 0; j1 < {M}; j1++)
+        for (j2 = 0; j2 < {M}; j2++)
+        {
+            float acc;
+            acc = 0.0f;
+            for (i = 0; i < {N}; i++)
+                acc += (data[i][j1] - mean[j1]) * (data[i][j2] - mean[j2]);
+            cov[j1][j2] = acc / (float)({N} - 1);
+        }
+    checksum = 0.0;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: cov) map(tofrom: checksum) reduction(+: checksum) \
+        num_teams({MMTEAMS}) {SHARD}
+    for (j1 = 0; j1 < {M}; j1++)
+        for (j2 = 0; j2 < {M}; j2++)
+            checksum += (double) cov[j1][j2];
+    return 0;
+}
+'''
+
+
+def covariance_seed(n: int, m: int) -> dict[str, np.ndarray]:
+    i, j = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
+    return {"data": (((i * 11 + j * 5) % 23) / np.float32(23))
+            .astype(np.float32)}
+
+
+def covariance_ref(n: int, m: int, data: np.ndarray) -> np.ndarray:
+    d = data.astype(np.float64)
+    c = d - d.mean(axis=0)
+    return ((c.T @ c) / (n - 1)).astype(np.float32)
+
+
+# --------------------------------------------------------------------- doitgen
+
+_DOITGEN = r'''
+float A[{NR}][{NQ}][{NP}], C4[{NP}][{NP}], S[{NR}][{NQ}][{NP}];
+double checksum;
+
+int main(void)
+{
+    int r, q, p, s;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: A, C4) map(from: S) num_teams({RQTEAMS})
+    for (r = 0; r < {NR}; r++)
+        for (q = 0; q < {NQ}; q++)
+            for (p = 0; p < {NP}; p++)
+            {
+                float acc;
+                acc = 0.0f;
+                for (s = 0; s < {NP}; s++)
+                    acc += A[r][q][s] * C4[s][p];
+                S[r][q][p] = acc;
+            }
+    checksum = 0.0;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: S) map(tofrom: checksum) reduction(+: checksum) \
+        num_teams({RQTEAMS}) {SHARD}
+    for (r = 0; r < {NR}; r++)
+        for (q = 0; q < {NQ}; q++)
+            for (p = 0; p < {NP}; p++)
+                checksum += (double) S[r][q][p];
+    return 0;
+}
+'''
+
+
+def doitgen_seed(n: int) -> dict[str, np.ndarray]:
+    r, q, p = np.meshgrid(np.arange(n), np.arange(n), np.arange(n),
+                          indexing="ij")
+    s, t = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return {
+        "A": (((r * q + p) % 19) / np.float32(19)).astype(np.float32),
+        "C4": (((s * t) % 13) / np.float32(13)).astype(np.float32),
+    }
+
+
+def doitgen_ref(n: int, A: np.ndarray, C4: np.ndarray) -> np.ndarray:
+    return np.einsum("rqs,sp->rqp", A.astype(np.float64),
+                     C4.astype(np.float64)).astype(np.float32)
+
+
+# -------------------------------------------------------------------- plumbing
+
+def _fmt(template: str, **kw) -> str:
+    out = template
+    for key, value in kw.items():
+        out = out.replace("{" + key + "}", str(value))
+    return out
+
+
+def _teams(total: int, threads: int = 128) -> int:
+    return max(1, (total + threads - 1) // threads)
+
+
+def _run(source: str, name: str, seed: dict[str, np.ndarray],
+         num_devices: int = 1, reduction_mode: str = "tree",
+         launch_mode: str = "full"):
+    config = OmpiConfig(num_devices=num_devices,
+                        reduction_mode=reduction_mode)
+    prog = OmpiCompiler(config).compile(source, name)
+    return prog.run(launch_mode=launch_mode, seed_arrays=seed,
+                    heap_capacity=HEAP)
+
+
+def _sources(workload: str, n: int) -> tuple[dict[str, str], dict, str]:
+    """(single/sharded sources, seed arrays, checksum source array name)."""
+    if workload == "correlation":
+        kw = dict(N=n, M=n, MTEAMS=_teams(n), NMTEAMS=_teams(n * n),
+                  MMTEAMS=_teams(n * n))
+        template, seed, arr = _CORRELATION, correlation_seed(n, n), "corr"
+    elif workload == "covariance":
+        kw = dict(N=n, M=n, MTEAMS=_teams(n), MMTEAMS=_teams(n * n))
+        template, seed, arr = _COVARIANCE, covariance_seed(n, n), "cov"
+    elif workload == "doitgen":
+        kw = dict(NR=n, NQ=n, NP=n, RQTEAMS=_teams(n * n))
+        template, seed, arr = _DOITGEN, doitgen_seed(n), "S"
+    else:
+        raise ValueError(workload)
+    return ({"single": _fmt(template, SHARD="", **kw),
+             "sharded": _fmt(template, SHARD="shard(2)", **kw)},
+            seed, arr)
+
+
+def run_workload(workload: str, n: int) -> dict:
+    sources, seed, arr = _sources(workload, n)
+    entry: dict = {"benchmark": workload, "size": n}
+    results: dict[str, dict] = {}
+    for key, ndev in (("single", 1), ("sharded", 2)):
+        t0 = time.perf_counter()
+        run = _run(sources[key], f"{workload}_{key}", seed,
+                   num_devices=ndev)
+        results[key] = {
+            "array": np.asarray(run.machine.global_array(arr)).copy(),
+            "checksum": float(run.machine.global_array("checksum").item()),
+            "simulated_s": run.log.measured_time,
+            "wall_s": round(time.perf_counter() - t0, 4),
+        }
+    single, sharded = results["single"], results["sharded"]
+
+    if workload == "correlation":
+        ref = correlation_ref(n, n, seed["data"])
+    elif workload == "covariance":
+        ref = covariance_ref(n, n, seed["data"])
+    else:
+        ref = doitgen_ref(n, seed["A"], seed["C4"])
+    entry["reference_ok"] = bool(np.allclose(
+        single["array"], ref, rtol=2e-3, atol=1e-5))
+
+    # §16 contract on real float data: the reduction scalar equals the
+    # sequential fold of the device-produced matrix in iteration order
+    seq = np.float64(0.0)
+    for v in single["array"].ravel():
+        seq = np.float64(seq + np.float64(v))
+    entry["checksum"] = single["checksum"]
+    entry["checksum_matches_sequential_fold"] = (
+        single["checksum"] == float(seq))
+    entry["shard_bit_identical"] = bool(
+        single["array"].tobytes() == sharded["array"].tobytes()
+        and single["checksum"] == sharded["checksum"])
+    entry["modes"] = {k: {kk: v[kk] for kk in ("checksum", "simulated_s",
+                                               "wall_s")}
+                      for k, v in results.items()}
+    return entry
+
+
+# -------------------------------------------------------- tree vs atomic merge
+
+_REDUCE2D = r'''
+float A[{N}][{N}];
+double total;
+
+int main(void)
+{
+    int i, j;
+    total = 0.0;
+    #pragma omp target teams distribute parallel for collapse(2) \
+        map(to: A) map(tofrom: total) reduction(+: total) \
+        num_teams({TEAMS}) num_threads(256)
+    for (i = 0; i < {N}; i++)
+        for (j = 0; j < {N}; j++)
+            total += (double) A[i][j];
+    return 0;
+}
+'''
+
+
+def headline_point(n: int = 2048) -> dict:
+    """Tree vs atomic-merge on the n*n sum: the tree must be faster on
+    modelled time (the acceptance bar) with both lowerings agreeing on
+    the value within float tolerance (the atomic merge is order-
+    dependent, that is the point of replacing it)."""
+    i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    seed = {"A": (((i + j) % 17) / np.float32(17)).astype(np.float32)}
+    src = _fmt(_REDUCE2D, N=n, TEAMS=_teams(n * n, 256))
+    entry: dict = {"benchmark": "reduce2d", "size": n, "modes": {}}
+    totals: dict[str, float] = {}
+    for mode in ("tree", "atomic"):
+        t0 = time.perf_counter()
+        run = _run(src, f"reduce2d_{mode}", seed, reduction_mode=mode,
+                   launch_mode="sample")
+        totals[mode] = float(run.machine.global_array("total").item())
+        entry["modes"][mode] = {
+            "simulated_s": run.log.measured_time,
+            "wall_s": round(time.perf_counter() - t0, 4),
+        }
+    tree_s = entry["modes"]["tree"]["simulated_s"]
+    atomic_s = entry["modes"]["atomic"]["simulated_s"]
+    entry["tree_speedup"] = round(atomic_s / max(tree_s, 1e-30), 3)
+    entry["tree_beats_atomic"] = tree_s < atomic_s
+    entry["values_close"] = bool(np.isclose(
+        totals["tree"], totals["atomic"], rtol=1e-9))
+    return entry
+
+
+WORKLOADS = ("correlation", "covariance", "doitgen")
+DEFAULT_SIZES = {"correlation": 48, "covariance": 48, "doitgen": 20}
+CHECK_SIZES = {"correlation": 32, "covariance": 32, "doitgen": 12}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: smaller workload sizes (the 2048x2048 "
+                         "headline point always runs)")
+    ap.add_argument("--output", default=None,
+                    help="output JSON path (default: BENCH_reductions.json "
+                         "next to the repo root)")
+    args = ap.parse_args(argv)
+
+    sizes = CHECK_SIZES if args.check else DEFAULT_SIZES
+    results = []
+    for workload in WORKLOADS:
+        n = sizes[workload]
+        print(f"[bench] {workload} n={n} (tree, single vs shard(2)) ...",
+              flush=True)
+        entry = run_workload(workload, n)
+        print(f"[bench]   checksum {entry['checksum']:.6g}  "
+              f"ref_ok={entry['reference_ok']}  "
+              f"seq_fold={entry['checksum_matches_sequential_fold']}  "
+              f"shard_identical={entry['shard_bit_identical']}")
+        results.append(entry)
+
+    print("[bench] reduce2d n=2048 (tree vs atomic merge) ...", flush=True)
+    headline = headline_point()
+    print(f"[bench]   tree {headline['modes']['tree']['simulated_s']:.6g}s  "
+          f"atomic {headline['modes']['atomic']['simulated_s']:.6g}s  "
+          f"speedup {headline['tree_speedup']}x")
+    results.append(headline)
+
+    out = {
+        "metric": "modelled seconds per reduction lowering; bit-identity "
+                  "of the fixed-order combine across shard layouts",
+        "results": results,
+    }
+    out_path = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_reductions.json")
+    out_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"[bench] wrote {out_path}")
+
+    failures = []
+    for entry in results[:-1]:
+        label = f"{entry['benchmark']}:{entry['size']}"
+        if not entry["reference_ok"]:
+            failures.append(f"{label}: outputs diverge from the numpy "
+                            f"reference")
+        if not entry["checksum_matches_sequential_fold"]:
+            failures.append(f"{label}: reduction checksum is not the "
+                            f"sequential fold of the result matrix")
+        if not entry["shard_bit_identical"]:
+            failures.append(f"{label}: shard(2) run differs from the "
+                            f"single-device run")
+    if not headline["tree_beats_atomic"]:
+        failures.append(
+            f"reduce2d:2048: tree lowering "
+            f"({headline['modes']['tree']['simulated_s']:.6g}s) does not "
+            f"beat the atomic-merge baseline "
+            f"({headline['modes']['atomic']['simulated_s']:.6g}s)")
+    if not headline["values_close"]:
+        failures.append("reduce2d:2048: tree and atomic totals diverge "
+                        "beyond float tolerance")
+    for msg in failures:
+        print(f"[bench] FAIL {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,12 @@ same load shape fault-free vs under ``devlost:p=0.02``, failing on
 output divergence, requests that neither complete nor carry a typed
 rejection, missing failover, or chaos p99 inflation over the checked-in
 budget.
+``--reduction-check`` delegates to ``bench_reductions.py --check``: the
+correlation/covariance/doitgen reduction workloads plus the 2048x2048
+tree-vs-atomic headline sum, failing on reference divergence, a
+reduction checksum that is not the sequential fold, shard(2) output
+drift, or the tree lowering not beating the atomic-merge baseline
+(writes ``BENCH_reductions.json``).
 """
 
 from __future__ import annotations
@@ -322,6 +328,12 @@ def main(argv=None) -> int:
                     help="chaos serving smoke: the 64x4 load test fault-free "
                          "vs devlost:p=0.02; fail on divergence, untyped "
                          "failures, or p99 inflation over budget")
+    ap.add_argument("--reduction-check", action="store_true",
+                    help="deterministic-reduction smoke: correlation/"
+                         "covariance/doitgen plus the 2048x2048 tree-vs-"
+                         "atomic sum; fail on divergence, non-sequential "
+                         "combine order, shard drift, or the tree not "
+                         "beating the atomic-merge baseline")
     ap.add_argument("--host-fastpath", action="store_true",
                     help="time the host-heavy gemm/mvt/atax variants under "
                          "host_fastpath off vs on and write "
@@ -335,6 +347,14 @@ def main(argv=None) -> int:
     if args.host_fastpath or args.host_fastpath_check:
         return host_fastpath_run(check=args.host_fastpath_check,
                                  output=args.output)
+
+    if args.reduction_check:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_reductions
+        red_args = ["--check"]
+        if args.output:
+            red_args += ["--output", args.output]
+        return bench_reductions.main(red_args)
 
     if args.resilience_check:
         sys.path.insert(0, str(Path(__file__).resolve().parent))

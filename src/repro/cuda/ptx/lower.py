@@ -701,6 +701,34 @@ class KernelLowerer:
             return Imm(0, "s32"), INT
         if name in ("atomicCAS", "atomicAdd", "atomicExch", "atomicMax", "atomicMin"):
             return self._lower_atomic(name, expr, scopes, ops)
+        if name in ("__shfl_sync", "__shfl_down_sync", "__shfl_up_sync",
+                    "__shfl_xor_sync"):
+            # warp shuffles are value-polymorphic: the result has the
+            # value operand's type, so the fixed-signature intrinsic path
+            # does not fit — lower the call directly
+            member, _mt = self.lower_rvalue(expr.args[0], scopes, ops)
+            value, vtype = self.lower_rvalue(expr.args[1], scopes, ops)
+            sel, st = self.lower_rvalue(expr.args[2], scopes, ops)
+            sel = self._convert(sel, st, INT, ops)
+            dst = self.regs.new(ctype_to_ir(vtype), "shfl")
+            ops.append(CallOp(dst, name, [member, value, sel]))
+            return dst, vtype
+        if name.startswith("cudadev_atomic_red_"):
+            # type-generic atomic RMW: like the hardware atomics, the
+            # pointee type drives both the value conversion and the
+            # returned-old-value type
+            addr, ptype = self.lower_rvalue(expr.args[0], scopes, ops)
+            if isinstance(ptype, ArrayType):
+                ptype = ptype.decay()
+            if not isinstance(ptype, PointerType):
+                raise LowerError(
+                    f"{name}: first argument must be a pointer", expr.loc)
+            elem = ptype.pointee
+            value, vtype = self.lower_rvalue(expr.args[1], scopes, ops)
+            value = self._convert(value, vtype, elem, ops)
+            dst = self.regs.new(ctype_to_ir(elem), "ared")
+            ops.append(CallOp(dst, name, [addr, value]))
+            return dst, elem
         if name in _MATH_UNOPS:
             value, vtype = self.lower_rvalue(expr.args[0], scopes, ops)
             single = name.endswith("f") or name in ("sqrtf",)

@@ -103,6 +103,10 @@ def _reg(regs: dict, name: str, dtype: np.dtype) -> np.ndarray:
 
 def _fload(engine, warp, addrs, dtype, mask):
     """Streamlined ``FunctionalEngine.mem_load`` (identical semantics)."""
+    if not mask.any():
+        # predicated off: mirrors mem_load's early return exactly (no
+        # stats, no space resolution) so verify mode stays bit-identical
+        return np.zeros(WARP_SIZE, dtype=dtype)
     stats = engine.stats
     stats.load_instructions += 1
     stats.instructions += 1
@@ -122,6 +126,8 @@ def _fload(engine, warp, addrs, dtype, mask):
 
 def _fstore(engine, warp, addrs, dtype, values, mask):
     """Streamlined ``FunctionalEngine.mem_store`` (identical semantics)."""
+    if not mask.any():
+        return  # predicated off: mirrors mem_store's early return
     stats = engine.stats
     stats.store_instructions += 1
     stats.instructions += 1

@@ -214,6 +214,11 @@ class FunctionalEngine:
         raise LaunchError(f"kernel accessed unmapped address {addr:#x}")
 
     def mem_load(self, warp: WarpExec, addrs, dtype: np.dtype, mask: np.ndarray):
+        if not mask.any():
+            # fully predicated-off access (divergent warp): no instruction
+            # issues, no transaction is counted — and addrs may be garbage,
+            # so resolve_space must not look at them
+            return np.zeros(WARP_SIZE, dtype=dtype)
         self.stats.load_instructions += 1
         self.stats.instructions += 1
         addrs = np.broadcast_to(np.asarray(addrs, dtype=np.uint64), (WARP_SIZE,))
@@ -225,6 +230,8 @@ class FunctionalEngine:
 
     def mem_store(self, warp: WarpExec, addrs, dtype: np.dtype, values,
                   mask: np.ndarray) -> None:
+        if not mask.any():
+            return  # predicated off: no instruction, no transaction
         self.stats.store_instructions += 1
         self.stats.instructions += 1
         addrs = np.broadcast_to(np.asarray(addrs, dtype=np.uint64), (WARP_SIZE,))

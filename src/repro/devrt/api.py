@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cuda.sim.warp import WARP_SIZE, WarpExec
-from repro.devrt import barriers, masterworker, schedules, sections, shmem, sync
+from repro.devrt import barriers, masterworker, schedules, sections, shmem, shuffle, sync
+from repro.devrt.atomics import ATOMIC_RED_INTRINSICS
 from repro.devrt.state import block_state, pure, region_thread_ids, region_threads
 
 
@@ -84,6 +85,15 @@ INTRINSIC_SIGS: dict[str, tuple[tuple[str, ...], str | None]] = {
     "cudadev_trylock": (("s32",), "s32"),
     "cudadev_lock": (("s32",), None),
     "cudadev_unlock": (("s32",), None),
+    # warp shuffles and type-generic atomics are *polymorphic* in the
+    # value operand: the lowering pass special-cases them (result dtype
+    # follows the value / pointee operand), so these entries only
+    # document the shapes — "any" skips argument conversion.
+    "__shfl_sync": (("u32", "any", "s32"), "any"),
+    "__shfl_down_sync": (("u32", "any", "s32"), "any"),
+    "__shfl_up_sync": (("u32", "any", "s32"), "any"),
+    "__shfl_xor_sync": (("u32", "any", "s32"), "any"),
+    **{name: (("u64", "any"), "any") for name in ATOMIC_RED_INTRINSICS},
 }
 
 #: C prototypes injected into generated kernel files so they compile as
@@ -118,6 +128,10 @@ __device__ void cudadev_barrier(void);
 __device__ int cudadev_trylock(int id);
 __device__ void cudadev_lock(int id);
 __device__ void cudadev_unlock(int id);
+/* __shfl_*_sync and cudadev_atomic_red_* are type-generic (value-
+   polymorphic) builtins: like atomicAdd they carry no C prototype here —
+   the nvcc-simulator lowers calls to them directly, typing the result
+   from the value / pointee operand. */
 """
 
 
@@ -151,4 +165,9 @@ def build_intrinsics() -> dict:
         "cudadev_trylock": sync.cudadev_trylock,
         "cudadev_lock": sync.cudadev_lock,
         "cudadev_unlock": sync.cudadev_unlock,
+        "__shfl_sync": shuffle.shfl_sync,
+        "__shfl_down_sync": shuffle.shfl_down_sync,
+        "__shfl_up_sync": shuffle.shfl_up_sync,
+        "__shfl_xor_sync": shuffle.shfl_xor_sync,
+        **ATOMIC_RED_INTRINSICS,
     }

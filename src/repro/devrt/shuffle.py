@@ -1,0 +1,70 @@
+"""Warp shuffle intrinsics (``__shfl_*_sync``) on the lockstep warp.
+
+The functional simulator executes a warp as 32 numpy lanes in lockstep,
+so a shuffle is a permutation gather over the value register.  Matching
+CUDA semantics for the cases the reduction epilogue generates:
+
+* an out-of-range source lane returns the calling lane's own value
+  (CUDA: the value is unchanged for ``__shfl_down/up`` past the segment
+  edge);
+* the member-mask argument is accepted and ignored — the simulator runs
+  all 32 lanes of a warp in lockstep, so every lane's register is
+  defined, and generated code guards combines against inactive lanes
+  itself (``if (lane + off < warp_active)``), exactly as hand-written
+  CUDA reductions do.
+
+Shuffles never suspend, so they are :func:`~repro.devrt.state.pure`
+intrinsics; in the compiled fast path they dispatch through the same
+``warp._call`` path as the tree-walk reference, keeping verify-mode
+stats identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.sim.warp import WARP_SIZE
+from repro.devrt.state import pure
+
+_LANES = np.arange(WARP_SIZE)
+
+
+def _pick(value, src: np.ndarray) -> np.ndarray:
+    """Gather ``value[src]`` per lane; out-of-range sources keep own value."""
+    value = np.asarray(value)
+    if value.ndim == 0:
+        value = np.full(WARP_SIZE, value)
+    valid = (src >= 0) & (src < WARP_SIZE)
+    picked = value[np.where(valid, src, _LANES)]
+    return np.where(valid, picked, value).astype(value.dtype, copy=False)
+
+
+def _sel(arg) -> np.ndarray:
+    sel = np.asarray(arg)
+    if sel.ndim == 0:
+        sel = np.full(WARP_SIZE, sel)
+    return sel.astype(np.int64, copy=False)
+
+
+@pure
+def shfl_sync(warp, mask, args):
+    _member, value, src_lane = args
+    return _pick(value, _sel(src_lane))
+
+
+@pure
+def shfl_down_sync(warp, mask, args):
+    _member, value, delta = args
+    return _pick(value, _LANES + _sel(delta))
+
+
+@pure
+def shfl_up_sync(warp, mask, args):
+    _member, value, delta = args
+    return _pick(value, _LANES - _sel(delta))
+
+
+@pure
+def shfl_xor_sync(warp, mask, args):
+    _member, value, lane_mask = args
+    return _pick(value, _LANES ^ _sel(lane_mask))

@@ -44,6 +44,7 @@ from repro.hostrt.mapping import (
     MAP_DELETE, MAP_FROM, MAP_RELEASE, MAP_TO, MAP_TOFROM, DataEnv,
     MappingError,
 )
+from repro.hostrt.reduction import dtype_of, fold_partials
 from repro.hostrt.team import HostTeamError, TeamStack
 from repro.prof.activity import DeviceRecorder, resolve_profile
 from repro.prof.ompt import OmptRegistry
@@ -196,6 +197,13 @@ class Ort:
         self._task_count = 0
         #: active ``shard`` region, if any (no nesting)
         self._shard: Optional[_ShardScope] = None
+        # -- deterministic reductions (tree mode) ------------------------
+        #: reductions registered for the *next* offload:
+        #: (kernel-arg index, host addr, opcode, typecode)
+        self._pending_reds: list[tuple[int, int, int, int]] = []
+        #: launched reductions awaiting the cross-team combine at
+        #: ort_red_end (dicts: addr/opcode/dtype/nteams/chunks)
+        self._active_reds: list[dict] = []
         machine.natives.update(self._natives())
         for mod in self.devices:
             machine.register_space(mod.driver.gmem)
@@ -257,6 +265,9 @@ class Ort:
             "ort_arg_ptr": self._ort_arg_ptr,
             "ort_arg_val": self._ort_arg_val,
             "ort_offload": self._ort_offload,
+            # deterministic reductions (tree mode cross-team combine)
+            "ort_red_scalar": self._ort_red_scalar,
+            "ort_red_end": self._ort_red_end,
             # deferred offload tasks (target nowait / depend)
             "ort_task_dep": self._ort_task_dep,
             "ort_task_begin": self._ort_task_begin,
@@ -428,6 +439,109 @@ class Ort:
         self._pending_hostargs.append(value)
         return 0
 
+    def _ort_red_scalar(self, machine, args, loc):
+        """Register one tree-mode reduction scalar for the next offload.
+
+        The generated code calls this after the regular argument natives,
+        once per reduction variable in kernel-parameter order, so a
+        placeholder queued here lands exactly where the kernel's trailing
+        ``__redp_<name>`` parameter expects its partials buffer; the
+        buffer itself is allocated at launch time (the grid size — and
+        with it the slot count — is not known yet) and patched in.  The
+        sequential ``*_hostfn`` twin computes the whole reduction itself,
+        so the host-argument twin stays a null pointer."""
+        _dev, ptr, opcode, typecode = args
+        addr = self._addr_of(ptr, loc)
+        scope = self._shard
+        if scope is not None:
+            index = -1
+            if not scope.failed and scope.devices:
+                for k in scope.devices:
+                    scope.kargs[k].append(np.uint64(0))
+                index = len(scope.kargs[scope.devices[0]]) - 1
+            scope.hostargs.append(np.uint64(0))
+        else:
+            self._pending_kargs.append(np.uint64(0))
+            self._pending_hostargs.append(np.uint64(0))
+            index = len(self._pending_kargs) - 1
+        self._pending_reds.append((index, addr, int(opcode), int(typecode)))
+        return 0
+
+    def _alloc_red_buffers(self, reds, nteams: int,
+                           ranges: list[tuple[int, int, int]]) -> list[dict]:
+        """One device partials buffer per (reduction, participating
+        device): ``nteams`` slots indexed by *global* team id, of which a
+        device owns only its ``[blo, bhi)`` block range.  Returns the
+        combine records ``ort_red_end`` will fold; the caller patches the
+        buffer addresses into the pending kernel arguments."""
+        records: list[dict] = []
+        for index, addr, opcode, typecode in reds:
+            dtype = dtype_of(typecode)
+            chunks: list[tuple[int, int, int, int]] = []
+            for k, blo, bhi in ranges:
+                buf = self.devices[k].mem_alloc(nteams * dtype.itemsize)
+                chunks.append((k, blo, bhi, buf))
+            records.append({"index": index, "addr": addr, "opcode": opcode,
+                            "dtype": dtype, "nteams": nteams,
+                            "chunks": chunks})
+        return records
+
+    def _cancel_reductions(self, records: list[dict]) -> None:
+        """Drop launched-reduction state after a host fallback: the
+        ``*_hostfn`` computed the full reduction into host memory, so the
+        partials must not be folded on top of it."""
+        for rec in records:
+            for k, _blo, _bhi, buf in rec["chunks"]:
+                try:
+                    self.devices[k].mem_free(buf)
+                except (DeviceLost, CudaError):
+                    pass
+
+    def _ort_red_end(self, machine, args, loc):
+        """The cross-team combine, performed on copy-back: gather every
+        launched reduction's partials (each global team slot read from the
+        device that owned that block range), fold them in ascending team
+        order onto the variable's incoming host value, and store the
+        result.  The fold order is a pure function of the grid — never of
+        warp scheduling, device count or shard boundaries — so the result
+        is bit-identical to the sequential loop.  A device lost *after*
+        its launch succeeded leaves the host value authoritative, exactly
+        like the map copy-back path."""
+        records = self._active_reds
+        self._active_reds = []
+        for rec in records:
+            dtype = rec["dtype"]
+            nbytes = rec["nteams"] * dtype.itemsize
+            partials = np.zeros(rec["nteams"], dtype=dtype)
+            ok = True
+            for k, blo, bhi, buf in rec["chunks"]:
+                module = self.devices[k]
+                try:
+                    data = module._with_retries(
+                        "cuMemcpyDtoH",
+                        lambda a=buf: module.driver.cuMemcpyDtoH(a, nbytes))
+                    if ok and bhi > blo:
+                        partials[blo:bhi] = np.frombuffer(
+                            data, dtype=dtype)[blo:bhi]
+                except (DeviceLost, CudaError) as exc:
+                    ok = False
+                    module.faultlog.note(
+                        "fallback", api="ort_red_end",
+                        detail="device lost before the cross-team combine: "
+                               f"host value kept ({exc})")
+                try:
+                    module.mem_free(buf)
+                except (DeviceLost, CudaError):
+                    pass
+            if not ok:
+                continue
+            view = machine.heap.view(rec["addr"], dtype.itemsize, np.uint8)
+            initial = np.frombuffer(view.tobytes(), dtype=dtype)[0]
+            result = fold_partials(rec["opcode"], initial, partials, dtype)
+            view[:] = np.frombuffer(
+                np.asarray([result], dtype=dtype).tobytes(), dtype=np.uint8)
+        return 0
+
     def _ort_offload(self, machine, args, loc):
         dev, name_ptr, gx, gy, gz, bx, by, bz = args
         if self._shard is not None:
@@ -439,8 +553,10 @@ class Ort:
         name = machine.read_cstring(name_ptr)
         kargs = self._pending_kargs
         hostargs = self._pending_hostargs
+        reds = self._pending_reds
         self._pending_kargs = []
         self._pending_hostargs = []
+        self._pending_reds = []
         teams = (max(int(gx), 1), max(int(gy), 1), max(int(gz), 1))
         threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
         if dev >= self.initial_device:
@@ -450,20 +566,36 @@ class Ort:
                 self.devices[requested].faultlog.note(
                     "fallback", api=name,
                     detail=f"device lost: target region {name!r} -> host")
+            # the hostfn computes any reductions in full: reds dropped
             self.host_device.offload(name, hostargs, teams, threads)
             return 0
         module = self.devices[dev]
         task = self._task_stack[-1] if self._task_stack else None
         if task is not None and task.dead:
             return 0  # cancelled/failed deferred task: the body launches nothing
+        red_records: list[dict] = []
+        if reds:
+            nteams_total = teams[0] * teams[1] * teams[2]
+            try:
+                red_records = self._alloc_red_buffers(
+                    reds, nteams_total, [(dev, 0, nteams_total)])
+            except (DeviceLost, CudaError) as exc:
+                self._offload_failed(machine, exc, dev, name, hostargs,
+                                     teams, threads, task, loc)
+                return 0
+            for rec in red_records:
+                kargs[rec["index"]] = np.uint64(rec["chunks"][0][3])
         if self.ompt.active:
             self.ompt.dispatch("target_begin", device=dev, kernel=name,
                                teams=teams, threads=threads)
         try:
             module.offload(name, kargs, teams, threads)
         except (OffloadFailure, DeviceLost) as exc:
+            self._cancel_reductions(red_records)
             self._offload_failed(machine, exc, dev, name, hostargs,
                                  teams, threads, task, loc)
+        else:
+            self._active_reds.extend(red_records)
         if self.ompt.active:
             self.ompt.dispatch("target_end", device=dev, kernel=name,
                                teams=teams, threads=threads)
@@ -833,13 +965,37 @@ class Ort:
         name = machine.read_cstring(name_ptr)
         kargs = scope.kargs
         hostargs = scope.hostargs
+        reds = self._pending_reds
         scope.kargs = {k: [] for k in scope.devices}
         scope.hostargs = []
+        self._pending_reds = []
         teams = (max(int(gx), 1), max(int(gy), 1), max(int(gz), 1))
         threads = (max(int(bx), 1), max(int(by), 1), max(int(bz), 1))
+        red_records: list[dict] = []
         if not scope.failed:
             total_blocks = teams[0] * teams[1] * teams[2]
             ranges = self._plan_shard_ranges(total_blocks, scope.devices)
+            if reds:
+                # per-device partials buffers sized for the *global* grid:
+                # each device fills only its own block range's slots, and
+                # the combine gathers every slot from its owning device
+                try:
+                    red_records = self._alloc_red_buffers(
+                        reds, total_blocks,
+                        [(k, ranges[i][0], ranges[i][1])
+                         for i, k in enumerate(scope.devices)])
+                    for rec in red_records:
+                        for k, _blo, _bhi, buf in rec["chunks"]:
+                            kargs[k][rec["index"]] = np.uint64(buf)
+                except (DeviceLost, CudaError) as exc:
+                    scope.failed = True
+                    self._cancel_reductions(red_records)
+                    red_records = []
+                    self.cudadev.faultlog.note(
+                        "fallback", api=name,
+                        detail=f"shard reduction setup failed: target "
+                               f"region {name!r} -> host ({exc})")
+        if not scope.failed:
             for i, k in enumerate(scope.devices):
                 blo, bhi = ranges[i]
                 if blo >= bhi:
@@ -868,11 +1024,16 @@ class Ort:
                 if scope.failed:
                     break
         if scope.failed:
+            # the hostfn computes any reductions in full — never fold
+            # device partials on top of its result
+            self._cancel_reductions(red_records)
             if not self.recovery.host_fallback:
                 raise InterpError(
                     f"sharded target region {name!r} failed and host "
                     "fallback is disabled", loc)
             self.host_device.offload(name, hostargs, teams, threads)
+        else:
+            self._active_reds.extend(red_records)
         return 0
 
     # -- host parallel natives ----------------------------------------------------

@@ -1,0 +1,87 @@
+"""Host-side reduction combine: opcodes, typecodes and the fixed-order fold.
+
+The deterministic reduction pipeline splits the combine across the
+offload boundary: each team reduces its threads with a warp-shuffle +
+shared-memory tree and writes one partial into its global-team-id slot of
+a per-launch partials buffer; the *cross-team* combine happens here, on
+copy-back, folding the slots in ascending team order starting from the
+variable's incoming host value.  Because the fold order is a pure
+function of the iteration space — never of warp scheduling, device count
+or shard layout — the result is bit-identical to the sequential loop and
+stable across ``shard(n)`` splits.
+
+The generated host code communicates a reduction to the runtime as
+``ort_red_scalar(dev, &x, opcode, typecode)``; both small-integer tables
+live here so the compiler (``repro.ompi.xform_host``) and the runtime
+(``repro.hostrt.ort``) agree by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: reduction operator -> opcode carried in the generated ort_red_scalar call
+RED_OPS: dict[str, int] = {
+    "+": 0, "-": 1, "*": 2, "max": 3, "min": 4, "&": 5, "|": 6, "^": 7,
+}
+
+#: opcode -> operator spelling (diagnostics)
+RED_OP_NAMES = {code: op for op, code in RED_OPS.items()}
+
+#: typecode table: index -> numpy dtype of the reduction scalar
+_TYPECODE_DTYPES = tuple(np.dtype(n) for n in (
+    "int8", "uint8", "int16", "uint16", "int32", "uint32",
+    "int64", "uint64", "float32", "float64",
+))
+_DTYPE_TYPECODES = {dt: i for i, dt in enumerate(_TYPECODE_DTYPES)}
+
+
+def typecode_of(dtype: np.dtype) -> int:
+    """The wire typecode for a reduction scalar's dtype."""
+    try:
+        return _DTYPE_TYPECODES[np.dtype(dtype)]
+    except KeyError:
+        raise ValueError(
+            f"no reduction typecode for dtype {dtype!r}") from None
+
+
+def dtype_of(typecode: int) -> np.dtype:
+    """The numpy dtype a wire typecode denotes."""
+    if not 0 <= typecode < len(_TYPECODE_DTYPES):
+        raise ValueError(f"unknown reduction typecode {typecode}")
+    return _TYPECODE_DTYPES[typecode]
+
+
+def combine(opcode: int, acc, val, dtype: np.dtype):
+    """One fold step ``acc OP val`` in the scalar's own dtype.
+
+    ``-`` merges additively: the device accumulators start at 0 and the
+    loop body subtracts, so each partial already carries the negated
+    contribution (OpenMP's subtraction-reduction rule)."""
+    t = dtype.type
+    with np.errstate(over="ignore", invalid="ignore"):
+        if opcode in (0, 1):            # + and -
+            return t(acc + val)
+        if opcode == 2:                 # *
+            return t(acc * val)
+        if opcode == 3:                 # max — mirrors the device ternary
+            return acc if acc > t(val) else t(val)   # (a > b) ? a : b
+        if opcode == 4:                 # min
+            return acc if acc < t(val) else t(val)   # (a < b) ? a : b
+        if opcode == 5:                 # &
+            return t(acc & t(val))
+        if opcode == 6:                 # |
+            return t(acc | t(val))
+        if opcode == 7:                 # ^
+            return t(acc ^ t(val))
+    raise ValueError(f"unknown reduction opcode {opcode}")
+
+
+def fold_partials(opcode: int, initial, partials: np.ndarray,
+                  dtype: np.dtype):
+    """Fold a partials vector in index (== global team) order onto the
+    variable's incoming value — THE fixed combine order of the pipeline."""
+    acc = dtype.type(initial)
+    for val in partials:
+        acc = combine(opcode, acc, val, dtype)
+    return acc

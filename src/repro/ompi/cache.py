@@ -46,6 +46,7 @@ def config_fingerprint(config: OmpiConfig) -> str:
         str(config.mw_block_threads),
         str(config.default_num_threads),
         str(config.block_shape),
+        config.reduction_mode,
     ))
 
 
@@ -141,7 +142,8 @@ class CompileCache:
                            arch=prog.config.arch,
                            mw_block_threads=prog.config.mw_block_threads,
                            default_num_threads=prog.config.default_num_threads,
-                           block_shape=prog.config.block_shape)
+                           block_shape=prog.config.block_shape,
+                           reduction_mode=prog.config.reduction_mode)
         try:
             self.disk.store(key, replace(prog, config=canon))
         except Exception:

@@ -98,6 +98,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "off (pure tree-walk), or verify (run both and "
                              "fail on any divergence; see also "
                              "REPRO_HOST_FASTPATH)")
+    parser.add_argument("--reduction-mode", choices=("tree", "atomic"),
+                        default=None,
+                        help="reduction lowering: tree (default — "
+                             "deterministic warp-shuffle/shared-memory tree "
+                             "with fixed-order cross-team combine, "
+                             "bit-identical to the sequential loop) or "
+                             "atomic (legacy atomic-merge baseline)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="disable the persistent compile cache "
                              "(REPRO_CACHE_DIR or ~/.cache/repro-ompi)")
@@ -151,7 +158,8 @@ def main(argv: list[str] | None = None) -> int:
                         faults=args.faults, recovery=args.recovery,
                         num_devices=args.num_devices,
                         host_fastpath=args.host_fastpath,
-                        devices=args.devices)
+                        devices=args.devices,
+                        reduction_mode=args.reduction_mode or "tree")
     if backends is not None and args.arch is None:
         # compile for the primary (first) backend's transformation set;
         # bind retargets the images for the rest of the registry

@@ -64,6 +64,14 @@ class OmpiConfig:
     #: code, so it stays out of the compile-cache fingerprint (the
     #: per-device *arch* enters via image retargeting at bind time).
     devices: object = None
+    #: reduction lowering mode: 'tree' (default — deterministic warp-
+    #: shuffle + shared-memory tree within each team, fixed-order
+    #: cross-team combine on copy-back; bit-identical to the sequential
+    #: loop and across device counts / shard(n)) or 'atomic' (legacy
+    #: baseline — every thread merges straight into the mapped scalar
+    #: with atomic RMWs; order-dependent for floats, not shard-safe).
+    #: Changes generated code, so it enters the compile-cache fingerprint.
+    reduction_mode: str = "tree"
     #: serving: default per-request deadline budget in modelled seconds
     #: (None defers to REPRO_SERVE_DEADLINE; ''/'off'/0 disables).  The
     #: offload server applies it as arrival + budget; requests past the

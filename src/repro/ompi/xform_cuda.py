@@ -25,12 +25,13 @@ from typing import Optional
 
 from repro.cfront import astnodes as A
 from repro.cfront.ctypes_ import (
-    BasicType, CType, INT, LONG, PointerType, VOID, VOIDP,
+    ArrayType, BasicType, CType, INT, LONG, PointerType, VOID, VOIDP,
 )
 from repro.cfront.errors import CFrontError
+from repro.cfront.unparse import unparse
 from repro.openmp.clauses import (
-    DataSharingClause, ExprClause, MapClause, NameClause, NowaitClause,
-    ReductionClause, ScheduleClause,
+    AtomicClause, DataSharingClause, ExprClause, MapClause, NameClause,
+    NowaitClause, ReductionClause, ScheduleClause,
 )
 from repro.openmp.directives import Directive
 from repro.ompi.astutil import (
@@ -75,6 +76,14 @@ class KernelPlan:
     thread_limit: Optional[A.Expr] = None
     schedule: tuple[str, Optional[A.Expr]] = ("static", None)
     collapse: int = 1
+    #: scalar reductions of the combined construct: (name, op, ctype).
+    #: In tree mode the kernel gains one trailing ``__redp_<name>``
+    #: pointer parameter per entry (per-team partials buffer) and the
+    #: host runtime performs the fixed-order cross-team combine.
+    reductions: list[tuple[str, str, CType]] = field(default_factory=list)
+    #: 'tree' (deterministic warp-shuffle/shared-memory/copy-back tree)
+    #: or 'atomic' (legacy order-dependent global-atomic merge baseline)
+    reduction_mode: str = "tree"
 
 
 def flatten_construct(pragma: A.PragmaStmt) -> tuple[Directive, A.Stmt]:
@@ -138,6 +147,31 @@ def analyze_canonical_loop(loop: A.For) -> LoopInfo:
     diff = binop("-", clone(ub), clone(lb))
     count = diff if step == 1 else ceil_div(diff, intlit(step))
     return LoopInfo(var, var_type, lb, count, step, loop.body)
+
+
+def collect_collapsed_loops(body: A.Stmt, d: Directive) -> list[LoopInfo]:
+    """Peel ``collapse(n)`` perfectly nested canonical loops off a
+    worksharing construct's body (n = 1 when the clause is absent)."""
+    collapse = 1
+    ccl = d.first(ExprClause, "collapse")
+    if ccl is not None:
+        if not isinstance(ccl.expr, A.IntLit):
+            raise CudaXformError("collapse argument must be a constant")
+        collapse = ccl.expr.value
+    loops: list[LoopInfo] = []
+    node = body
+    for level in range(collapse):
+        if isinstance(node, A.Compound) and len(node.body) == 1:
+            node = node.body[0]
+        if not isinstance(node, A.For):
+            raise CudaXformError(
+                f"collapse({collapse}) requires {collapse} perfectly "
+                f"nested loops (found {type(node).__name__} at level {level})"
+            )
+        info = analyze_canonical_loop(node)
+        loops.append(info)
+        node = info.body
+    return loops
 
 
 def _const_step(step: Optional[A.Expr], var: str) -> Optional[int]:
@@ -250,31 +284,18 @@ class CudaKernelBuilder:
 
     # -- combined construct (paper §3.1) --------------------------------------
     def _build_combined(self, directive: Directive, loop: A.For) -> KernelPlan:
-        collapse = 1
-        ccl = directive.first(ExprClause, "collapse")
-        if ccl is not None:
-            if not isinstance(ccl.expr, A.IntLit):
-                raise CudaXformError("collapse argument must be a constant")
-            collapse = ccl.expr.value
-        loops: list[LoopInfo] = []
-        node: A.Stmt = loop
-        for level in range(collapse):
-            if isinstance(node, A.Compound) and len(node.body) == 1:
-                node = node.body[0]
-            if not isinstance(node, A.For):
-                raise CudaXformError(
-                    f"collapse({collapse}) requires {collapse} perfectly "
-                    f"nested loops (found {type(node).__name__} at level {level})"
-                )
-            info = analyze_canonical_loop(node)
-            loops.append(info)
-            node = info.body
+        loops = collect_collapsed_loops(loop, directive)
         body = loops[-1].body
 
         body_writes = written_names(body)
         prologue, renames = self._scalar_prologue(body_writes)
-        # reductions: local accumulator + atomic merge
+        # reductions: per-thread accumulator, then either the deterministic
+        # warp-shuffle + shared-memory tree (partials to __redp_<name>,
+        # combined in fixed team order by the host at copy-back) or the
+        # legacy order-dependent global-atomic merge (baseline mode)
+        red_mode = getattr(self.config, "reduction_mode", "tree") or "tree"
         red_epilogue: list[A.Stmt] = []
+        reds: list[tuple[str, str, CapturedVar]] = []
         for red in directive.clauses_of(ReductionClause):
             for name in red.names:
                 cv = next((c for c in self.region.captured if c.name == name), None)
@@ -282,10 +303,16 @@ class CudaKernelBuilder:
                     raise CudaXformError(
                         f"reduction variable {name!r} must be a mapped scalar")
                 acc = "__red_" + name
-                init, merge = _reduction_ops(red.op, cv, acc)
-                prologue.append(decl(acc, cv.ctype, init))
+                prologue.append(decl(acc, cv.ctype,
+                                     _red_identity(red.op, cv)))
                 renames[name] = ident(acc)
-                red_epilogue.append(merge)
+                reds.append((name, red.op, cv))
+        if reds:
+            if red_mode == "atomic":
+                red_epilogue = [_atomic_merge(name, op, cv)
+                                for name, op, cv in reds]
+            else:
+                red_epilogue = [_tree_epilogue(reds)]
 
         # iteration-space linearisation
         kernel_counts: list[A.Expr] = []
@@ -439,8 +466,14 @@ class CudaKernelBuilder:
                 while_loop,
                 red_epilogue,
             )
+        params = self._param_decls()
+        if reds and red_mode != "atomic":
+            # per-team partials buffers ride as trailing pointer params so
+            # the positional host kernel arguments stay aligned
+            params.extend(A.Param("__redp_" + name, PointerType(cv.ctype))
+                          for name, op, cv in reds)
         kernel_fn = A.FuncDef(self.region.kernel_name, VOID,
-                              self._param_decls(), kernel_body,
+                              params, kernel_body,
                               ("__global__",))
         plan = KernelPlan(
             kernel_name=self.region.kernel_name,
@@ -450,6 +483,8 @@ class CudaKernelBuilder:
             host_counts=[clone(info.count) for info in loops],
             schedule=schedule,
             collapse=len(loops),
+            reductions=[(name, op, cv.ctype) for name, op, cv in reds],
+            reduction_mode=red_mode,
         )
         tc = directive.first(ExprClause, "num_teams")
         plan.num_teams = clone(tc.expr) if tc else None
@@ -527,21 +562,201 @@ class CudaKernelBuilder:
         return self._lock_ids[name]
 
 
-def _reduction_ops(op: str, cv: CapturedVar, acc: str) -> tuple[A.Expr, A.Stmt]:
-    """(accumulator initialiser, final merge statement)."""
+#: operators whose combine is idempotent (x OP x == x): the per-thread
+#: accumulator can seed from the incoming value of the reduction variable
+#: (folding it any number of times is harmless), sidestepping awkward
+#: type-extremum identity literals for max/min
+_IDEMPOTENT_RED_OPS = frozenset({"max", "min", "&", "|"})
+
+
+def _red_identity(op: str, cv: CapturedVar) -> A.Expr:
+    """Accumulator initialiser for one reduction variable.
+
+    ``-`` accumulates like ``+`` (the body subtracts, so the accumulator
+    collects the negated partial sum and merges additively, per OpenMP)."""
+    if op in _IDEMPOTENT_RED_OPS:
+        return deref(ident(cv.name + "_p"))
+    single = isinstance(cv.ctype, BasicType) and cv.ctype.kind == "float"
+    seed = 1.0 if op == "*" else 0.0
+    if cv.ctype.is_floating:
+        return A.FloatLit(seed, single=single)
+    return intlit(int(seed))
+
+
+def _red_combine(op: str, a: A.Expr, b: A.Expr) -> A.Expr:
+    """``a OP b`` as a C expression (max/min as ternaries)."""
+    if op in ("+", "-"):
+        return binop("+", a, b)
+    if op == "max":
+        return A.Cond(binop(">", clone(a), clone(b)), a, b)
+    if op == "min":
+        return A.Cond(binop("<", clone(a), clone(b)), a, b)
+    return binop(op, a, b)   # * & | ^
+
+
+def _atomic_merge(name: str, op: str, cv: CapturedVar) -> A.Stmt:
+    """Legacy atomic-merge baseline: each thread merges its accumulator
+    straight into the mapped scalar.  Order-dependent for floats, kept
+    behind ``OmpiConfig.reduction_mode='atomic'`` as the benchmark
+    baseline.  Float max/min and the op/type pairs CUDA has no hardware
+    atomic for route through the type-generic ``cudadev_atomic_red_*``
+    intrinsics — never an invalid float ``atomicMax``/``atomicMin``."""
     target_ptr = ident(cv.name + "_p")
+    acc = ident("__red_" + name)
+    if op in ("+", "-"):
+        return callstmt("atomicAdd", target_ptr, acc)
+    if op in ("max", "min") and not cv.ctype.is_floating:
+        return callstmt("atomicMax" if op == "max" else "atomicMin",
+                        target_ptr, acc)
+    fn = {"max": "max", "min": "min", "*": "mul",
+          "&": "and", "|": "or", "^": "xor"}[op]
+    return callstmt("cudadev_atomic_red_" + fn, target_ptr, acc)
+
+
+#: ops the atomic directive can update with (the ones the sim has an
+#: atomic RMW for); `+ * & | ^` are commutative so `x = e op x` is legal
+_ATOMIC_UPDATE_OPS = ("+", "-", "*", "&", "|", "^")
+_ATOMIC_COMMUTATIVE = ("+", "*", "&", "|", "^")
+
+
+def _match_atomic_update(stmt: A.Stmt) -> Optional[tuple[A.Expr, str, A.Expr]]:
+    """Recognise the update forms of ``#pragma omp atomic``:
+    ``x op= e``, ``x++``/``x--`` (pre or post), ``x = x op e`` and — for
+    commutative ops — ``x = e op x``.  Returns ``(target, op, value)``
+    or None."""
+    if not isinstance(stmt, A.ExprStmt):
+        return None
+    expr = stmt.expr
+    if isinstance(expr, A.Unary) and expr.op in ("++", "--", "p++", "p--"):
+        return (expr.operand, "+" if "++" in expr.op else "-", intlit(1))
+    if not isinstance(expr, A.Assign):
+        return None
+    if expr.op in _ATOMIC_UPDATE_OPS:
+        return (expr.target, expr.op, expr.value)
+    if expr.op is None and isinstance(expr.value, A.Binary) \
+            and expr.value.op in _ATOMIC_UPDATE_OPS:
+        target_src = unparse(expr.target)
+        if unparse(expr.value.left) == target_src:
+            return (expr.target, expr.value.op, expr.value.right)
+        if expr.value.op in _ATOMIC_COMMUTATIVE \
+                and unparse(expr.value.right) == target_src:
+            return (expr.target, expr.value.op, expr.value.left)
+    return None
+
+
+def _atomic_update_call(op: str, target: A.Expr, value: A.Expr) -> A.Expr:
+    """The atomic RMW call for one update: ``atomicAdd`` where CUDA has
+    one, the type-generic ``cudadev_atomic_red_*`` otherwise.  The call
+    returns the old value, which ``atomic capture`` consumes."""
+    if op == "-":
+        return call("atomicAdd", addr_of(target), A.Unary("-", value))
     if op == "+":
-        init: A.Expr = A.FloatLit(0.0, single=(
-            isinstance(cv.ctype, BasicType) and cv.ctype.kind == "float"
-        )) if cv.ctype.is_floating else intlit(0)
-        merge = callstmt("atomicAdd", target_ptr, ident(acc))
-        return init, merge
-    if op in ("max", "min"):
-        init = deref(clone(target_ptr))
-        fn = "atomicMax" if op == "max" else "atomicMin"
-        merge = callstmt(fn, target_ptr, ident(acc))
-        return init, merge
-    raise CudaXformError(f"unsupported device reduction operator {op!r}")
+        return call("atomicAdd", addr_of(target), value)
+    fn = {"*": "mul", "&": "and", "|": "or", "^": "xor"}[op]
+    return call("cudadev_atomic_red_" + fn, addr_of(target), value)
+
+
+def _tree_epilogue(reds: list[tuple[str, str, CapturedVar]]) -> A.Stmt:
+    """Deterministic in-team reduction tree, appended after the
+    worksharing loops (every thread reaches it unconditionally, so the
+    ``__syncthreads`` inside is uniform).
+
+    Phase 1 combines within each warp by ``__shfl_down_sync`` halving,
+    guarded so partial warps never read lanes past the block's thread
+    count; phase 2 stores warp totals to a shared workspace and thread 0
+    folds them in warp order; the team total lands in this team's slot
+    of the ``__redp_<name>`` partials buffer, indexed by the *global*
+    team id (shards launch with global grid dims, so slots never
+    collide across devices).  The cross-team fold happens host-side in
+    fixed team order — the whole combine is order-deterministic."""
+    tix = ident("threadIdx")
+    bdim = ident("blockDim")
+    lin = binop("+", A.Member(clone(tix), "x"),
+                binop("*", A.Member(clone(bdim), "x"),
+                      binop("+", A.Member(clone(tix), "y"),
+                            binop("*", A.Member(clone(bdim), "y"),
+                                  A.Member(clone(tix), "z")))))
+    nth = binop("*", A.Member(clone(bdim), "x"),
+                binop("*", A.Member(clone(bdim), "y"),
+                      A.Member(clone(bdim), "z")))
+    team = binop("+", A.Member(ident("blockIdx"), "x"),
+                 binop("*", A.Member(ident("gridDim"), "x"),
+                       binop("+", A.Member(ident("blockIdx"), "y"),
+                             binop("*", A.Member(ident("gridDim"), "y"),
+                                   A.Member(ident("blockIdx"), "z")))))
+    stmts: list[A.Stmt] = [
+        decl("__red_lin", INT, lin),
+        decl("__red_lane", INT, binop("%", ident("__red_lin"), intlit(32))),
+        decl("__red_wid", INT, binop("/", ident("__red_lin"), intlit(32))),
+        decl("__red_nth", INT, nth),
+        decl("__red_team", INT, team),
+        # active lanes of this thread's warp (the last warp may be partial)
+        decl("__red_wact", INT,
+             A.Cond(binop(">", binop("-", ident("__red_nth"),
+                                     binop("*", ident("__red_wid"),
+                                           intlit(32))),
+                    intlit(32)),
+                    intlit(32),
+                    binop("-", ident("__red_nth"),
+                          binop("*", ident("__red_wid"), intlit(32))))),
+        decl("__red_nw", INT,
+             binop("/", binop("+", ident("__red_nth"), intlit(31)),
+                   intlit(32))),
+    ]
+    for name, op, cv in reds:
+        acc = "__red_" + name
+        ws = "__red_ws_" + name
+        tmp = "__red_t_" + name
+        # warp tree: halve the stride, each step pulling the partner
+        # lane's value; the guard keeps lanes past the active count (and
+        # their lazily-zero registers) out of the combine
+        shuffle_loop = A.For(
+            A.ExprStmt(A.Assign(ident("__red_off"), intlit(16))),
+            binop(">", ident("__red_off"), intlit(0)),
+            A.Assign(ident("__red_off"),
+                     binop("/", ident("__red_off"), intlit(2))),
+            block(
+                decl(tmp, cv.ctype,
+                     call("__shfl_down_sync", intlit(-1), ident(acc),
+                          ident("__red_off"))),
+                A.If(binop("<", binop("+", ident("__red_lane"),
+                                      ident("__red_off")),
+                           ident("__red_wact")),
+                     A.ExprStmt(A.Assign(
+                         ident(acc),
+                         _red_combine(op, ident(acc), ident(tmp))))),
+            ),
+        )
+        # fold the warp totals in warp order, store this team's partial
+        fold = block(
+            decl("__red_a", cv.ctype,
+                 A.Index(ident(ws), intlit(0))),
+            decl("__red_w", INT),
+            A.For(
+                A.ExprStmt(A.Assign(ident("__red_w"), intlit(1))),
+                binop("<", ident("__red_w"), ident("__red_nw")),
+                A.Assign(ident("__red_w"), intlit(1), "+"),
+                A.ExprStmt(A.Assign(
+                    ident("__red_a"),
+                    _red_combine(op, ident("__red_a"),
+                                 A.Index(ident(ws), ident("__red_w"))))),
+            ),
+            A.ExprStmt(A.Assign(
+                A.Index(ident("__redp_" + name), ident("__red_team")),
+                ident("__red_a"))),
+        )
+        stmts.append(block(
+            A.DeclStmt([A.VarDecl(ws, ArrayType(cv.ctype, 32), None, None,
+                                  ("__shared__",))]),
+            decl("__red_off", INT),
+            shuffle_loop,
+            A.If(binop("==", ident("__red_lane"), intlit(0)),
+                 A.ExprStmt(A.Assign(A.Index(ident(ws), ident("__red_wid")),
+                                     ident(acc)))),
+            callstmt("__syncthreads"),
+            A.If(binop("==", ident("__red_lin"), intlit(0)), fold),
+        ))
+    return block(stmts)
 
 
 class _MwTransformer:
@@ -791,7 +1006,7 @@ class _RegionTransformer:
         if d.name == "sections":
             return self._sections(stmt, d, rn)
         if d.name == "atomic":
-            return self._atomic(stmt, rn)
+            return self._atomic(stmt, d, rn)
         if d.name == "parallel":
             raise CudaXformError(
                 "nested parallel regions inside a device parallel region "
@@ -804,10 +1019,9 @@ class _RegionTransformer:
 
     def _worksharing_for(self, stmt: A.PragmaStmt, d: Directive,
                          rn: dict[str, A.Expr]) -> A.Stmt:
-        loop = stmt.body
-        if isinstance(loop, A.Compound) and len(loop.body) == 1:
-            loop = loop.body[0]
-        info = analyze_canonical_loop(loop)
+        # collapse(n) folds n perfectly nested canonical loops into the
+        # same linearised iteration space the combined construct uses
+        loops = collect_collapsed_loops(stmt.body, d)
         loop_id = next(self.b._loop_ids)
         sched_fn = "cudadev_get_static_chunk"
         chunk: A.Expr = intlit(0)
@@ -819,21 +1033,34 @@ class _RegionTransformer:
                 sched_fn = "cudadev_get_guided_chunk"
             if scl.chunk is not None:
                 chunk = rename_idents(scl.chunk, rn)
-        count = rename_idents(info.count, rn)
-        recon: A.Expr = ident("__it")
-        if info.step != 1:
-            recon = binop("*", recon, intlit(info.step))
-        recon = binop("+", cast(info.var_type, recon),
-                      rename_idents(info.lb, rn))
-        body = self.transform_stmt(rename_idents(info.body, rn))
+        count_decls: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            count_decls.append(decl_long(
+                f"__wsn{i}", cast(LONG, rename_idents(info.count, rn))))
+        total = product([ident(f"__wsn{i}") for i in range(len(loops))])
+        # index reconstruction from the linear iteration number __it
+        recon_stmts: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            expr: A.Expr = ident("__it")
+            for j in range(i + 1, len(loops)):
+                expr = binop("/", expr, ident(f"__wsn{j}"))
+            if i > 0:
+                expr = binop("%", expr, ident(f"__wsn{i}"))
+            if info.step != 1:
+                expr = binop("*", expr, intlit(info.step))
+            expr = binop("+", cast(info.var_type, expr),
+                         rename_idents(info.lb, rn))
+            recon_stmts.append(assign(ident(info.var), expr))
+        body = self.transform_stmt(rename_idents(loops[-1].body, rn))
         inner = A.For(
             A.ExprStmt(A.Assign(ident("__it"), ident("__tlo"))),
             binop("<", ident("__it"), ident("__thi")),
             A.Assign(ident("__it"), intlit(1), "+"),
-            block(assign(ident(info.var), recon), body),
+            block(recon_stmts, body),
         )
         out = block(
-            decl_long("__cnt", cast(LONG, count)),
+            count_decls,
+            decl_long("__cnt", total),
             decl_long("__tlo"), decl_long("__thi"), decl_long("__it"),
             A.While(
                 call(sched_fn, intlit(loop_id), intlit(0), ident("__cnt"),
@@ -904,17 +1131,75 @@ class _RegionTransformer:
             out.body.append(callstmt("cudadev_barrier"))
         return out
 
-    def _atomic(self, stmt: A.PragmaStmt, rn: dict[str, A.Expr]) -> A.Stmt:
+    def _atomic(self, stmt: A.PragmaStmt, d: Directive,
+                rn: dict[str, A.Expr]) -> A.Stmt:
+        """Lower ``atomic [read|write|update|capture]`` onto the sim's
+        atomic ops.  Aligned word loads/stores are atomic on the device
+        (and in the lockstep simulator), so read/write emit the plain
+        access; update forms route through ``atomicAdd`` where the
+        hardware has one and the type-generic ``cudadev_atomic_red_*``
+        otherwise; capture uses the atomic's returned old value."""
+        clause = d.first(AtomicClause)
+        kind = clause.atomic_kind if clause is not None else "update"
         body = stmt.body
         if isinstance(body, A.Compound) and len(body.body) == 1:
             body = body.body[0]
-        if not (isinstance(body, A.ExprStmt) and isinstance(body.expr, A.Assign)
-                and body.expr.op in ("+", "-")):
+        if kind in ("read", "write"):
+            expr = body.expr if isinstance(body, A.ExprStmt) else None
+            if not (isinstance(expr, A.Assign) and expr.op is None):
+                raise CudaXformError(
+                    f"atomic {kind} requires a plain assignment", stmt.loc)
+            return A.ExprStmt(rename_idents(clone(expr), rn))
+        if kind == "capture":
+            return self._atomic_capture(stmt, body, rn)
+        upd = _match_atomic_update(body)
+        if upd is None:
             raise CudaXformError(
-                "only '+='/'-=' update forms of atomic are supported", stmt.loc
-            )
-        target = rename_idents(body.expr.target, rn)
-        value = rename_idents(body.expr.value, rn)
-        if body.expr.op == "-":
-            value = A.Unary("-", value)
-        return callstmt("atomicAdd", addr_of(target), value)
+                "unsupported atomic update form (expected x op= expr, "
+                "x++/x--, x = x op expr, or x = expr op x)", stmt.loc)
+        target, op, value = upd
+        return A.ExprStmt(_atomic_update_call(
+            op, rename_idents(clone(target), rn),
+            rename_idents(clone(value), rn)))
+
+    def _atomic_capture(self, stmt: A.PragmaStmt, body: A.Stmt,
+                        rn: dict[str, A.Expr]) -> A.Stmt:
+        # v = x++ / v = x--  (old value)
+        if isinstance(body, A.ExprStmt) and isinstance(body.expr, A.Assign) \
+                and body.expr.op is None \
+                and isinstance(body.expr.value, A.Unary) \
+                and body.expr.value.op in ("p++", "p--", "++", "--"):
+            unary = body.expr.value
+            op = "+" if "++" in unary.op else "-"
+            update = _atomic_update_call(
+                op, rename_idents(clone(unary.operand), rn), intlit(1))
+            return A.ExprStmt(A.Assign(
+                rename_idents(clone(body.expr.target), rn), update))
+        # { v = x; x op= e; }  (old)  /  { x op= e; v = x; }  (new)
+        if isinstance(body, A.Compound) and len(body.body) == 2:
+            first, second = body.body
+            fe = first.expr if isinstance(first, A.ExprStmt) else None
+            se = second.expr if isinstance(second, A.ExprStmt) else None
+            f_upd = _match_atomic_update(first)
+            s_upd = _match_atomic_update(second)
+            if isinstance(fe, A.Assign) and fe.op is None and s_upd is not None:
+                target, op, value = s_upd
+                update = _atomic_update_call(
+                    op, rename_idents(clone(target), rn),
+                    rename_idents(clone(value), rn))
+                return A.ExprStmt(A.Assign(
+                    rename_idents(clone(fe.target), rn), update))
+            if f_upd is not None and isinstance(se, A.Assign) and se.op is None:
+                # new-value capture: old OP e recomputes the stored value
+                target, op, value = f_upd
+                value_rn = rename_idents(clone(value), rn)
+                update = _atomic_update_call(
+                    op, rename_idents(clone(target), rn), value_rn)
+                return A.ExprStmt(A.Assign(
+                    rename_idents(clone(se.target), rn),
+                    _red_combine(op if op != "-" else "+", update,
+                                 clone(value_rn) if op != "-"
+                                 else A.Unary("-", clone(value_rn)))))
+        raise CudaXformError(
+            "unsupported atomic capture form (expected v = x++/x--, "
+            "{v = x; x op= e;} or {x op= e; v = x;})", stmt.loc)

@@ -31,7 +31,10 @@ from repro.ompi.config import OmpiConfig
 from repro.ompi.outline import (
     CapturedVar, collect_identifiers, locally_declared,
 )
-from repro.ompi.xform_cuda import KernelPlan, analyze_canonical_loop
+from repro.ompi.xform_cuda import (
+    KernelPlan, analyze_canonical_loop, collect_collapsed_loops,
+)
+from repro.hostrt.reduction import RED_OPS, typecode_of
 
 MAP_CODE = {"alloc": 0, "to": 1, "from": 2, "tofrom": 3,
             "release": 4, "delete": 5}
@@ -144,6 +147,14 @@ class HostRewriter:
                 continue
             base, mapped, _size = map_ptr_and_size(cv)
             stmts.append(callstmt("ort_arg_ptr", ident("__dev"), base, mapped))
+        # tree-mode reductions: register each scalar *after* the regular
+        # args (its partials buffer becomes the next kernel argument, in
+        # plan.reductions order — matching the trailing __redp_* params)
+        if plan.reductions and plan.reduction_mode == "tree":
+            for name, op, ctype in plan.reductions:
+                stmts.append(callstmt(
+                    "ort_red_scalar", ident("__dev"), addr_of(ident(name)),
+                    intlit(RED_OPS[op]), intlit(typecode_of(ctype.dtype()))))
         stmts.extend(self._dim_stmts(plan))
         stmts.append(callstmt(
             "ort_offload", ident("__dev"), string(plan.kernel_name),
@@ -157,6 +168,12 @@ class HostRewriter:
             _base, mapped, _size = map_ptr_and_size(cv)
             stmts.append(callstmt("ort_unmap", ident("__dev"), mapped,
                                   intlit(MAP_CODE[cv.map_type if cv.map_type != "private" else "release"])))
+        # cross-team combine: fold the partials in fixed team order onto
+        # the host value (after the unmap copy-back, which in tree mode
+        # returns the scalar untouched; inside the shard bracket so the
+        # runtime can gather each slot from its owning device)
+        if plan.reductions and plan.reduction_mode == "tree":
+            stmts.append(callstmt("ort_red_end", ident("__dev")))
         # shard(n): bracket the whole offload sequence — the runtime
         # replicates maps per device, splits the launch, and joins with the
         # diff-merge at shard end (validator: no nowait/depend/device here)
@@ -268,6 +285,10 @@ class HostRewriter:
                 args.append(ident(cv.name))
             else:
                 args.append(addr_of(ident(cv.name)))
+        # the hostfn twin computes the whole reduction sequentially, so
+        # its trailing __redp_* partials params are unused — pass nulls
+        if plan.reductions and plan.reduction_mode == "tree":
+            args.extend(intlit(0) for _ in plan.reductions)
         return A.ExprStmt(A.Call(ident(plan.kernel_name + "_hostfn"), args))
 
     def make_fallback_fn(self, plan: KernelPlan, body: A.Stmt,
@@ -285,6 +306,11 @@ class HostRewriter:
             else:
                 params.append(A.Param(cv.name + "_p", PointerType(cv.ctype)))
                 renames[cv.name] = deref(ident(cv.name + "_p"))
+        # arity parity with the kernel: tree-mode reductions add trailing
+        # partials pointers the sequential twin never touches
+        if plan.reductions and plan.reduction_mode == "tree":
+            params.extend(A.Param("__redp_" + name, PointerType(ctype))
+                          for name, _op, ctype in plan.reductions)
         # private/loop variables the region uses but does not declare
         captured = {cv.name for cv in plan.params}
         local = locally_declared(body)
@@ -509,19 +535,33 @@ class _HostRegionTransformer:
         return block(out)
 
     def _worksharing_for(self, stmt: A.PragmaStmt, d: Directive) -> A.Stmt:
-        loop = stmt.body
-        if isinstance(loop, A.Compound) and len(loop.body) == 1:
-            loop = loop.body[0]
-        info = analyze_canonical_loop(loop)
-        count = rename_idents(info.count, self.renames)
-        recon: A.Expr = ident("__it")
-        if info.step != 1:
-            recon = binop("*", recon, intlit(info.step))
-        recon = binop("+", cast(info.var_type, recon),
-                      rename_idents(info.lb, self.renames))
-        body = self.transform_stmt(info.body)
+        # collapse(n) linearises exactly like the device side, so the
+        # per-thread iteration order matches across host and kernel runs
+        loops = collect_collapsed_loops(stmt.body, d)
+        count_decls: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            count_decls.append(decl_long(
+                f"__wsn{i}",
+                cast(LONG, rename_idents(info.count, self.renames))))
+        total: A.Expr = ident("__wsn0")
+        for i in range(1, len(loops)):
+            total = binop("*", total, ident(f"__wsn{i}"))
+        recon_stmts: list[A.Stmt] = []
+        for i, info in enumerate(loops):
+            expr: A.Expr = ident("__it")
+            for j in range(i + 1, len(loops)):
+                expr = binop("/", expr, ident(f"__wsn{j}"))
+            if i > 0:
+                expr = binop("%", expr, ident(f"__wsn{i}"))
+            if info.step != 1:
+                expr = binop("*", expr, intlit(info.step))
+            expr = binop("+", cast(info.var_type, expr),
+                         rename_idents(info.lb, self.renames))
+            recon_stmts.append(assign(ident(info.var), expr))
+        body = self.transform_stmt(loops[-1].body)
         return block(
-            decl_long("__cnt", cast(LONG, count)),
+            count_decls,
+            decl_long("__cnt", total),
             decl_long("__tlo"), decl_long("__thi"), decl_long("__it"),
             callstmt("ort_for_bounds", intlit(0), ident("__cnt"),
                      addr_of(ident("__tlo")), addr_of(ident("__thi"))),
@@ -529,6 +569,6 @@ class _HostRegionTransformer:
                 A.ExprStmt(A.Assign(ident("__it"), ident("__tlo"))),
                 binop("<", ident("__it"), ident("__thi")),
                 A.Assign(ident("__it"), intlit(1), "+"),
-                block(assign(ident(info.var), recon), body),
+                block(recon_stmts, body),
             ),
         )

@@ -84,11 +84,30 @@ class DataSharingClause(Clause):
     names: list[str] = field(default_factory=list)
 
 
+#: reduction operators supported end-to-end (parser, device tree combine,
+#: host fallback, cross-team/cross-device merge).  `-` reduces like `+`
+#: per the OpenMP spec.  `&&`/`||` are rejected at parse time: short-
+#: circuit semantics have no deterministic tree-combine shape here.
+SUPPORTED_REDUCTION_OPS = ("+", "-", "*", "max", "min", "&", "|", "^")
+
+
 @dataclass
 class ReductionClause(Clause):
     op: str = "+"
     names: list[str] = field(default_factory=list)
     kind: str = "reduction"
+
+
+#: memory-order forms of the atomic construct (OpenMP 4.5 atomic clauses)
+ATOMIC_KINDS = ("read", "write", "update", "capture")
+
+
+@dataclass
+class AtomicClause(Clause):
+    """The read/write/update/capture form selector on ``atomic``."""
+
+    atomic_kind: str = "update"
+    kind: str = "atomic_kind"
 
 
 @dataclass

@@ -16,10 +16,10 @@ from repro.cfront.lexer import Lexer, Token
 from repro.cfront.parser import Parser
 from repro.cfront.tokens import TokenKind
 from repro.openmp.clauses import (
-    DataSharingClause, DefaultClause, DependClause, DeviceClause,
-    DistScheduleClause, ExprClause, IfClause, MAP_TYPES, MapClause, MapItem,
-    MotionClause, NameClause, NowaitClause, ProcBindClause, ReductionClause,
-    ScheduleClause,
+    ATOMIC_KINDS, AtomicClause, DataSharingClause, DefaultClause,
+    DependClause, DeviceClause, DistScheduleClause, ExprClause, IfClause,
+    MAP_TYPES, MapClause, MapItem, MotionClause, NameClause, NowaitClause,
+    ProcBindClause, ReductionClause, SUPPORTED_REDUCTION_OPS, ScheduleClause,
 )
 from repro.openmp.directives import DIRECTIVE_NAMES, Directive
 
@@ -36,7 +36,12 @@ _DATA_SHARING = frozenset(
     {"private", "firstprivate", "lastprivate", "shared", "copyprivate",
      "copyin", "uses_allocators", "is_device_ptr", "use_device_ptr"}
 )
-_REDUCTION_OPS = ("+", "*", "-", "&", "|", "^", "&&", "||", "max", "min")
+#: the parser accepts exactly what the device lowering implements (the
+#: canonical set lives next to ReductionClause); operators that exist in
+#: OpenMP but have no lowering here are named in a parse-time diagnostic
+#: instead of surfacing as a late CudaXformError
+_REDUCTION_OPS = SUPPORTED_REDUCTION_OPS
+_REJECTED_REDUCTION_OPS = ("&&", "||")
 
 
 class _PragmaParser:
@@ -179,6 +184,10 @@ class _PragmaParser:
         if word == "nowait":
             self._next()
             return NowaitClause()
+        # atomic form selectors are bare words (no parenthesised argument)
+        if word in ATOMIC_KINDS and self._peek(1).text != "(":
+            self._next()
+            return AtomicClause(word)
         if word == "depend":
             self._next()
             self._expect("(")
@@ -252,6 +261,11 @@ class _PragmaParser:
             while self._peek().text != ":":
                 op_parts.append(self._next().text)
             op = "".join(op_parts)
+            if op in _REJECTED_REDUCTION_OPS:
+                raise OmpParseError(
+                    f"reduction operator {op!r} is not supported by the "
+                    f"device lowering (supported: "
+                    f"{', '.join(_REDUCTION_OPS)})", tok.loc)
             if op not in _REDUCTION_OPS:
                 raise OmpParseError(f"unsupported reduction operator {op!r}", tok.loc)
             self._expect(":")

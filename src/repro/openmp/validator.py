@@ -9,10 +9,10 @@ from __future__ import annotations
 from repro.cfront import astnodes as A
 from repro.cfront.errors import CFrontError
 from repro.openmp.clauses import (
-    DEPEND_TYPES, DataSharingClause, DefaultClause, DependClause,
-    DeviceClause, DistScheduleClause, ExprClause, IfClause, MapClause,
-    MotionClause, NameClause, NowaitClause, ProcBindClause, ReductionClause,
-    ScheduleClause,
+    ATOMIC_KINDS, AtomicClause, DEPEND_TYPES, DataSharingClause,
+    DefaultClause, DependClause, DeviceClause, DistScheduleClause,
+    ExprClause, IfClause, MapClause, MotionClause, NameClause, NowaitClause,
+    ProcBindClause, ReductionClause, ScheduleClause,
 )
 from repro.openmp.directives import Directive
 from repro.openmp.pragma_parser import parse_omp_pragma
@@ -57,7 +57,7 @@ _LEGAL: dict[str, frozenset[str]] = {
     # OpenMP 5.0 allows depend() on taskwait; this implementation joins the
     # whole task graph regardless (conservative over-synchronisation)
     "taskwait": frozenset({"depend"}),
-    "atomic": frozenset(),
+    "atomic": frozenset({"atomic_kind"}),
     "declare target": frozenset(),
     "end declare target": frozenset(),
 }
@@ -75,6 +75,7 @@ _CLAUSE_KIND: dict[type, str] = {
     NameClause: "name",
     ProcBindClause: "proc_bind",
     DependClause: "depend",
+    AtomicClause: "atomic_kind",
 }
 
 
@@ -151,6 +152,22 @@ def validate_directive(directive: Directive, loc=None) -> None:
                     f"shard() cannot be combined with '{incompatible}' "
                     f"on '#pragma omp {directive.name}'", loc
                 )
+    for clause in directive.clauses:
+        if (isinstance(clause, AtomicClause)
+                and clause.atomic_kind not in ATOMIC_KINDS):
+            raise OmpValidationError(
+                f"unknown atomic form '{clause.atomic_kind}' on "
+                f"'#pragma omp {directive.name}'", loc
+            )
+    if ("reduction" in kinds and "nowait" in kinds
+            and directive.name.split()[0] == "target"):
+        # the cross-team combine runs synchronously on copy-back; a
+        # deferred region has no join point to anchor it
+        raise OmpValidationError(
+            "reduction cannot be combined with nowait on "
+            f"'#pragma omp {directive.name}' (the cross-team combine is "
+            "performed at the region's synchronous join)", loc
+        )
     legal = _legal_kinds(directive)
     for clause in directive.clauses:
         kind = _clause_kind(clause)
